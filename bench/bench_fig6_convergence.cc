@@ -1,0 +1,101 @@
+// Reproduces Fig. 6: summed weight of all output independent sets as a
+// function of the mini-round, for random N x M networks with
+// N x M in {50, 100, 200} x {5, 10}, r = 2.
+//
+// Paper claim: every curve converges to a fixed value after about the 4th
+// mini-round regardless of network size (Theorem 4 — a constant number of
+// mini-rounds suffices on random networks), and that value is close to the
+// quality of the centralized solution.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "channel/gaussian.h"
+#include "graph/extended_graph.h"
+#include "graph/generators.h"
+#include "mwis/distributed_ptas.h"
+#include "mwis/greedy.h"
+#include "mwis/robust_ptas.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+struct Config {
+  int n;
+  int m;
+};
+
+}  // namespace
+
+int main() {
+  using namespace mhca;
+  std::cout << "=== Fig. 6: summed IS weight vs mini-round (r = 2) ===\n"
+            << "Weights are true mean rates (kbps); one strategy decision\n"
+            << "per network; random geometric topologies, avg degree ~6.\n\n";
+
+  const std::vector<Config> configs{{50, 5},  {100, 5},  {200, 5},
+                                    {50, 10}, {100, 10}, {200, 10}};
+  const int kMaxMiniRounds = 10;
+
+  std::vector<std::string> header{"mini-round"};
+  for (const auto& c : configs)
+    header.push_back(std::to_string(c.n) + "x" + std::to_string(c.m));
+  TablePrinter table(header);
+
+  std::vector<std::vector<double>> series;  // per config, per mini-round
+  std::vector<double> converged_round(configs.size(), 0.0);
+  std::vector<double> greedy_ref(configs.size(), 0.0);
+  std::vector<double> ptas_ref(configs.size(), 0.0);
+
+  for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+    const auto& c = configs[ci];
+    Rng rng(1000 + ci);
+    ConflictGraph cg = random_geometric_avg_degree(c.n, 6.0, rng);
+    ExtendedConflictGraph ecg(cg, c.m);
+    GaussianChannelModel model(c.n, c.m, rng);
+    const std::vector<double> w = model.mean_matrix();
+
+    DistributedPtasConfig cfg;
+    cfg.r = 2;
+    cfg.max_mini_rounds = kMaxMiniRounds;
+    cfg.bnb_node_cap = 50'000;
+    DistributedRobustPtas engine(ecg.graph(), cfg);
+    const DistributedPtasResult res = engine.run(w);
+
+    std::vector<double> s(kMaxMiniRounds, res.weight * kRateScaleKbps);
+    for (const auto& mr : res.mini_rounds)
+      for (int i = mr.mini_round - 1; i < kMaxMiniRounds; ++i)
+        s[static_cast<std::size_t>(i)] = mr.cumulative_weight * kRateScaleKbps;
+    series.push_back(s);
+    converged_round[ci] = res.mini_rounds_used;
+
+    GreedyMwisSolver greedy;
+    greedy_ref[ci] = greedy.solve_all(ecg.graph(), w).weight * kRateScaleKbps;
+    RobustPtasSolver ptas(1.0, 3, 50'000);
+    ptas_ref[ci] = ptas.solve_all(ecg.graph(), w).weight * kRateScaleKbps;
+  }
+
+  for (int mr = 1; mr <= kMaxMiniRounds; ++mr) {
+    std::vector<std::string> row{std::to_string(mr)};
+    for (const auto& s : series)
+      row.push_back(fixed(s[static_cast<std::size_t>(mr - 1)], 0));
+    TablePrinter* t = &table;
+    // TablePrinter::row is variadic; feed the prebuilt row via print path:
+    t->row(row[0], row[1], row[2], row[3], row[4], row[5], row[6]);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReference points (same weights):\n";
+  TablePrinter refs({"config", "distributed(final)", "centralized PTAS",
+                     "global greedy", "mini-rounds to mark all"});
+  for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+    refs.row(std::to_string(configs[ci].n) + "x" + std::to_string(configs[ci].m),
+             fixed(series[ci].back(), 0), fixed(ptas_ref[ci], 0),
+             fixed(greedy_ref[ci], 0), fixed(converged_round[ci], 0));
+  }
+  refs.print(std::cout);
+  std::cout << "\nExpected shape: every column flat after ~4 mini-rounds;\n"
+            << "final distributed weight comparable to centralized PTAS.\n";
+  return 0;
+}

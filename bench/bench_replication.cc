@@ -1,0 +1,72 @@
+// Multi-seed replication of the headline comparison (Fig. 7/8 claims) with
+// error bars: CAB vs LLR across independent channel realizations on a
+// fixed topology. Single-seed point estimates can flatter either policy;
+// this bench shows the ordering is stable.
+#include <iostream>
+
+#include "bandit/policy.h"
+#include "channel/gaussian.h"
+#include "graph/extended_graph.h"
+#include "graph/generators.h"
+#include "sim/replication.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace mhca;
+  const int kUsers = 25, kChannels = 4;
+  const std::int64_t kSlots = 1000;
+  const int kReps = 8;
+
+  Rng topo_rng(606);
+  ConflictGraph cg = random_geometric_avg_degree(kUsers, 5.0, topo_rng);
+  ExtendedConflictGraph ecg(cg, kChannels);
+
+  std::cout << "=== Replicated CAB vs LLR (" << kUsers << "x" << kChannels
+            << ", " << kSlots << " slots, " << kReps
+            << " seeds; kbps, mean +/- std) ===\n\n";
+
+  auto experiment = [&](PolicyKind kind) {
+    return [&, kind](std::uint64_t seed) {
+      Rng rng(seed * 7919 + 11);
+      GaussianChannelModel model(kUsers, kChannels, rng);
+      PolicyParams params;
+      params.llr_max_strategy_len = kUsers;
+      auto policy = make_policy(kind, params);
+      SimulationConfig cfg;
+      cfg.slots = kSlots;
+      Simulator sim(ecg, model, *policy, cfg);
+      return sim.run();
+    };
+  };
+
+  const ReplicationReport cab = replicate(experiment(PolicyKind::kCab), kReps);
+  const ReplicationReport llr = replicate(experiment(PolicyKind::kLlr), kReps);
+
+  auto cell = [](const Summary& s, double scale) {
+    return fixed(s.mean * scale, 1) + " +/- " + fixed(s.stddev * scale, 1);
+  };
+  TablePrinter table({"metric", "CAB", "LLR"});
+  table.row("expected throughput / slot",
+            cell(cab.metric("expected_rate"), kRateScaleKbps),
+            cell(llr.metric("expected_rate"), kRateScaleKbps));
+  table.row("effective throughput / slot",
+            cell(cab.metric("effective_rate"), kRateScaleKbps),
+            cell(llr.metric("effective_rate"), kRateScaleKbps));
+  table.row("estimate gap (relative)", cell(cab.metric("estimate_gap"), 1.0),
+            cell(llr.metric("estimate_gap"), 1.0));
+  table.row("transmitters / slot", cell(cab.metric("strategy_size"), 1.0),
+            cell(llr.metric("strategy_size"), 1.0));
+  table.print(std::cout);
+
+  const double gap = cab.metric("expected_rate").mean -
+                     llr.metric("expected_rate").mean;
+  const double spread = cab.metric("expected_rate").stddev +
+                        llr.metric("expected_rate").stddev;
+  std::cout << "\nCAB - LLR expected-rate gap: " << fixed(gap * kRateScaleKbps, 1)
+            << " kbps (" << (gap > 0 ? "CAB ahead" : "LLR ahead")
+            << (gap > spread ? ", beyond 1-sigma spread" : ", within noise")
+            << ")\n";
+  return 0;
+}

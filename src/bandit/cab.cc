@@ -1,0 +1,22 @@
+#include "bandit/cab.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace mhca {
+
+double CabIndexPolicy::index_from(double mean, std::int64_t count, int k,
+                                  std::int64_t t, int num_arms) const {
+  MHCA_ASSERT(t >= 1, "rounds are 1-based");
+  if (count == 0) return unplayed_index(k, num_arms);
+  const double kd = static_cast<double>(num_arms);
+  const double md = static_cast<double>(count);
+  // ln(t^{2/3} / (K m)) = (2/3) ln t − ln(K m)
+  const double inner =
+      (2.0 / 3.0) * std::log(static_cast<double>(t)) - std::log(kd * md);
+  return mean + std::sqrt(std::max(inner, 0.0) / md);
+}
+
+}  // namespace mhca

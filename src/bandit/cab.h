@@ -1,0 +1,25 @@
+// The paper's adopted learning index (eq. 3), from Zhou & Li,
+// "Multi-armed bandits with combinatorial strategies under stochastic
+// bandits" (arXiv:1307.5438):
+//
+//   w_k(t+1) = µ̃_k(t) + sqrt( max( ln( t^{2/3} / (K·m_k) ), 0 ) / m_k )
+//
+// Distinctive property (Theorem 1): with any β-approximate MWIS oracle the
+// β-regret bound is O(n^{5/6}) and — unlike LLR's bound — does not involve
+// 1/Δ_min, so it stays meaningful when strategies have nearly equal means.
+// The max(·, 0) clips exploration to zero for well-sampled arms
+// (m_k ≥ t^{2/3}/K), giving the "almost optimal" exploitation phase.
+#pragma once
+
+#include "bandit/policy.h"
+
+namespace mhca {
+
+class CabIndexPolicy : public IndexPolicy {
+ public:
+  std::string name() const override { return "CAB"; }
+  double index_from(double mean, std::int64_t count, int k, std::int64_t t,
+                    int num_arms) const override;
+};
+
+}  // namespace mhca

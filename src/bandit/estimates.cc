@@ -1,0 +1,32 @@
+#include "bandit/estimates.h"
+
+#include "util/assert.h"
+
+namespace mhca {
+
+ArmEstimates::ArmEstimates(int num_arms)
+    : mean_(static_cast<std::size_t>(num_arms), 0.0),
+      count_(static_cast<std::size_t>(num_arms), 0) {
+  MHCA_ASSERT(num_arms >= 1, "need at least one arm");
+}
+
+void ArmEstimates::observe(int k, double reward) {
+  MHCA_ASSERT(k >= 0 && k < num_arms(), "arm out of range");
+  auto ki = static_cast<std::size_t>(k);
+  const double m_old = static_cast<double>(count_[ki]);
+  count_[ki] += 1;
+  mean_[ki] = (mean_[ki] * m_old + reward) / static_cast<double>(count_[ki]);
+  ++total_plays_;
+}
+
+double ArmEstimates::mean(int k) const {
+  MHCA_ASSERT(k >= 0 && k < num_arms(), "arm out of range");
+  return mean_[static_cast<std::size_t>(k)];
+}
+
+std::int64_t ArmEstimates::count(int k) const {
+  MHCA_ASSERT(k >= 0 && k < num_arms(), "arm out of range");
+  return count_[static_cast<std::size_t>(k)];
+}
+
+}  // namespace mhca

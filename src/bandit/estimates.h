@@ -1,0 +1,41 @@
+// Per-arm sufficient statistics (µ̃_k, m_k) — paper eqs. (5) and (6).
+//
+// The whole point of the paper's formulation is that learning state is
+// linear in K = N·M arms (two 1×K vectors), not in the O(M^N) strategy
+// space. In the distributed runtime every virtual vertex owns exactly its
+// own (µ̃, m) entry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mhca {
+
+class ArmEstimates {
+ public:
+  explicit ArmEstimates(int num_arms);
+
+  int num_arms() const { return static_cast<int>(mean_.size()); }
+
+  /// Incorporate one observation of arm k (running-mean update, eq. 5-6).
+  void observe(int k, double reward);
+
+  /// Observed mean µ̃_k (0 before the first play).
+  double mean(int k) const;
+
+  /// Number of times arm k has been played, m_k.
+  std::int64_t count(int k) const;
+
+  /// Total plays across all arms.
+  std::int64_t total_plays() const { return total_plays_; }
+
+  const std::vector<double>& means() const { return mean_; }
+  const std::vector<std::int64_t>& counts() const { return count_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<std::int64_t> count_;
+  std::int64_t total_plays_ = 0;
+};
+
+}  // namespace mhca

@@ -1,0 +1,23 @@
+#include "bandit/llr.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace mhca {
+
+LlrIndexPolicy::LlrIndexPolicy(int max_strategy_len)
+    : max_strategy_len_(max_strategy_len) {
+  MHCA_ASSERT(max_strategy_len >= 1, "L must be at least 1");
+}
+
+double LlrIndexPolicy::index_from(double mean, std::int64_t count, int k,
+                                  std::int64_t t, int num_arms) const {
+  MHCA_ASSERT(t >= 1, "rounds are 1-based");
+  if (count == 0) return unplayed_index(k, num_arms);
+  return mean + std::sqrt(static_cast<double>(max_strategy_len_ + 1) *
+                          std::log(static_cast<double>(t)) /
+                          static_cast<double>(count));
+}
+
+}  // namespace mhca

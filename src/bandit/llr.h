@@ -1,0 +1,30 @@
+// LLR — "Learning with Linear Rewards" (Gai, Krishnamachari & Jain,
+// IEEE/ACM ToN 2012), the baseline the paper compares against (Figs. 7, 8):
+//
+//   index_k(t) = µ̃_k(t) + sqrt( (L+1) · ln t / m_k )
+//
+// L is the maximum strategy length (here: N, every node could transmit).
+// Its regret bound is O(log n) but scales with 1/Δ_min and the bonus decays
+// slowly, which is why its *estimated* throughput stays inflated relative
+// to actual throughput in Fig. 8.
+#pragma once
+
+#include "bandit/policy.h"
+
+namespace mhca {
+
+class LlrIndexPolicy : public IndexPolicy {
+ public:
+  explicit LlrIndexPolicy(int max_strategy_len);
+
+  std::string name() const override { return "LLR"; }
+  double index_from(double mean, std::int64_t count, int k, std::int64_t t,
+                    int num_arms) const override;
+
+  int max_strategy_len() const { return max_strategy_len_; }
+
+ private:
+  int max_strategy_len_;
+};
+
+}  // namespace mhca

@@ -1,0 +1,48 @@
+#include "bandit/naive_ucb.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace mhca {
+
+NaiveStrategyUcb::NaiveStrategyUcb(std::vector<std::vector<int>> strategies)
+    : strategies_(std::move(strategies)),
+      est_(static_cast<int>(strategies_.size())) {
+  MHCA_ASSERT(!strategies_.empty(), "no strategies to choose from");
+}
+
+int NaiveStrategyUcb::select(std::int64_t t) const {
+  MHCA_ASSERT(t >= 1, "rounds are 1-based");
+  int best = -1;
+  double best_idx = 0.0;
+  for (int a = 0; a < num_arms(); ++a) {
+    const std::int64_t m = est_.count(a);
+    double idx;
+    if (m == 0) {
+      idx = 1e18 - static_cast<double>(a);  // explore unplayed arms in order
+    } else {
+      // Rewards here are strategy sums (not in [0,1]); UCB1 with a scale
+      // proportional to the strategy length keeps the bonus meaningful.
+      const double scale = static_cast<double>(strategies_[static_cast<std::size_t>(a)].size());
+      idx = est_.mean(a) +
+            std::max(scale, 1.0) * std::sqrt(2.0 * std::log(static_cast<double>(t)) /
+                                             static_cast<double>(m));
+    }
+    if (best < 0 || idx > best_idx) {
+      best = a;
+      best_idx = idx;
+    }
+  }
+  return best;
+}
+
+std::size_t NaiveStrategyUcb::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& s : strategies_) bytes += s.size() * sizeof(int);
+  bytes += static_cast<std::size_t>(est_.num_arms()) *
+           (sizeof(double) + sizeof(std::int64_t));
+  return bytes;
+}
+
+}  // namespace mhca

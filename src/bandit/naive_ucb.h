@@ -1,0 +1,41 @@
+// The strawman the paper's introduction argues against: treat every feasible
+// strategy (independent set of H) as one arm of a classic UCB1 bandit.
+// Time, space and regret all scale with the number of strategies — up to
+// O(M^N) — versus O(N·M) for the factored formulation. Usable only on tiny
+// networks; `bench_naive_exponential` measures the blow-up.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bandit/estimates.h"
+
+namespace mhca {
+
+class NaiveStrategyUcb {
+ public:
+  /// `strategies`: the enumerated feasible strategies (vertex sets of H).
+  explicit NaiveStrategyUcb(std::vector<std::vector<int>> strategies);
+
+  int num_arms() const { return est_.num_arms(); }
+
+  /// UCB1 arm choice at round t (unplayed arms first, by index order).
+  int select(std::int64_t t) const;
+
+  /// Record the strategy's total observed throughput.
+  void observe(int arm, double total_reward) { est_.observe(arm, total_reward); }
+
+  const std::vector<int>& strategy(int arm) const {
+    return strategies_[static_cast<std::size_t>(arm)];
+  }
+
+  /// Approximate resident memory of the learning state, for the
+  /// complexity-comparison benchmark.
+  std::size_t memory_bytes() const;
+
+ private:
+  std::vector<std::vector<int>> strategies_;
+  ArmEstimates est_;
+};
+
+}  // namespace mhca

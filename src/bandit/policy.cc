@@ -1,0 +1,60 @@
+#include "bandit/policy.h"
+
+#include "bandit/cab.h"
+#include "bandit/llr.h"
+#include "bandit/simple_policies.h"
+#include "bandit/thompson.h"
+#include "util/assert.h"
+
+namespace mhca {
+
+void IndexPolicy::compute_indices(const ArmEstimates& est, std::int64_t t,
+                                  std::vector<double>& out) const {
+  const int k_arms = est.num_arms();
+  out.resize(static_cast<std::size_t>(k_arms));
+  for (int k = 0; k < k_arms; ++k)
+    out[static_cast<std::size_t>(k)] = index(est, k, t);
+}
+
+bool IndexPolicy::randomize_round(std::int64_t /*t*/, Rng& /*rng*/) const {
+  return false;
+}
+
+double IndexPolicy::unplayed_index(int k, int num_arms) {
+  // > 1 (the reward ceiling) so unexplored arms win against any exploited
+  // mean; tiny per-arm offset makes ties deterministic across runtimes.
+  return 2.0 + 1e-9 * static_cast<double>(num_arms - k);
+}
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kCab: return "CAB";
+    case PolicyKind::kLlr: return "LLR";
+    case PolicyKind::kUcb1: return "UCB1";
+    case PolicyKind::kGreedy: return "greedy";
+    case PolicyKind::kEpsGreedy: return "eps-greedy";
+    case PolicyKind::kThompson: return "Thompson";
+  }
+  return "?";
+}
+
+std::unique_ptr<IndexPolicy> make_policy(PolicyKind kind,
+                                         const PolicyParams& params) {
+  switch (kind) {
+    case PolicyKind::kCab:
+      return std::make_unique<CabIndexPolicy>();
+    case PolicyKind::kLlr:
+      return std::make_unique<LlrIndexPolicy>(params.llr_max_strategy_len);
+    case PolicyKind::kUcb1:
+      return std::make_unique<Ucb1IndexPolicy>();
+    case PolicyKind::kGreedy:
+      return std::make_unique<GreedyIndexPolicy>();
+    case PolicyKind::kEpsGreedy:
+      return std::make_unique<EpsilonGreedyIndexPolicy>(params.epsilon);
+    case PolicyKind::kThompson:
+      return std::make_unique<ThompsonIndexPolicy>(params.thompson_seed);
+  }
+  MHCA_ASSERT(false, "unknown policy kind");
+}
+
+}  // namespace mhca

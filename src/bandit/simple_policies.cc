@@ -1,0 +1,40 @@
+#include "bandit/simple_policies.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace mhca {
+
+double Ucb1IndexPolicy::index_from(double mean, std::int64_t count, int k,
+                                   std::int64_t t, int num_arms) const {
+  MHCA_ASSERT(t >= 1, "rounds are 1-based");
+  if (count == 0) return unplayed_index(k, num_arms);
+  return mean + std::sqrt(2.0 * std::log(static_cast<double>(t)) /
+                          static_cast<double>(count));
+}
+
+double GreedyIndexPolicy::index_from(double mean, std::int64_t count, int k,
+                                     std::int64_t /*t*/, int num_arms) const {
+  if (count == 0) return unplayed_index(k, num_arms);
+  return mean;
+}
+
+EpsilonGreedyIndexPolicy::EpsilonGreedyIndexPolicy(double epsilon)
+    : epsilon_(epsilon) {
+  MHCA_ASSERT(epsilon >= 0.0 && epsilon <= 1.0, "epsilon out of range");
+}
+
+double EpsilonGreedyIndexPolicy::index_from(double mean, std::int64_t count,
+                                            int k, std::int64_t /*t*/,
+                                            int num_arms) const {
+  if (count == 0) return unplayed_index(k, num_arms);
+  return mean;
+}
+
+bool EpsilonGreedyIndexPolicy::randomize_round(std::int64_t /*t*/,
+                                               Rng& rng) const {
+  return rng.bernoulli(epsilon_);
+}
+
+}  // namespace mhca

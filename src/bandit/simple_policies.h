@@ -1,0 +1,42 @@
+// Ablation baselines: UCB1, pure exploitation, and ε-greedy.
+#pragma once
+
+#include "bandit/policy.h"
+
+namespace mhca {
+
+/// Classic per-arm UCB1 bonus sqrt(2 ln t / m) applied in the combinatorial
+/// setting (extension; not in the paper).
+class Ucb1IndexPolicy : public IndexPolicy {
+ public:
+  std::string name() const override { return "UCB1"; }
+  double index_from(double mean, std::int64_t count, int k, std::int64_t t,
+                    int num_arms) const override;
+};
+
+/// Exploit-only: index = µ̃ (unplayed arms still explored first).
+class GreedyIndexPolicy : public IndexPolicy {
+ public:
+  std::string name() const override { return "greedy-exploit"; }
+  double index_from(double mean, std::int64_t count, int k, std::int64_t t,
+                    int num_arms) const override;
+};
+
+/// With probability ε the round's weights are replaced by uniform noise
+/// (random feasible strategy); otherwise exploit µ̃.
+class EpsilonGreedyIndexPolicy : public IndexPolicy {
+ public:
+  explicit EpsilonGreedyIndexPolicy(double epsilon);
+
+  std::string name() const override { return "eps-greedy"; }
+  double index_from(double mean, std::int64_t count, int k, std::int64_t t,
+                    int num_arms) const override;
+  bool randomize_round(std::int64_t t, Rng& rng) const override;
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  double epsilon_;
+};
+
+}  // namespace mhca

@@ -1,0 +1,30 @@
+#include "bandit/thompson.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.h"
+#include "util/hash.h"
+
+namespace mhca {
+
+ThompsonIndexPolicy::ThompsonIndexPolicy(std::uint64_t seed) : seed_(seed) {}
+
+double ThompsonIndexPolicy::index_from(double mean, std::int64_t count, int k,
+                                       std::int64_t t, int num_arms) const {
+  MHCA_ASSERT(t >= 1, "rounds are 1-based");
+  if (count == 0) return unplayed_index(k, num_arms);
+  const std::uint64_t h = hash_combine(
+      seed_, hash_combine(static_cast<std::uint64_t>(k),
+                          static_cast<std::uint64_t>(t)));
+  const double u1 = std::max(hash_to_unit(splitmix64(h)), 1e-12);
+  const double u2 = hash_to_unit(splitmix64(h ^ 0x1234abcd5678ef90ULL));
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * std::numbers::pi * u2);
+  const double sigma =
+      std::sqrt(0.25 / (static_cast<double>(count) + 1.0));
+  return mean + sigma * z;
+}
+
+}  // namespace mhca

@@ -1,0 +1,32 @@
+// Thompson sampling adapted to the combinatorial index interface
+// (extension; not in the paper).
+//
+// Classic Thompson sampling draws a random index from each arm's posterior.
+// To stay compatible with the pure-function index interface — and hence
+// with the distributed runtime, where every vertex must compute the same
+// value from the same statistics — the "draw" is derandomized: the
+// posterior sample for arm k at round t is generated from a hash of
+// (seed, k, t). Same inputs ⇒ same index on every vertex, yet across
+// rounds the sequence behaves like fresh posterior samples.
+//
+// Posterior model: Gaussian with mean µ̃_k and standard deviation
+// sqrt(1/4 / (m_k + 1)) (the 1/4 variance bound of [0,1] rewards).
+#pragma once
+
+#include "bandit/policy.h"
+
+namespace mhca {
+
+class ThompsonIndexPolicy : public IndexPolicy {
+ public:
+  explicit ThompsonIndexPolicy(std::uint64_t seed = 0x7503a11ULL);
+
+  std::string name() const override { return "Thompson"; }
+  double index_from(double mean, std::int64_t count, int k, std::int64_t t,
+                    int num_arms) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace mhca

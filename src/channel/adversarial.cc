@@ -1,0 +1,91 @@
+#include "channel/adversarial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.h"
+#include "util/hash.h"
+
+namespace mhca {
+
+AdversarialChannelModel::AdversarialChannelModel(int num_nodes,
+                                                 int num_channels,
+                                                 AdversaryKind kind,
+                                                 std::int64_t horizon, Rng& rng,
+                                                 double noise_std)
+    : num_nodes_(num_nodes),
+      num_channels_(num_channels),
+      kind_(kind),
+      horizon_(horizon),
+      noise_std_(noise_std),
+      noise_seed_(rng.engine()()) {
+  MHCA_ASSERT(num_nodes >= 1 && num_channels >= 1, "empty channel model");
+  MHCA_ASSERT(horizon >= 1, "horizon must be positive");
+  const std::size_t k = static_cast<std::size_t>(num_nodes) *
+                        static_cast<std::size_t>(num_channels);
+  base_means_.resize(k);
+  other_means_.resize(k);
+  phases_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    base_means_[i] = rng.uniform(0.1, 0.9);
+    other_means_[i] = rng.uniform(0.1, 0.9);
+    phases_[i] = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  }
+  if (kind_ == AdversaryKind::kSwap) {
+    // Swap the best and worst channel of each node at t0 = horizon/2.
+    other_means_ = base_means_;
+    for (int i = 0; i < num_nodes_; ++i) {
+      std::size_t lo = index(i, 0), hi = index(i, 0);
+      for (int j = 1; j < num_channels_; ++j) {
+        const std::size_t idx = index(i, j);
+        if (base_means_[idx] < base_means_[lo]) lo = idx;
+        if (base_means_[idx] > base_means_[hi]) hi = idx;
+      }
+      std::swap(other_means_[lo], other_means_[hi]);
+    }
+  }
+}
+
+std::size_t AdversarialChannelModel::index(int node, int channel) const {
+  MHCA_ASSERT(node >= 0 && node < num_nodes_, "node out of range");
+  MHCA_ASSERT(channel >= 0 && channel < num_channels_, "channel out of range");
+  return static_cast<std::size_t>(node) * static_cast<std::size_t>(num_channels_) +
+         static_cast<std::size_t>(channel);
+}
+
+double AdversarialChannelModel::mean(int node, int channel,
+                                     std::int64_t t) const {
+  const std::size_t i = index(node, channel);
+  const double frac =
+      std::clamp(static_cast<double>(t) / static_cast<double>(horizon_), 0.0, 1.0);
+  switch (kind_) {
+    case AdversaryKind::kDrift: {
+      const double amp = 0.5 * (other_means_[i] - base_means_[i]);
+      const double mid = 0.5 * (other_means_[i] + base_means_[i]);
+      return std::clamp(
+          mid + amp * std::sin(2.0 * std::numbers::pi * frac + phases_[i]), 0.0,
+          1.0);
+    }
+    case AdversaryKind::kSwap:
+      return t < horizon_ / 2 ? base_means_[i] : other_means_[i];
+    case AdversaryKind::kRamp:
+      return (1.0 - frac) * base_means_[i] + frac * other_means_[i];
+  }
+  return base_means_[i];
+}
+
+double AdversarialChannelModel::sample(int node, int channel,
+                                       std::int64_t t) const {
+  const std::size_t i = index(node, channel);
+  const std::uint64_t h =
+      hash_combine(noise_seed_, hash_combine(static_cast<std::uint64_t>(i),
+                                             static_cast<std::uint64_t>(t)));
+  const double u1 = std::max(hash_to_unit(splitmix64(h)), 1e-12);
+  const double u2 = hash_to_unit(splitmix64(h ^ 0xabcdef1234567890ULL));
+  const double g = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * std::numbers::pi * u2);
+  return std::clamp(mean(node, channel, t) + noise_std_ * g, 0.0, 1.0);
+}
+
+}  // namespace mhca

@@ -1,0 +1,65 @@
+#include "channel/bernoulli.h"
+
+#include "util/assert.h"
+#include "util/hash.h"
+
+namespace mhca {
+
+BernoulliChannelModel::BernoulliChannelModel(int num_nodes, int num_channels,
+                                             Rng& rng, double p_lo,
+                                             double p_hi)
+    : num_nodes_(num_nodes),
+      num_channels_(num_channels),
+      noise_seed_(rng.engine()()) {
+  MHCA_ASSERT(num_nodes >= 1 && num_channels >= 1, "empty channel model");
+  MHCA_ASSERT(0.0 <= p_lo && p_lo <= p_hi && p_hi <= 1.0,
+              "invalid probability range");
+  const std::size_t k = static_cast<std::size_t>(num_nodes) *
+                        static_cast<std::size_t>(num_channels);
+  probs_.resize(k);
+  values_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    probs_[i] = rng.uniform(p_lo, p_hi);
+    const int cls = rng.uniform_int(0, static_cast<int>(kDataRatesKbps.size()) - 1);
+    values_[i] = kDataRatesKbps[static_cast<std::size_t>(cls)] / kRateScaleKbps;
+  }
+}
+
+BernoulliChannelModel::BernoulliChannelModel(int num_nodes, int num_channels,
+                                             std::vector<double> probs,
+                                             std::vector<double> values,
+                                             std::uint64_t noise_seed)
+    : num_nodes_(num_nodes),
+      num_channels_(num_channels),
+      probs_(std::move(probs)),
+      values_(std::move(values)),
+      noise_seed_(noise_seed) {
+  const std::size_t k = static_cast<std::size_t>(num_nodes) *
+                        static_cast<std::size_t>(num_channels);
+  MHCA_ASSERT(probs_.size() == k && values_.size() == k,
+              "probability/value matrix size mismatch");
+}
+
+std::size_t BernoulliChannelModel::index(int node, int channel) const {
+  MHCA_ASSERT(node >= 0 && node < num_nodes_, "node out of range");
+  MHCA_ASSERT(channel >= 0 && channel < num_channels_, "channel out of range");
+  return static_cast<std::size_t>(node) * static_cast<std::size_t>(num_channels_) +
+         static_cast<std::size_t>(channel);
+}
+
+double BernoulliChannelModel::mean(int node, int channel,
+                                   std::int64_t /*t*/) const {
+  const std::size_t i = index(node, channel);
+  return probs_[i] * values_[i];
+}
+
+double BernoulliChannelModel::sample(int node, int channel,
+                                     std::int64_t t) const {
+  const std::size_t i = index(node, channel);
+  const std::uint64_t h =
+      hash_combine(noise_seed_, hash_combine(static_cast<std::uint64_t>(i),
+                                             static_cast<std::uint64_t>(t)));
+  return hash_to_unit(splitmix64(h)) < probs_[i] ? values_[i] : 0.0;
+}
+
+}  // namespace mhca

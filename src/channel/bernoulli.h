@@ -1,0 +1,41 @@
+// Bernoulli channel model: channel is either idle (full rate) or occupied
+// (zero), the classic on/off spectrum-availability abstraction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/channel_model.h"
+#include "util/rng.h"
+
+namespace mhca {
+
+/// Reward = value_{i,j} with probability p_{i,j}, else 0.
+class BernoulliChannelModel : public ChannelModel {
+ public:
+  /// Random availability probabilities in [p_lo, p_hi] and random rate
+  /// classes for the "on" value.
+  BernoulliChannelModel(int num_nodes, int num_channels, Rng& rng,
+                        double p_lo = 0.2, double p_hi = 0.95);
+
+  /// Explicit probabilities and on-values (normalized, row-major).
+  BernoulliChannelModel(int num_nodes, int num_channels,
+                        std::vector<double> probs, std::vector<double> values,
+                        std::uint64_t noise_seed);
+
+  int num_nodes() const override { return num_nodes_; }
+  int num_channels() const override { return num_channels_; }
+  double mean(int node, int channel, std::int64_t t) const override;
+  double sample(int node, int channel, std::int64_t t) const override;
+
+ private:
+  std::size_t index(int node, int channel) const;
+
+  int num_nodes_;
+  int num_channels_;
+  std::vector<double> probs_;
+  std::vector<double> values_;
+  std::uint64_t noise_seed_;
+};
+
+}  // namespace mhca

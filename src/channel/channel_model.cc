@@ -1,0 +1,16 @@
+#include "channel/channel_model.h"
+
+namespace mhca {
+
+std::vector<double> ChannelModel::mean_matrix(std::int64_t t) const {
+  const int n = num_nodes();
+  const int m = num_channels();
+  std::vector<double> out(static_cast<std::size_t>(n) *
+                          static_cast<std::size_t>(m));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < m; ++j)
+      out[static_cast<std::size_t>(i * m + j)] = mean(i, j, t);
+  return out;
+}
+
+}  // namespace mhca

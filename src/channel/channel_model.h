@@ -1,0 +1,43 @@
+// Channel quality processes ξ_{i,j}(t) (paper §II).
+//
+// Each (node i, channel j) pair has an i.i.d. process with unknown mean
+// µ_{i,j} ∈ [0, 1]. Sampling is *stateless*: the realization at slot t is a
+// pure function of (seed, node, channel, t). This guarantees that the
+// lockstep simulator and the message-level protocol runtime — and any two
+// policies compared on the same seed — observe identical channel draws.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/rates.h"
+
+namespace mhca {
+
+/// Abstract per-(node, channel) reward process, normalized to [0, 1].
+class ChannelModel {
+ public:
+  virtual ~ChannelModel() = default;
+
+  virtual int num_nodes() const = 0;
+  virtual int num_channels() const = 0;
+
+  /// Expected reward of (node, channel) at slot t, in [0, 1]. For i.i.d.
+  /// models this is independent of t; time-varying (adversarial) models may
+  /// depend on it.
+  virtual double mean(int node, int channel, std::int64_t t = 1) const = 0;
+
+  /// Realized reward at slot t, in [0, 1]. Deterministic given the model.
+  virtual double sample(int node, int channel, std::int64_t t) const = 0;
+
+  /// kbps represented by reward 1.0 (for reporting in paper units).
+  virtual double rate_scale_kbps() const { return kRateScaleKbps; }
+
+  /// True when mean() is time-invariant (i.i.d. models).
+  virtual bool is_stationary() const { return true; }
+
+  /// Matrix of means at slot t, indexed by vertex id node*M + channel.
+  std::vector<double> mean_matrix(std::int64_t t = 1) const;
+};
+
+}  // namespace mhca

@@ -1,0 +1,80 @@
+#include "channel/gaussian.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.h"
+#include "util/hash.h"
+
+namespace mhca {
+namespace {
+
+/// Standard-normal deviate from a 64-bit hash via Box–Muller (one branch of
+/// the pair is enough; the two uniforms come from remixing the hash).
+double hashed_gaussian(std::uint64_t h) {
+  const double u1 = std::max(hash_to_unit(splitmix64(h)), 1e-12);
+  const double u2 = hash_to_unit(splitmix64(h ^ 0xdeadbeefcafef00dULL));
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace
+
+GaussianChannelModel::GaussianChannelModel(int num_nodes, int num_channels,
+                                           Rng& rng, double std_frac)
+    : num_nodes_(num_nodes),
+      num_channels_(num_channels),
+      std_frac_(std_frac),
+      noise_seed_(rng.engine()()) {
+  MHCA_ASSERT(num_nodes >= 1 && num_channels >= 1, "empty channel model");
+  MHCA_ASSERT(std_frac >= 0.0, "negative std fraction");
+  mean_kbps_.resize(static_cast<std::size_t>(num_nodes) *
+                    static_cast<std::size_t>(num_channels));
+  for (auto& m : mean_kbps_) {
+    const int cls = rng.uniform_int(0, static_cast<int>(kDataRatesKbps.size()) - 1);
+    m = kDataRatesKbps[static_cast<std::size_t>(cls)];
+  }
+}
+
+GaussianChannelModel::GaussianChannelModel(int num_nodes, int num_channels,
+                                           std::vector<double> mean_rates_kbps,
+                                           double std_frac,
+                                           std::uint64_t noise_seed)
+    : num_nodes_(num_nodes),
+      num_channels_(num_channels),
+      mean_kbps_(std::move(mean_rates_kbps)),
+      std_frac_(std_frac),
+      noise_seed_(noise_seed) {
+  MHCA_ASSERT(static_cast<int>(mean_kbps_.size()) == num_nodes * num_channels,
+              "mean matrix size mismatch");
+}
+
+std::size_t GaussianChannelModel::index(int node, int channel) const {
+  MHCA_ASSERT(node >= 0 && node < num_nodes_, "node out of range");
+  MHCA_ASSERT(channel >= 0 && channel < num_channels_, "channel out of range");
+  return static_cast<std::size_t>(node) * static_cast<std::size_t>(num_channels_) +
+         static_cast<std::size_t>(channel);
+}
+
+double GaussianChannelModel::mean_rate_kbps(int node, int channel) const {
+  return mean_kbps_[index(node, channel)];
+}
+
+double GaussianChannelModel::mean(int node, int channel,
+                                  std::int64_t /*t*/) const {
+  return mean_kbps_[index(node, channel)] / kRateScaleKbps;
+}
+
+double GaussianChannelModel::sample(int node, int channel,
+                                    std::int64_t t) const {
+  const double mu = mean_kbps_[index(node, channel)];
+  const std::uint64_t h = hash_combine(
+      noise_seed_,
+      hash_combine(static_cast<std::uint64_t>(index(node, channel)),
+                   static_cast<std::uint64_t>(t)));
+  const double raw = mu + std_frac_ * mu * hashed_gaussian(h);
+  return std::clamp(raw / kRateScaleKbps, 0.0, 1.0);
+}
+
+}  // namespace mhca

@@ -1,0 +1,44 @@
+// Gaussian i.i.d. channel model (paper §V: "each channel evolves as a
+// distinct i.i.d. Gaussian stochastic process over time").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/channel_model.h"
+#include "util/rng.h"
+
+namespace mhca {
+
+/// Each (node, channel) pair draws one of the eight paper rate classes as
+/// its mean; realizations are Gaussian around it (std = std_frac * mean),
+/// clamped to [0, 1] after normalization by kRateScaleKbps.
+class GaussianChannelModel : public ChannelModel {
+ public:
+  /// Randomly assign rate classes using `rng`.
+  GaussianChannelModel(int num_nodes, int num_channels, Rng& rng,
+                       double std_frac = 0.1);
+
+  /// Explicit mean rates in kbps (row-major node x channel).
+  GaussianChannelModel(int num_nodes, int num_channels,
+                       std::vector<double> mean_rates_kbps, double std_frac,
+                       std::uint64_t noise_seed);
+
+  int num_nodes() const override { return num_nodes_; }
+  int num_channels() const override { return num_channels_; }
+  double mean(int node, int channel, std::int64_t t) const override;
+  double sample(int node, int channel, std::int64_t t) const override;
+
+  double mean_rate_kbps(int node, int channel) const;
+
+ private:
+  std::size_t index(int node, int channel) const;
+
+  int num_nodes_;
+  int num_channels_;
+  std::vector<double> mean_kbps_;
+  double std_frac_;
+  std::uint64_t noise_seed_;
+};
+
+}  // namespace mhca

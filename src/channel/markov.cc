@@ -1,0 +1,94 @@
+#include "channel/markov.h"
+
+#include "util/assert.h"
+#include "util/hash.h"
+
+namespace mhca {
+
+GilbertElliottChannelModel::GilbertElliottChannelModel(
+    int num_nodes, int num_channels, Rng& rng, double bad_fraction,
+    double p_transition_lo, double p_transition_hi)
+    : num_nodes_(num_nodes),
+      num_channels_(num_channels),
+      seed_(rng.engine()()) {
+  MHCA_ASSERT(num_nodes >= 1 && num_channels >= 1, "empty channel model");
+  MHCA_ASSERT(bad_fraction >= 0.0 && bad_fraction <= 1.0,
+              "bad fraction out of range");
+  MHCA_ASSERT(0.0 < p_transition_lo && p_transition_lo <= p_transition_hi &&
+                  p_transition_hi <= 1.0,
+              "invalid transition probability range");
+  const std::size_t k = static_cast<std::size_t>(num_nodes) *
+                        static_cast<std::size_t>(num_channels);
+  good_rate_.resize(k);
+  bad_rate_.resize(k);
+  p_gb_.resize(k);
+  p_bg_.resize(k);
+  states_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const int cls =
+        rng.uniform_int(0, static_cast<int>(kDataRatesKbps.size()) - 1);
+    good_rate_[i] = kDataRatesKbps[static_cast<std::size_t>(cls)] / kRateScaleKbps;
+    bad_rate_[i] = bad_fraction * good_rate_[i];
+    p_gb_[i] = rng.uniform(p_transition_lo, p_transition_hi);
+    p_bg_[i] = rng.uniform(p_transition_lo, p_transition_hi);
+  }
+}
+
+std::size_t GilbertElliottChannelModel::index(int node, int channel) const {
+  MHCA_ASSERT(node >= 0 && node < num_nodes_, "node out of range");
+  MHCA_ASSERT(channel >= 0 && channel < num_channels_, "channel out of range");
+  return static_cast<std::size_t>(node) * static_cast<std::size_t>(num_channels_) +
+         static_cast<std::size_t>(channel);
+}
+
+double GilbertElliottChannelModel::stationary_good(int node,
+                                                   int channel) const {
+  const std::size_t i = index(node, channel);
+  return p_bg_[i] / (p_gb_[i] + p_bg_[i]);
+}
+
+void GilbertElliottChannelModel::extend_states(std::size_t i,
+                                               std::int64_t t) const {
+  auto& seq = states_[i];
+  if (seq.empty()) {
+    // Initialize from the stationary distribution at slot 0.
+    const double pi_good = p_bg_[i] / (p_gb_[i] + p_bg_[i]);
+    const double u =
+        hash_to_unit(splitmix64(hash_combine(seed_, static_cast<std::uint64_t>(i))));
+    seq.push_back(u < pi_good ? 1 : 0);
+  }
+  while (static_cast<std::int64_t>(seq.size()) <= t) {
+    const std::int64_t step = static_cast<std::int64_t>(seq.size());
+    const std::uint64_t h = hash_combine(
+        seed_ ^ 0x5bd1e995u,
+        hash_combine(static_cast<std::uint64_t>(i),
+                     static_cast<std::uint64_t>(step)));
+    const double u = hash_to_unit(splitmix64(h));
+    const bool was_good = seq.back() != 0;
+    const bool now_good = was_good ? (u >= p_gb_[i]) : (u < p_bg_[i]);
+    seq.push_back(now_good ? 1 : 0);
+  }
+}
+
+bool GilbertElliottChannelModel::in_good_state(int node, int channel,
+                                               std::int64_t t) const {
+  MHCA_ASSERT(t >= 0, "negative slot");
+  const std::size_t i = index(node, channel);
+  extend_states(i, t);
+  return states_[i][static_cast<std::size_t>(t)] != 0;
+}
+
+double GilbertElliottChannelModel::mean(int node, int channel,
+                                        std::int64_t /*t*/) const {
+  const std::size_t i = index(node, channel);
+  const double pi_good = p_bg_[i] / (p_gb_[i] + p_bg_[i]);
+  return pi_good * good_rate_[i] + (1.0 - pi_good) * bad_rate_[i];
+}
+
+double GilbertElliottChannelModel::sample(int node, int channel,
+                                          std::int64_t t) const {
+  const std::size_t i = index(node, channel);
+  return in_good_state(node, channel, t) ? good_rate_[i] : bad_rate_[i];
+}
+
+}  // namespace mhca

@@ -1,0 +1,60 @@
+// Gilbert–Elliott two-state Markov channel model.
+//
+// The classic cognitive-radio channel abstraction (cf. the paper's related
+// work [21][22]: channels evolving as good/bad Markov processes): each
+// (node, channel) pair has a hidden state chain
+//     good -> bad  with prob p_gb,    bad -> good with prob p_bg,
+// and emits its good-rate or bad-rate accordingly. The chain is initialized
+// from its stationary distribution, so the *marginal* mean is
+// time-invariant even though samples are correlated across slots — a
+// deliberate stress test of the paper's i.i.d. assumption.
+//
+// State sequences are derived deterministically from the seed and cached
+// lazily per pair, so sampling remains reproducible across runtimes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/channel_model.h"
+#include "util/rng.h"
+
+namespace mhca {
+
+class GilbertElliottChannelModel : public ChannelModel {
+ public:
+  /// Random construction: good rates from the paper's rate classes, bad
+  /// rate = fraction of the good rate, transition probabilities uniform in
+  /// the given ranges.
+  GilbertElliottChannelModel(int num_nodes, int num_channels, Rng& rng,
+                             double bad_fraction = 0.2,
+                             double p_transition_lo = 0.05,
+                             double p_transition_hi = 0.3);
+
+  int num_nodes() const override { return num_nodes_; }
+  int num_channels() const override { return num_channels_; }
+  /// Marginal (stationary) mean — time-invariant by construction.
+  double mean(int node, int channel, std::int64_t t) const override;
+  double sample(int node, int channel, std::int64_t t) const override;
+
+  /// Stationary probability of the good state for a pair.
+  double stationary_good(int node, int channel) const;
+  /// The hidden state at slot t (exposed for tests).
+  bool in_good_state(int node, int channel, std::int64_t t) const;
+
+ private:
+  std::size_t index(int node, int channel) const;
+  void extend_states(std::size_t i, std::int64_t t) const;
+
+  int num_nodes_;
+  int num_channels_;
+  std::vector<double> good_rate_;  ///< normalized
+  std::vector<double> bad_rate_;   ///< normalized
+  std::vector<double> p_gb_;
+  std::vector<double> p_bg_;
+  std::uint64_t seed_;
+  /// Lazily grown state sequences; states_[i][t] = 1 iff good at slot t.
+  mutable std::vector<std::vector<std::uint8_t>> states_;
+};
+
+}  // namespace mhca

@@ -1,0 +1,43 @@
+#include "channel/primary_user.h"
+
+#include "util/assert.h"
+#include "util/hash.h"
+
+namespace mhca {
+
+PrimaryUserChannelModel::PrimaryUserChannelModel(
+    std::shared_ptr<const ChannelModel> base, std::vector<double> busy_prob,
+    std::uint64_t mask_seed)
+    : base_(std::move(base)),
+      busy_prob_(std::move(busy_prob)),
+      mask_seed_(mask_seed) {
+  MHCA_ASSERT(base_ != nullptr, "null base model");
+  MHCA_ASSERT(static_cast<int>(busy_prob_.size()) == base_->num_channels(),
+              "one busy probability per channel required");
+  for (double p : busy_prob_)
+    MHCA_ASSERT(p >= 0.0 && p <= 1.0, "busy probability out of range");
+}
+
+bool PrimaryUserChannelModel::primary_active(int channel,
+                                             std::int64_t t) const {
+  MHCA_ASSERT(channel >= 0 && channel < num_channels(), "channel out of range");
+  const std::uint64_t h =
+      hash_combine(mask_seed_, hash_combine(static_cast<std::uint64_t>(channel),
+                                            static_cast<std::uint64_t>(t)));
+  return hash_to_unit(splitmix64(h)) <
+         busy_prob_[static_cast<std::size_t>(channel)];
+}
+
+double PrimaryUserChannelModel::mean(int node, int channel,
+                                     std::int64_t t) const {
+  return base_->mean(node, channel, t) *
+         (1.0 - busy_prob_[static_cast<std::size_t>(channel)]);
+}
+
+double PrimaryUserChannelModel::sample(int node, int channel,
+                                       std::int64_t t) const {
+  if (primary_active(channel, t)) return 0.0;
+  return base_->sample(node, channel, t);
+}
+
+}  // namespace mhca

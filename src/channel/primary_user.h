@@ -1,0 +1,42 @@
+// Primary-user activity decorator.
+//
+// Cognitive radios may only transmit when the primary (licensed) user is
+// idle. This decorator multiplies any base reward process by an on/off
+// primary-activity mask per channel. The paper's evaluation does not model
+// primaries explicitly (its rates already encode opportunistic quality);
+// this is provided as a failure-injection / extension mechanism.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "channel/channel_model.h"
+
+namespace mhca {
+
+/// Wraps a base model; channel j is blocked (reward 0) at slot t with
+/// probability busy[j], independently across slots and channels but shared
+/// across nodes (the primary occupies the spectrum region-wide).
+class PrimaryUserChannelModel : public ChannelModel {
+ public:
+  PrimaryUserChannelModel(std::shared_ptr<const ChannelModel> base,
+                          std::vector<double> busy_prob,
+                          std::uint64_t mask_seed);
+
+  int num_nodes() const override { return base_->num_nodes(); }
+  int num_channels() const override { return base_->num_channels(); }
+  double mean(int node, int channel, std::int64_t t) const override;
+  double sample(int node, int channel, std::int64_t t) const override;
+  double rate_scale_kbps() const override { return base_->rate_scale_kbps(); }
+
+  /// True iff the primary on channel `channel` is transmitting at slot t.
+  bool primary_active(int channel, std::int64_t t) const;
+
+ private:
+  std::shared_ptr<const ChannelModel> base_;
+  std::vector<double> busy_prob_;
+  std::uint64_t mask_seed_;
+};
+
+}  // namespace mhca

@@ -1,0 +1,19 @@
+// The eight channel data-rate classes used throughout the paper's
+// evaluation (§V): 150..1350 kbps, taken from the cognitive-radio system
+// of Li et al. (INFOCOM 2012).
+#pragma once
+
+#include <array>
+
+namespace mhca {
+
+/// Paper §V channel data rates, in kbps.
+inline constexpr std::array<double, 8> kDataRatesKbps = {
+    150.0, 225.0, 300.0, 450.0, 600.0, 900.0, 1200.0, 1350.0};
+
+/// Normalization constant mapping kbps to the [0, 1] reward range the
+/// bandit analysis assumes (µ ∈ [0,1]); chosen > max rate so Gaussian
+/// fluctuation rarely clips at 1.
+inline constexpr double kRateScaleKbps = 1500.0;
+
+}  // namespace mhca

@@ -1,0 +1,64 @@
+#include "channel/trace.h"
+
+#include "util/assert.h"
+
+namespace mhca {
+
+TraceChannelModel::TraceChannelModel(int num_nodes, int num_channels,
+                                     std::vector<std::vector<double>> trace)
+    : num_nodes_(num_nodes),
+      num_channels_(num_channels),
+      trace_(std::move(trace)) {
+  MHCA_ASSERT(num_nodes >= 1 && num_channels >= 1, "empty channel model");
+  MHCA_ASSERT(!trace_.empty(), "empty trace");
+  const std::size_t k = static_cast<std::size_t>(num_nodes) *
+                        static_cast<std::size_t>(num_channels);
+  empirical_mean_.assign(k, 0.0);
+  for (const auto& row : trace_) {
+    MHCA_ASSERT(row.size() == k, "ragged trace row");
+    for (std::size_t i = 0; i < k; ++i) {
+      MHCA_ASSERT(row[i] >= 0.0 && row[i] <= 1.0,
+                  "trace rate out of [0,1]; normalize by kRateScaleKbps");
+      empirical_mean_[i] += row[i];
+    }
+  }
+  for (auto& m : empirical_mean_) m /= static_cast<double>(trace_.size());
+}
+
+std::size_t TraceChannelModel::index(int node, int channel) const {
+  MHCA_ASSERT(node >= 0 && node < num_nodes_, "node out of range");
+  MHCA_ASSERT(channel >= 0 && channel < num_channels_, "channel out of range");
+  return static_cast<std::size_t>(node) * static_cast<std::size_t>(num_channels_) +
+         static_cast<std::size_t>(channel);
+}
+
+double TraceChannelModel::mean(int node, int channel,
+                               std::int64_t /*t*/) const {
+  return empirical_mean_[index(node, channel)];
+}
+
+double TraceChannelModel::sample(int node, int channel, std::int64_t t) const {
+  MHCA_ASSERT(t >= 1, "slots are 1-based");
+  const std::size_t row =
+      static_cast<std::size_t>((t - 1) % static_cast<std::int64_t>(trace_.size()));
+  return trace_[row][index(node, channel)];
+}
+
+TraceChannelModel record_trace(const ChannelModel& model, std::int64_t slots) {
+  MHCA_ASSERT(slots >= 1, "need at least one slot");
+  const int n = model.num_nodes();
+  const int m = model.num_channels();
+  std::vector<std::vector<double>> trace;
+  trace.reserve(static_cast<std::size_t>(slots));
+  for (std::int64_t t = 1; t <= slots; ++t) {
+    std::vector<double> row(static_cast<std::size_t>(n) *
+                            static_cast<std::size_t>(m));
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < m; ++j)
+        row[static_cast<std::size_t>(i * m + j)] = model.sample(i, j, t);
+    trace.push_back(std::move(row));
+  }
+  return TraceChannelModel(n, m, std::move(trace));
+}
+
+}  // namespace mhca

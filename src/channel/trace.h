@@ -1,0 +1,47 @@
+// Trace-replay channel model.
+//
+// The paper's evaluation uses synthetic processes; real deployments replay
+// measured spectrum traces. This model serves both: wrap an explicit
+// T x (N*M) rate matrix (e.g. parsed from a measurement file) and replay it
+// slot by slot, wrapping around at the end. `record_trace` snapshots any
+// other ChannelModel into a trace — the synthetic-substitution path when a
+// proprietary trace is unavailable (DESIGN.md §3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/channel_model.h"
+
+namespace mhca {
+
+class TraceChannelModel : public ChannelModel {
+ public:
+  /// `trace[t][node*M + channel]` = normalized rate at slot t (t >= 1 maps
+  /// to row (t-1) % T). The trace must be non-empty and rectangular.
+  TraceChannelModel(int num_nodes, int num_channels,
+                    std::vector<std::vector<double>> trace);
+
+  int num_nodes() const override { return num_nodes_; }
+  int num_channels() const override { return num_channels_; }
+  /// Empirical per-pair mean over the whole trace.
+  double mean(int node, int channel, std::int64_t t) const override;
+  double sample(int node, int channel, std::int64_t t) const override;
+
+  std::int64_t trace_length() const {
+    return static_cast<std::int64_t>(trace_.size());
+  }
+
+ private:
+  std::size_t index(int node, int channel) const;
+
+  int num_nodes_;
+  int num_channels_;
+  std::vector<std::vector<double>> trace_;
+  std::vector<double> empirical_mean_;
+};
+
+/// Record `slots` slots of `model` (slots 1..slots) into a replayable trace.
+TraceChannelModel record_trace(const ChannelModel& model, std::int64_t slots);
+
+}  // namespace mhca

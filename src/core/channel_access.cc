@@ -1,0 +1,107 @@
+#include "core/channel_access.h"
+
+#include "mwis/branch_and_bound.h"
+#include "mwis/greedy.h"
+#include "mwis/robust_ptas.h"
+#include "util/assert.h"
+
+namespace mhca {
+namespace {
+
+DistributedPtasConfig engine_config(const ChannelAccessConfig& cfg) {
+  DistributedPtasConfig d;
+  d.r = cfg.r;
+  d.max_mini_rounds = cfg.D;
+  d.local_solver = cfg.local_solver;
+  d.bnb_node_cap = cfg.bnb_node_cap;
+  d.count_messages = cfg.count_messages;
+  return d;
+}
+
+std::unique_ptr<IndexPolicy> build_policy(const ChannelAccessConfig& cfg,
+                                          int num_nodes) {
+  PolicyParams params = cfg.policy_params;
+  if (cfg.policy == PolicyKind::kLlr && params.llr_max_strategy_len <= 1)
+    params.llr_max_strategy_len = num_nodes;
+  return make_policy(cfg.policy, params);
+}
+
+}  // namespace
+
+ChannelAccessScheme::ChannelAccessScheme(ConflictGraph network,
+                                         ChannelAccessConfig cfg)
+    : network_(std::move(network)),
+      cfg_(cfg),
+      ecg_(network_, cfg.num_channels),
+      policy_(build_policy(cfg, network_.num_nodes())),
+      est_(ecg_.num_vertices()),
+      engine_(ecg_.graph(), engine_config(cfg)),
+      rng_(cfg.seed) {
+  switch (cfg_.solver) {
+    case SolverKind::kDistributedPtas:
+      break;
+    case SolverKind::kCentralizedPtas:
+      central_ = std::make_unique<RobustPtasSolver>(cfg_.ptas_epsilon, 4,
+                                                    cfg_.bnb_node_cap);
+      break;
+    case SolverKind::kGreedy:
+      central_ = std::make_unique<GreedyMwisSolver>();
+      break;
+    case SolverKind::kExact:
+      central_ = std::make_unique<BranchAndBoundMwisSolver>(cfg_.bnb_node_cap);
+      break;
+  }
+  current_.channel_of_node.assign(
+      static_cast<std::size_t>(network_.num_nodes()), Strategy::kNoChannel);
+}
+
+const Strategy& ChannelAccessScheme::decide() {
+  ++t_;
+  if (policy_->randomize_round(t_, rng_)) {
+    weights_.resize(static_cast<std::size_t>(ecg_.num_vertices()));
+    for (auto& w : weights_) w = rng_.uniform();
+  } else {
+    policy_->compute_indices(est_, t_, weights_);
+  }
+  if (cfg_.solver == SolverKind::kDistributedPtas) {
+    current_vertices_ = engine_.run(weights_).winners;
+  } else {
+    current_vertices_ = central_->solve_all(ecg_.graph(), weights_).vertices;
+  }
+  current_ = ecg_.to_strategy(current_vertices_);
+  return current_;
+}
+
+void ChannelAccessScheme::report(int node, double reward) {
+  MHCA_ASSERT(node >= 0 && node < network_.num_nodes(), "node out of range");
+  MHCA_ASSERT(t_ >= 1, "report before the first decide()");
+  const int chan = current_.channel_of_node[static_cast<std::size_t>(node)];
+  MHCA_ASSERT(chan != Strategy::kNoChannel,
+              "node did not transmit in the current strategy");
+  est_.observe(ecg_.vertex_of(node, chan), reward);
+}
+
+SimulationConfig ChannelAccessScheme::to_sim_config(std::int64_t slots) const {
+  SimulationConfig s;
+  s.slots = slots;
+  s.update_period = cfg_.update_period;
+  s.solver = cfg_.solver;
+  s.r = cfg_.r;
+  s.D = cfg_.D;
+  s.local_solver = cfg_.local_solver;
+  s.bnb_node_cap = cfg_.bnb_node_cap;
+  s.ptas_epsilon = cfg_.ptas_epsilon;
+  s.timing = cfg_.timing;
+  s.seed = cfg_.seed;
+  s.count_messages = cfg_.count_messages;
+  s.series_stride = cfg_.series_stride;
+  return s;
+}
+
+SimulationResult ChannelAccessScheme::run(const ChannelModel& model,
+                                          std::int64_t slots) const {
+  Simulator sim(ecg_, model, *policy_, to_sim_config(slots));
+  return sim.run();
+}
+
+}  // namespace mhca

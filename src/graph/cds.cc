@@ -1,0 +1,157 @@
+#include "graph/cds.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.h"
+
+namespace mhca {
+
+bool is_dominating_set(const Graph& g, const std::vector<int>& ds) {
+  std::vector<char> covered(static_cast<std::size_t>(g.size()), 0);
+  for (int v : ds) {
+    MHCA_ASSERT(v >= 0 && v < g.size(), "vertex out of range");
+    covered[static_cast<std::size_t>(v)] = 1;
+    for (int u : g.neighbors(v)) covered[static_cast<std::size_t>(u)] = 1;
+  }
+  for (char c : covered)
+    if (!c) return false;
+  return true;
+}
+
+bool induces_connected_subgraph(const Graph& g, const std::vector<int>& vs) {
+  if (vs.size() <= 1) return true;
+  std::vector<char> member(static_cast<std::size_t>(g.size()), 0);
+  for (int v : vs) member[static_cast<std::size_t>(v)] = 1;
+  std::vector<char> seen(static_cast<std::size_t>(g.size()), 0);
+  std::queue<int> q;
+  q.push(vs[0]);
+  seen[static_cast<std::size_t>(vs[0])] = 1;
+  std::size_t reached = 1;
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (int u : g.neighbors(v)) {
+      auto ui = static_cast<std::size_t>(u);
+      if (member[ui] && !seen[ui]) {
+        seen[ui] = 1;
+        ++reached;
+        q.push(u);
+      }
+    }
+  }
+  return reached == vs.size();
+}
+
+std::vector<int> greedy_mis(const Graph& g) {
+  std::vector<char> blocked(static_cast<std::size_t>(g.size()), 0);
+  std::vector<int> mis;
+  for (int v = 0; v < g.size(); ++v) {
+    if (blocked[static_cast<std::size_t>(v)]) continue;
+    mis.push_back(v);
+    blocked[static_cast<std::size_t>(v)] = 1;
+    for (int u : g.neighbors(v)) blocked[static_cast<std::size_t>(u)] = 1;
+  }
+  return mis;
+}
+
+std::vector<int> simple_connected_dominating_set(const Graph& g) {
+  MHCA_ASSERT(g.is_connected(), "CDS construction requires a connected graph");
+  if (g.size() == 0) return {};
+  const std::vector<int> mis = greedy_mis(g);
+
+  // BFS tree from the first dominator.
+  const int root = mis.front();
+  std::vector<int> parent(static_cast<std::size_t>(g.size()), -1);
+  std::vector<char> seen(static_cast<std::size_t>(g.size()), 0);
+  std::queue<int> q;
+  q.push(root);
+  seen[static_cast<std::size_t>(root)] = 1;
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (int u : g.neighbors(v)) {
+      auto ui = static_cast<std::size_t>(u);
+      if (!seen[ui]) {
+        seen[ui] = 1;
+        parent[ui] = v;
+        q.push(u);
+      }
+    }
+  }
+
+  // Backbone = dominators + their parent chains into the backbone.
+  std::vector<char> in_cds(static_cast<std::size_t>(g.size()), 0);
+  in_cds[static_cast<std::size_t>(root)] = 1;
+  for (int v : mis) {
+    int x = v;
+    while (x != -1 && !in_cds[static_cast<std::size_t>(x)]) {
+      in_cds[static_cast<std::size_t>(x)] = 1;
+      x = parent[static_cast<std::size_t>(x)];
+    }
+  }
+  std::vector<int> cds;
+  for (int v = 0; v < g.size(); ++v)
+    if (in_cds[static_cast<std::size_t>(v)]) cds.push_back(v);
+  return cds;
+}
+
+int pipelined_broadcast_timeslots(const Graph& g, const std::vector<int>& cds,
+                                  int origin, int ttl) {
+  MHCA_ASSERT(origin >= 0 && origin < g.size(), "origin out of range");
+  MHCA_ASSERT(ttl >= 0, "negative ttl");
+  // BFS where only CDS members (and the origin) relay; leaves may receive
+  // but not forward. Returns the number of hops needed to cover everything
+  // a plain ttl-flood covers, or ttl if equal.
+  std::vector<char> relay(static_cast<std::size_t>(g.size()), 0);
+  for (int v : cds) relay[static_cast<std::size_t>(v)] = 1;
+  relay[static_cast<std::size_t>(origin)] = 1;
+
+  std::vector<int> plain_dist(static_cast<std::size_t>(g.size()), -1);
+  std::vector<int> cds_dist(static_cast<std::size_t>(g.size()), -1);
+  // Plain BFS for the coverage target.
+  {
+    std::queue<int> q;
+    q.push(origin);
+    plain_dist[static_cast<std::size_t>(origin)] = 0;
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      const int d = plain_dist[static_cast<std::size_t>(v)];
+      if (d == ttl) continue;
+      for (int u : g.neighbors(v))
+        if (plain_dist[static_cast<std::size_t>(u)] < 0) {
+          plain_dist[static_cast<std::size_t>(u)] = d + 1;
+          q.push(u);
+        }
+    }
+  }
+  // Restricted BFS: only relays expand.
+  {
+    std::queue<int> q;
+    q.push(origin);
+    cds_dist[static_cast<std::size_t>(origin)] = 0;
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      if (!relay[static_cast<std::size_t>(v)]) continue;
+      for (int u : g.neighbors(v))
+        if (cds_dist[static_cast<std::size_t>(u)] < 0) {
+          cds_dist[static_cast<std::size_t>(u)] =
+              cds_dist[static_cast<std::size_t>(v)] + 1;
+          q.push(u);
+        }
+    }
+  }
+  int slots = 0;
+  for (int v = 0; v < g.size(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (plain_dist[vi] < 0 || plain_dist[vi] > ttl) continue;
+    MHCA_ASSERT(cds_dist[vi] >= 0,
+                "CDS-restricted flood failed to cover a target vertex");
+    slots = std::max(slots, cds_dist[vi]);
+  }
+  return slots;
+}
+
+}  // namespace mhca

@@ -1,0 +1,43 @@
+// Connected dominating set (CDS) backbone.
+//
+// Paper §IV-C: naive sequential weight broadcast in a (2r+1)-hop
+// neighborhood costs O((2r+1)^3) mini-timeslots; pipelining the broadcast
+// over a connected-dominating-set backbone (refs [18]-[20]) reduces it to
+// O((2r+1)^2). This module provides the backbone construction plus the
+// predicates needed to verify it, and a pipelined-broadcast timeslot
+// estimator used for comparison.
+//
+// The construction is correctness-first (MIS dominators + shortest-path
+// connectors), not size-optimal; see `simple_connected_dominating_set`.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mhca {
+
+/// Every vertex is in `ds` or adjacent to a member of `ds`.
+bool is_dominating_set(const Graph& g, const std::vector<int>& ds);
+
+/// The subgraph induced by `vs` is connected (empty/singleton: true).
+bool induces_connected_subgraph(const Graph& g, const std::vector<int>& vs);
+
+/// Greedy maximal independent set in ascending-id order (dominators).
+std::vector<int> greedy_mis(const Graph& g);
+
+/// Build a connected dominating set of a *connected* graph: greedy-MIS
+/// dominators plus BFS-tree connectors (walk each dominator's parent chain
+/// into the growing backbone). Returns a sorted vertex list that satisfies
+/// both predicates above. Asserts if g is not connected.
+std::vector<int> simple_connected_dominating_set(const Graph& g);
+
+/// Mini-timeslots to flood one message from `origin` to every vertex within
+/// `ttl` hops when relays are restricted to the CDS backbone and
+/// transmissions pipeline one hop per timeslot: the eccentricity of the
+/// restricted flood (or ttl if the plain flood is faster). This is the
+/// quantity the paper's O((2r+1)^2) WB argument bounds.
+int pipelined_broadcast_timeslots(const Graph& g, const std::vector<int>& cds,
+                                  int origin, int ttl);
+
+}  // namespace mhca

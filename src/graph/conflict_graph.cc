@@ -1,0 +1,32 @@
+#include "graph/conflict_graph.h"
+
+#include "util/assert.h"
+
+namespace mhca {
+
+ConflictGraph ConflictGraph::from_positions(std::vector<Point> positions,
+                                            double radius) {
+  MHCA_ASSERT(radius > 0.0, "conflict radius must be positive");
+  ConflictGraph cg;
+  const int n = static_cast<int>(positions.size());
+  cg.graph_ = Graph(n);
+  cg.positions_ = std::move(positions);
+  cg.radius_ = radius;
+  const double r2 = radius * radius;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (squared_distance(cg.positions_[static_cast<std::size_t>(i)],
+                           cg.positions_[static_cast<std::size_t>(j)]) <= r2)
+        cg.graph_.add_edge(i, j);
+  return cg;
+}
+
+ConflictGraph ConflictGraph::from_edges(
+    int num_nodes, const std::vector<std::pair<int, int>>& edges) {
+  ConflictGraph cg;
+  cg.graph_ = Graph(num_nodes);
+  for (const auto& [u, v] : edges) cg.graph_.add_edge(u, v);
+  return cg;
+}
+
+}  // namespace mhca

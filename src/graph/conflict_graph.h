@@ -1,0 +1,44 @@
+// Conflict graph G = (V, E) over secondary users (paper §II).
+//
+// Conflicts are modeled with unit disks: nodes u, v conflict (edge) when
+// their disks intersect, i.e. Euclidean distance <= conflict radius.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "graph/geometry.h"
+#include "graph/graph.h"
+
+namespace mhca {
+
+/// The users' conflict graph, optionally carrying node positions.
+///
+/// Positions are only needed by the unit-disk construction; all algorithms
+/// in the library (notably the robust PTAS, which is location-free — a key
+/// selling point of the paper) use only the adjacency structure.
+class ConflictGraph {
+ public:
+  /// Unit-disk construction: edge iff distance(u, v) <= radius.
+  static ConflictGraph from_positions(std::vector<Point> positions,
+                                      double radius);
+
+  /// Explicit topology (no geometry).
+  static ConflictGraph from_edges(int num_nodes,
+                                  const std::vector<std::pair<int, int>>& edges);
+
+  int num_nodes() const { return graph_.size(); }
+  const Graph& graph() const { return graph_; }
+
+  bool has_positions() const { return !positions_.empty(); }
+  const std::vector<Point>& positions() const { return positions_; }
+  double radius() const { return radius_; }
+
+ private:
+  Graph graph_;
+  std::vector<Point> positions_;
+  double radius_ = 0.0;
+};
+
+}  // namespace mhca

@@ -1,0 +1,74 @@
+#include "graph/extended_graph.h"
+
+#include "util/assert.h"
+
+namespace mhca {
+
+ExtendedConflictGraph::ExtendedConflictGraph(const ConflictGraph& conflicts,
+                                             int num_channels)
+    : num_nodes_(conflicts.num_nodes()), num_channels_(num_channels) {
+  MHCA_ASSERT(num_channels >= 1, "need at least one channel");
+  graph_ = Graph(num_nodes_ * num_channels_);
+  // Per-master cliques: a node uses at most one channel at a time.
+  for (int i = 0; i < num_nodes_; ++i)
+    for (int j = 0; j < num_channels_; ++j)
+      for (int k = j + 1; k < num_channels_; ++k)
+        graph_.add_edge(vertex_of(i, j), vertex_of(i, k));
+  // Same-channel conflicts inherit edges of G.
+  const Graph& g = conflicts.graph();
+  for (int i = 0; i < num_nodes_; ++i)
+    for (int p : g.neighbors(i))
+      if (p > i)
+        for (int j = 0; j < num_channels_; ++j)
+          graph_.add_edge(vertex_of(i, j), vertex_of(p, j));
+}
+
+int ExtendedConflictGraph::vertex_of(int node, int channel) const {
+  MHCA_ASSERT(node >= 0 && node < num_nodes_, "node out of range");
+  MHCA_ASSERT(channel >= 0 && channel < num_channels_, "channel out of range");
+  return node * num_channels_ + channel;
+}
+
+int ExtendedConflictGraph::master_of(int vertex) const {
+  MHCA_ASSERT(vertex >= 0 && vertex < num_vertices(), "vertex out of range");
+  return vertex / num_channels_;
+}
+
+int ExtendedConflictGraph::channel_of(int vertex) const {
+  MHCA_ASSERT(vertex >= 0 && vertex < num_vertices(), "vertex out of range");
+  return vertex % num_channels_;
+}
+
+Strategy ExtendedConflictGraph::to_strategy(
+    std::span<const int> vertices) const {
+  Strategy s;
+  s.channel_of_node.assign(static_cast<std::size_t>(num_nodes_),
+                           Strategy::kNoChannel);
+  for (int v : vertices) {
+    const int node = master_of(v);
+    MHCA_ASSERT(s.channel_of_node[static_cast<std::size_t>(node)] ==
+                    Strategy::kNoChannel,
+                "two virtual vertices of the same node selected");
+    s.channel_of_node[static_cast<std::size_t>(node)] = channel_of(v);
+  }
+  return s;
+}
+
+std::vector<int> ExtendedConflictGraph::to_vertices(const Strategy& s) const {
+  MHCA_ASSERT(static_cast<int>(s.channel_of_node.size()) == num_nodes_,
+              "strategy length mismatch");
+  std::vector<int> out;
+  for (int i = 0; i < num_nodes_; ++i) {
+    const int c = s.channel_of_node[static_cast<std::size_t>(i)];
+    if (c == Strategy::kNoChannel) continue;
+    out.push_back(vertex_of(i, c));
+  }
+  return out;
+}
+
+bool ExtendedConflictGraph::is_feasible(const Strategy& s) const {
+  const std::vector<int> vs = to_vertices(s);
+  return graph_.is_independent_set(vs);
+}
+
+}  // namespace mhca

@@ -1,0 +1,58 @@
+// Extended conflict graph H = (Ṽ, Ẽ) (paper §III, Fig. 1).
+//
+// Every user v_i spawns M virtual vertices v_{i,1}..v_{i,M} forming a clique
+// (a node can use at most one channel per round); virtual vertices v_{i,j}
+// and v_{p,j} on the *same* channel j are connected iff (i, p) is a conflict
+// edge in G. An independent set of H is exactly a feasible strategy: an
+// assignment of at most one channel per node with no neighboring nodes
+// sharing a channel.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/conflict_graph.h"
+#include "graph/graph.h"
+
+namespace mhca {
+
+/// A strategy: per-node channel choice, kNoChannel if the node stays silent.
+struct Strategy {
+  static constexpr int kNoChannel = -1;
+  std::vector<int> channel_of_node;  ///< size N; entries in [0, M) or -1.
+};
+
+/// The extended conflict graph over (node, channel) virtual vertices.
+class ExtendedConflictGraph {
+ public:
+  ExtendedConflictGraph(const ConflictGraph& conflicts, int num_channels);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_channels() const { return num_channels_; }
+  /// K = N * M, the number of arms in the combinatorial bandit.
+  int num_vertices() const { return graph_.size(); }
+
+  const Graph& graph() const { return graph_; }
+
+  /// Virtual vertex id of (node i, channel j): i*M + j.
+  int vertex_of(int node, int channel) const;
+  int master_of(int vertex) const;
+  int channel_of(int vertex) const;
+
+  /// Convert an independent set of H into a per-node strategy.
+  /// Asserts that `vertices` really is an IS (at most one vertex per node).
+  Strategy to_strategy(std::span<const int> vertices) const;
+
+  /// Convert a strategy back to the vertex set of H it corresponds to.
+  std::vector<int> to_vertices(const Strategy& s) const;
+
+  /// A strategy is feasible iff no two conflicting nodes share a channel.
+  bool is_feasible(const Strategy& s) const;
+
+ private:
+  int num_nodes_ = 0;
+  int num_channels_ = 0;
+  Graph graph_;
+};
+
+}  // namespace mhca

@@ -1,0 +1,24 @@
+// 2-D geometry for unit-disk conflict graphs.
+#pragma once
+
+#include <cmath>
+
+namespace mhca {
+
+/// Planar point (user location).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline double squared_distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double distance(const Point& a, const Point& b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+}  // namespace mhca

@@ -1,0 +1,75 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.h"
+
+namespace mhca {
+
+void Graph::add_edge(int u, int v) {
+  MHCA_ASSERT(u >= 0 && u < size() && v >= 0 && v < size(),
+              "edge endpoint out of range");
+  MHCA_ASSERT(u != v, "self-loops are not allowed");
+  if (has_edge(u, v)) return;
+  auto& au = adj_[static_cast<std::size_t>(u)];
+  auto& av = adj_[static_cast<std::size_t>(v)];
+  au.insert(std::lower_bound(au.begin(), au.end(), v), v);
+  av.insert(std::lower_bound(av.begin(), av.end(), u), u);
+}
+
+bool Graph::has_edge(int u, int v) const {
+  if (u < 0 || v < 0 || u >= size() || v >= size() || u == v) return false;
+  const auto& au = adj_[static_cast<std::size_t>(u)];
+  const auto& av = adj_[static_cast<std::size_t>(v)];
+  const auto& shorter = au.size() <= av.size() ? au : av;
+  const int target = au.size() <= av.size() ? v : u;
+  return std::binary_search(shorter.begin(), shorter.end(), target);
+}
+
+std::int64_t Graph::num_edges() const {
+  std::int64_t twice = 0;
+  for (const auto& a : adj_) twice += static_cast<std::int64_t>(a.size());
+  return twice / 2;
+}
+
+double Graph::average_degree() const {
+  if (size() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) / static_cast<double>(size());
+}
+
+int Graph::max_degree() const {
+  int best = 0;
+  for (int v = 0; v < size(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+bool Graph::is_connected() const {
+  if (size() <= 1) return true;
+  std::vector<char> seen(static_cast<std::size_t>(size()), 0);
+  std::queue<int> q;
+  q.push(0);
+  seen[0] = 1;
+  int reached = 1;
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (int u : neighbors(v)) {
+      if (!seen[static_cast<std::size_t>(u)]) {
+        seen[static_cast<std::size_t>(u)] = 1;
+        ++reached;
+        q.push(u);
+      }
+    }
+  }
+  return reached == size();
+}
+
+bool Graph::is_independent_set(std::span<const int> vs) const {
+  for (std::size_t i = 0; i < vs.size(); ++i)
+    for (std::size_t j = i + 1; j < vs.size(); ++j)
+      if (vs[i] == vs[j] || has_edge(vs[i], vs[j])) return false;
+  return true;
+}
+
+}  // namespace mhca

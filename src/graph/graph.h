@@ -1,0 +1,53 @@
+// Undirected simple graph with sorted adjacency lists.
+//
+// One representation serves both the conflict graph G over users and the
+// extended conflict graph H over (user, channel) virtual vertices.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mhca {
+
+/// Undirected simple graph on vertices 0..size()-1.
+///
+/// Adjacency lists are kept sorted so `has_edge` is O(log deg). Vertices and
+/// edges are added once during construction; the structure is immutable
+/// afterwards by convention (all algorithms take `const Graph&`).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int n) : adj_(static_cast<std::size_t>(n)) {}
+
+  int size() const { return static_cast<int>(adj_.size()); }
+
+  /// Add an undirected edge {u, v}. Self-loops and duplicates are rejected
+  /// (duplicates silently ignored so generators can be sloppy).
+  void add_edge(int u, int v);
+
+  bool has_edge(int u, int v) const;
+
+  const std::vector<int>& neighbors(int v) const {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+
+  int degree(int v) const {
+    return static_cast<int>(adj_[static_cast<std::size_t>(v)].size());
+  }
+
+  std::int64_t num_edges() const;
+  double average_degree() const;
+  int max_degree() const;
+
+  /// True if every pair of vertices is joined by a path (empty graph: true).
+  bool is_connected() const;
+
+  /// True if no two vertices in `vs` are adjacent.
+  bool is_independent_set(std::span<const int> vs) const;
+
+ private:
+  std::vector<std::vector<int>> adj_;
+};
+
+}  // namespace mhca

@@ -1,0 +1,89 @@
+#include "graph/hop.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace mhca {
+
+void BfsScratch::resize(int n) {
+  stamp_.assign(static_cast<std::size_t>(n), 0);
+  dist_.assign(static_cast<std::size_t>(n), 0);
+  queue_.clear();
+  queue_.reserve(static_cast<std::size_t>(n));
+  epoch_ = 0;
+}
+
+std::vector<int> BfsScratch::k_hop_neighborhood(const Graph& g, int v, int k) {
+  std::vector<int> out;
+  k_hop_neighborhood(g, v, k, out);
+  return out;
+}
+
+void BfsScratch::k_hop_neighborhood(const Graph& g, int v, int k,
+                                    std::vector<int>& out) {
+  MHCA_ASSERT(v >= 0 && v < g.size(), "vertex out of range");
+  MHCA_ASSERT(k >= 0, "hop count must be non-negative");
+  if (static_cast<int>(stamp_.size()) != g.size()) resize(g.size());
+  ++epoch_;
+  out.clear();
+  queue_.clear();
+  queue_.push_back(v);
+  stamp_[static_cast<std::size_t>(v)] = epoch_;
+  dist_[static_cast<std::size_t>(v)] = 0;
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    const int x = queue_[head++];
+    out.push_back(x);
+    const int dx = dist_[static_cast<std::size_t>(x)];
+    if (dx == k) continue;
+    for (int u : g.neighbors(x)) {
+      auto ui = static_cast<std::size_t>(u);
+      if (stamp_[ui] != epoch_) {
+        stamp_[ui] = epoch_;
+        dist_[ui] = dx + 1;
+        queue_.push_back(u);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
+int BfsScratch::hop_distance(const Graph& g, int u, int v, int cap) {
+  MHCA_ASSERT(u >= 0 && u < g.size() && v >= 0 && v < g.size(),
+              "vertex out of range");
+  if (u == v) return 0;
+  if (static_cast<int>(stamp_.size()) != g.size()) resize(g.size());
+  ++epoch_;
+  queue_.clear();
+  queue_.push_back(u);
+  stamp_[static_cast<std::size_t>(u)] = epoch_;
+  dist_[static_cast<std::size_t>(u)] = 0;
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    const int x = queue_[head++];
+    const int dx = dist_[static_cast<std::size_t>(x)];
+    if (dx >= cap) continue;
+    for (int w : g.neighbors(x)) {
+      auto wi = static_cast<std::size_t>(w);
+      if (stamp_[wi] == epoch_) continue;
+      if (w == v) return dx + 1;
+      stamp_[wi] = epoch_;
+      dist_[wi] = dx + 1;
+      queue_.push_back(w);
+    }
+  }
+  return unreachable();
+}
+
+std::vector<int> k_hop_neighborhood(const Graph& g, int v, int k) {
+  BfsScratch scratch(g.size());
+  return scratch.k_hop_neighborhood(g, v, k);
+}
+
+int hop_distance(const Graph& g, int u, int v, int cap) {
+  BfsScratch scratch(g.size());
+  return scratch.hop_distance(g, u, v, cap);
+}
+
+}  // namespace mhca

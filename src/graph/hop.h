@@ -1,0 +1,51 @@
+// Bounded-hop BFS utilities (r-hop neighborhoods J_{G,r}(v), hop distances).
+//
+// These are the geometric primitives of the robust PTAS: LocalLeader election
+// uses (2r+1)-hop neighborhoods, local MWIS uses r-hop neighborhoods, and
+// result broadcast reaches (3r+1) hops (paper §IV-C).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mhca {
+
+/// Reusable BFS workspace. Uses a stamp array so repeated traversals over the
+/// same graph do not pay an O(V) clear each time.
+class BfsScratch {
+ public:
+  explicit BfsScratch(int n = 0) { resize(n); }
+
+  void resize(int n);
+
+  /// Collect all vertices u with hop distance d(v, u) <= k, **including v**,
+  /// in BFS (then sorted ascending) order.
+  std::vector<int> k_hop_neighborhood(const Graph& g, int v, int k);
+
+  /// As above but appends to `out` (cleared first); avoids an allocation.
+  void k_hop_neighborhood(const Graph& g, int v, int k, std::vector<int>& out);
+
+  /// Hop distance between u and v, or `unreachable()` if no path within
+  /// `cap` hops exists.
+  int hop_distance(const Graph& g, int u, int v,
+                   int cap = std::numeric_limits<int>::max());
+
+  static constexpr int unreachable() { return std::numeric_limits<int>::max(); }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::vector<int> dist_;
+  std::vector<int> queue_;
+  std::uint32_t epoch_ = 0;
+};
+
+/// Convenience wrapper allocating a scratch internally.
+std::vector<int> k_hop_neighborhood(const Graph& g, int v, int k);
+
+/// Convenience wrapper allocating a scratch internally.
+int hop_distance(const Graph& g, int u, int v,
+                 int cap = std::numeric_limits<int>::max());
+
+}  // namespace mhca

@@ -1,0 +1,123 @@
+#include "graph/independence.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace mhca {
+namespace {
+
+/// Bron–Kerbosch over independent sets: recursion on (R, P, X) where P are
+/// candidate vertices extending R and X are already-explored vertices that
+/// could extend R (maximality check).
+class MaximalIsEnumerator {
+ public:
+  MaximalIsEnumerator(const Graph& g, std::size_t cap,
+                      std::vector<std::vector<int>>& out)
+      : g_(g), cap_(cap), out_(out) {}
+
+  bool run() {
+    std::vector<int> r;
+    std::vector<int> p(static_cast<std::size_t>(g_.size()));
+    for (int v = 0; v < g_.size(); ++v) p[static_cast<std::size_t>(v)] = v;
+    std::vector<int> x;
+    return recurse(r, p, x);
+  }
+
+ private:
+  // Returns false if the cap was hit (enumeration truncated).
+  bool recurse(std::vector<int>& r, std::vector<int> p, std::vector<int> x) {
+    if (p.empty() && x.empty()) {
+      if (out_.size() >= cap_) return false;
+      out_.push_back(r);
+      return true;
+    }
+    // Pivot: vertex of P∪X with most *non*-neighbors in P (mirrors the
+    // clique-version pivot picking most neighbors).
+    int pivot = -1;
+    std::size_t best = 0;
+    auto count_nonadj = [&](int u) {
+      std::size_t c = 0;
+      for (int w : p)
+        if (w != u && !g_.has_edge(u, w)) ++c;
+      return c;
+    };
+    for (int u : p) {
+      const std::size_t c = count_nonadj(u);
+      if (pivot == -1 || c > best) pivot = u, best = c;
+    }
+    for (int u : x) {
+      const std::size_t c = count_nonadj(u);
+      if (pivot == -1 || c > best) pivot = u, best = c;
+    }
+    // Branch on vertices of P that are NOT "independent-extensions" of the
+    // pivot, i.e. vertices adjacent to the pivot, plus the pivot itself.
+    std::vector<int> branch;
+    for (int u : p)
+      if (u == pivot || g_.has_edge(u, pivot)) branch.push_back(u);
+    for (int u : branch) {
+      std::vector<int> p2, x2;
+      for (int w : p)
+        if (w != u && !g_.has_edge(u, w)) p2.push_back(w);
+      for (int w : x)
+        if (!g_.has_edge(u, w)) x2.push_back(w);
+      r.push_back(u);
+      const bool ok = recurse(r, std::move(p2), std::move(x2));
+      r.pop_back();
+      if (!ok) return false;
+      p.erase(std::find(p.begin(), p.end(), u));
+      x.push_back(u);
+    }
+    return true;
+  }
+
+  const Graph& g_;
+  std::size_t cap_;
+  std::vector<std::vector<int>>& out_;
+};
+
+int mis_recurse(const Graph& g, std::vector<int>& cand, int current, int best) {
+  if (current + static_cast<int>(cand.size()) <= best) return best;
+  if (cand.empty()) return std::max(best, current);
+  // Branch on the highest-degree candidate (within cand) to shrink fast.
+  const int v = cand.back();
+  std::vector<int> rest(cand.begin(), cand.end() - 1);
+  // Exclude v.
+  best = mis_recurse(g, rest, current, best);
+  // Include v.
+  std::vector<int> keep;
+  for (int u : rest)
+    if (!g.has_edge(u, v)) keep.push_back(u);
+  best = mis_recurse(g, keep, current + 1, best);
+  return best;
+}
+
+}  // namespace
+
+double set_weight(std::span<const int> vs, std::span<const double> weights) {
+  double sum = 0.0;
+  for (int v : vs) {
+    MHCA_ASSERT(v >= 0 && static_cast<std::size_t>(v) < weights.size(),
+                "vertex out of weight range");
+    sum += weights[static_cast<std::size_t>(v)];
+  }
+  return sum;
+}
+
+bool enumerate_maximal_independent_sets(const Graph& g, std::size_t cap,
+                                        std::vector<std::vector<int>>& out) {
+  out.clear();
+  MaximalIsEnumerator e(g, cap, out);
+  return e.run();
+}
+
+int independence_number(const Graph& g) {
+  std::vector<int> cand(static_cast<std::size_t>(g.size()));
+  for (int v = 0; v < g.size(); ++v) cand[static_cast<std::size_t>(v)] = v;
+  // Order by degree ascending so the branch vertex (back) has high degree.
+  std::sort(cand.begin(), cand.end(),
+            [&](int a, int b) { return g.degree(a) < g.degree(b); });
+  return mis_recurse(g, cand, 0, 0);
+}
+
+}  // namespace mhca

@@ -1,0 +1,28 @@
+// Independent-set helpers: validation, weights, and maximal-IS enumeration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mhca {
+
+/// Sum of `weights[v]` over `vs`.
+double set_weight(std::span<const int> vs, std::span<const double> weights);
+
+/// Enumerate all *maximal* independent sets of `g` (Bron–Kerbosch with
+/// pivoting on the complement-clique view), stopping after `cap` sets.
+///
+/// Used by the naive strategy-as-arm UCB baseline (the paper's O(M^N)
+/// strawman) and by exhaustive tests on tiny graphs. Returns true if the
+/// enumeration completed, false if it was truncated by `cap`.
+bool enumerate_maximal_independent_sets(const Graph& g, std::size_t cap,
+                                        std::vector<std::vector<int>>& out);
+
+/// Exact maximum *cardinality* independent set size, by exhaustive branch
+/// and bound (small graphs only). Used to test growth-boundedness claims.
+int independence_number(const Graph& g);
+
+}  // namespace mhca

@@ -1,0 +1,46 @@
+#include "graph/induced.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/assert.h"
+
+namespace mhca {
+
+std::vector<int> InducedSubgraph::lift(std::span<const int> local) const {
+  std::vector<int> out;
+  out.reserve(local.size());
+  for (int v : local) {
+    MHCA_ASSERT(v >= 0 && static_cast<std::size_t>(v) < to_parent.size(),
+                "local vertex out of range");
+    out.push_back(to_parent[static_cast<std::size_t>(v)]);
+  }
+  return out;
+}
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 std::span<const int> vertices) {
+  InducedSubgraph sub;
+  sub.to_parent.assign(vertices.begin(), vertices.end());
+  std::sort(sub.to_parent.begin(), sub.to_parent.end());
+  MHCA_ASSERT(std::adjacent_find(sub.to_parent.begin(), sub.to_parent.end()) ==
+                  sub.to_parent.end(),
+              "duplicate vertices in induced subgraph");
+  sub.graph = Graph(static_cast<int>(sub.to_parent.size()));
+  std::unordered_map<int, int> local;
+  local.reserve(sub.to_parent.size() * 2);
+  for (std::size_t i = 0; i < sub.to_parent.size(); ++i)
+    local.emplace(sub.to_parent[i], static_cast<int>(i));
+  for (std::size_t i = 0; i < sub.to_parent.size(); ++i) {
+    const int v = sub.to_parent[i];
+    MHCA_ASSERT(v >= 0 && v < g.size(), "vertex out of range");
+    for (int u : g.neighbors(v)) {
+      auto it = local.find(u);
+      if (it != local.end() && it->second > static_cast<int>(i))
+        sub.graph.add_edge(static_cast<int>(i), it->second);
+    }
+  }
+  return sub;
+}
+
+}  // namespace mhca

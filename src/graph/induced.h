@@ -1,0 +1,24 @@
+// Induced subgraphs with parent-index bookkeeping.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mhca {
+
+/// A subgraph induced by a vertex subset, remembering the original ids.
+struct InducedSubgraph {
+  Graph graph;                 ///< Local graph on 0..k-1.
+  std::vector<int> to_parent;  ///< Local index -> original vertex id.
+
+  /// Map local vertex ids back to parent ids.
+  std::vector<int> lift(std::span<const int> local) const;
+};
+
+/// Build the subgraph of `g` induced by `vertices` (need not be sorted;
+/// duplicates are rejected).
+InducedSubgraph induced_subgraph(const Graph& g, std::span<const int> vertices);
+
+}  // namespace mhca

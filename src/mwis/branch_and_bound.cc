@@ -1,0 +1,203 @@
+#include "mwis/branch_and_bound.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/assert.h"
+
+namespace mhca {
+namespace {
+
+/// One in-flight solve. Local vertex ids are 0..n-1 (sorted original ids),
+/// adjacency as n bitset rows for O(n/64) conflict checks.
+class Search {
+ public:
+  Search(const Graph& g, std::span<const double> weights,
+         std::span<const int> candidates, std::int64_t cap)
+      : cap_(cap) {
+    cands_.assign(candidates.begin(), candidates.end());
+    std::sort(cands_.begin(), cands_.end());
+    MHCA_ASSERT(std::adjacent_find(cands_.begin(), cands_.end()) ==
+                    cands_.end(),
+                "duplicate candidates");
+    n_ = cands_.size();
+    w_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      MHCA_ASSERT(cands_[i] >= 0 && cands_[i] < g.size(),
+                  "candidate out of range");
+      w_[i] = weights[static_cast<std::size_t>(cands_[i])];
+    }
+    blocks_ = (n_ + 63) / 64;
+    adj_.assign(n_ * blocks_, 0);
+    // Build local adjacency by scanning each candidate's (typically short)
+    // neighbor list against the sorted candidate array.
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (int u : g.neighbors(cands_[i])) {
+        const auto it = std::lower_bound(cands_.begin(), cands_.end(), u);
+        if (it != cands_.end() && *it == u) {
+          const std::size_t j =
+              static_cast<std::size_t>(it - cands_.begin());
+          adj_[i * blocks_ + j / 64] |= (std::uint64_t{1} << (j % 64));
+        }
+      }
+    }
+  }
+
+  MwisResult run() {
+    build_clique_cover();
+    seed_with_greedy();
+    chosen_mask_.assign(blocks_, 0);
+    chosen_.clear();
+    cur_weight_ = 0.0;
+    aborted_ = false;
+    dfs(0);
+
+    MwisResult res;
+    res.vertices.reserve(best_set_.size());
+    for (std::size_t i : best_set_) res.vertices.push_back(cands_[i]);
+    std::sort(res.vertices.begin(), res.vertices.end());
+    res.weight = best_weight_;
+    res.exact = !aborted_;
+    res.nodes_explored = explored_;
+    return res;
+  }
+
+ private:
+  bool conflicts_with_chosen(std::size_t v) const {
+    const std::uint64_t* row = &adj_[v * blocks_];
+    for (std::size_t b = 0; b < blocks_; ++b)
+      if (row[b] & chosen_mask_[b]) return true;
+    return false;
+  }
+
+  /// Greedy clique cover: visit vertices by weight desc; place each into the
+  /// first clique it is fully adjacent to, else open a new clique. On the
+  /// extended conflict graph this recovers (refinements of) the per-master
+  /// channel cliques.
+  void build_clique_cover() {
+    std::vector<std::size_t> order(n_);
+    for (std::size_t i = 0; i < n_; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (w_[a] != w_[b]) return w_[a] > w_[b];
+      return a < b;
+    });
+    cliques_.clear();
+    for (std::size_t v : order) {
+      bool placed = false;
+      for (auto& q : cliques_) {
+        bool all_adjacent = true;
+        for (std::size_t u : q) {
+          if (!(adj_[v * blocks_ + u / 64] & (std::uint64_t{1} << (u % 64)))) {
+            all_adjacent = false;
+            break;
+          }
+        }
+        if (all_adjacent) {
+          q.push_back(v);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) cliques_.push_back({v});
+    }
+    // Members are already weight-descending (insertion order). Sort cliques
+    // by their max weight descending so the bound tightens early.
+    std::sort(cliques_.begin(), cliques_.end(),
+              [&](const auto& a, const auto& b) {
+                if (w_[a.front()] != w_[b.front()])
+                  return w_[a.front()] > w_[b.front()];
+                return a.front() < b.front();
+              });
+    // Suffix sums of per-clique maxima: remaining_[i] bounds any completion
+    // of a partial solution that has settled cliques 0..i-1.
+    remaining_.assign(cliques_.size() + 1, 0.0);
+    for (std::size_t i = cliques_.size(); i-- > 0;)
+      remaining_[i] = remaining_[i + 1] + w_[cliques_[i].front()];
+  }
+
+  void seed_with_greedy() {
+    std::vector<std::size_t> order(n_);
+    for (std::size_t i = 0; i < n_; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (w_[a] != w_[b]) return w_[a] > w_[b];
+      return a < b;
+    });
+    std::vector<std::uint64_t> mask(blocks_, 0);
+    best_set_.clear();
+    best_weight_ = 0.0;
+    for (std::size_t v : order) {
+      const std::uint64_t* row = &adj_[v * blocks_];
+      bool ok = true;
+      for (std::size_t b = 0; b < blocks_; ++b)
+        if (row[b] & mask[b]) {
+          ok = false;
+          break;
+        }
+      if (ok) {
+        mask[v / 64] |= (std::uint64_t{1} << (v % 64));
+        best_set_.push_back(v);
+        best_weight_ += w_[v];
+      }
+    }
+  }
+
+  void dfs(std::size_t ci) {
+    if (aborted_) return;
+    if (++explored_ > cap_) {
+      aborted_ = true;
+      return;
+    }
+    if (ci == cliques_.size()) {
+      if (cur_weight_ > best_weight_) {
+        best_weight_ = cur_weight_;
+        best_set_ = chosen_;
+      }
+      return;
+    }
+    if (cur_weight_ + remaining_[ci] <= best_weight_) return;  // bound
+    for (std::size_t v : cliques_[ci]) {
+      if (conflicts_with_chosen(v)) continue;
+      chosen_mask_[v / 64] |= (std::uint64_t{1} << (v % 64));
+      chosen_.push_back(v);
+      cur_weight_ += w_[v];
+      dfs(ci + 1);
+      cur_weight_ -= w_[v];
+      chosen_.pop_back();
+      chosen_mask_[v / 64] &= ~(std::uint64_t{1} << (v % 64));
+      if (aborted_) return;
+    }
+    dfs(ci + 1);  // leave this clique empty
+  }
+
+  std::vector<int> cands_;
+  std::vector<double> w_;
+  std::size_t n_ = 0;
+  std::size_t blocks_ = 0;
+  std::vector<std::uint64_t> adj_;
+
+  std::vector<std::vector<std::size_t>> cliques_;
+  std::vector<double> remaining_;
+
+  std::vector<std::uint64_t> chosen_mask_;
+  std::vector<std::size_t> chosen_;
+  double cur_weight_ = 0.0;
+
+  std::vector<std::size_t> best_set_;
+  double best_weight_ = 0.0;
+
+  std::int64_t explored_ = 0;
+  std::int64_t cap_;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+MwisResult BranchAndBoundMwisSolver::solve(const Graph& g,
+                                           std::span<const double> weights,
+                                           std::span<const int> candidates) {
+  if (candidates.empty()) return MwisResult{};
+  Search s(g, weights, candidates, node_cap_);
+  return s.run();
+}
+
+}  // namespace mhca

@@ -1,0 +1,25 @@
+// Exhaustive MWIS solver (reference implementation for validation).
+#pragma once
+
+#include "mwis/mwis.h"
+
+namespace mhca {
+
+/// Plain include/exclude recursion with no pruning beyond feasibility.
+/// Exponential — only for graphs of ~24 vertices or fewer (asserted).
+/// Exists to cross-check the branch-and-bound solver in tests.
+class BruteForceMwisSolver : public MwisSolver {
+ public:
+  explicit BruteForceMwisSolver(int max_vertices = 24)
+      : max_vertices_(max_vertices) {}
+
+  std::string name() const override { return "brute-force"; }
+
+  MwisResult solve(const Graph& g, std::span<const double> weights,
+                   std::span<const int> candidates) override;
+
+ private:
+  int max_vertices_;
+};
+
+}  // namespace mhca

@@ -1,0 +1,166 @@
+#include "mwis/distributed_ptas.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace mhca {
+namespace {
+
+/// Election key: (weight, -id) lexicographic, so higher weight wins and the
+/// lower id breaks exact ties deterministically.
+using Key = std::pair<double, int>;
+
+Key key_of(int v, std::span<const double> w) {
+  return {w[static_cast<std::size_t>(v)], -v};
+}
+
+constexpr Key kMinKey{-std::numeric_limits<double>::infinity(),
+                      std::numeric_limits<int>::min()};
+
+}  // namespace
+
+DistributedRobustPtas::DistributedRobustPtas(const Graph& h,
+                                             DistributedPtasConfig cfg)
+    : h_(h), cfg_(cfg), exact_(cfg.bnb_node_cap), scratch_(h.size()) {
+  MHCA_ASSERT(cfg_.r >= 1, "r must be at least 1");
+  MHCA_ASSERT(cfg_.max_mini_rounds >= 0, "negative mini-round budget");
+}
+
+int DistributedRobustPtas::ball_size(int v, int radius) {
+  auto& sizes = ball_size_cache_[radius];
+  if (sizes.empty()) sizes.assign(static_cast<std::size_t>(h_.size()), -1);
+  int& s = sizes[static_cast<std::size_t>(v)];
+  if (s < 0) {
+    std::vector<int> ball;
+    scratch_.k_hop_neighborhood(h_, v, radius, ball);
+    s = static_cast<int>(ball.size());
+  }
+  return s;
+}
+
+std::int64_t DistributedRobustPtas::weight_broadcast_messages(
+    std::span<const int> prev_winners) {
+  std::int64_t msgs = 0;
+  for (int v : prev_winners) msgs += ball_size(v, 2 * cfg_.r + 1);
+  return msgs;
+}
+
+DistributedPtasResult DistributedRobustPtas::run(
+    std::span<const double> weights) {
+  const int n = h_.size();
+  MHCA_ASSERT(static_cast<int>(weights.size()) == n, "weight vector mismatch");
+  const int r = cfg_.r;
+  const int election_hops = 2 * r + 1;
+
+  std::vector<VertexStatus> status(static_cast<std::size_t>(n),
+                                   VertexStatus::kCandidate);
+  int candidates = n;
+
+  DistributedPtasResult res;
+  std::vector<Key> relax(static_cast<std::size_t>(n));
+  std::vector<Key> relax_next(static_cast<std::size_t>(n));
+  std::vector<int> ball;
+  std::vector<int> local_cands;
+
+  MwisSolver& local_solver =
+      cfg_.local_solver == LocalSolverKind::kExact
+          ? static_cast<MwisSolver&>(exact_)
+          : static_cast<MwisSolver&>(greedy_);
+
+  int mini_round = 0;
+  while (candidates > 0 &&
+         (cfg_.max_mini_rounds == 0 || mini_round < cfg_.max_mini_rounds)) {
+    ++mini_round;
+    MiniRoundRecord rec;
+    rec.mini_round = mini_round;
+
+    // --- LocalLeader selection (LS): (2r+1)-hop max-relaxation. ---
+    for (int v = 0; v < n; ++v)
+      relax[static_cast<std::size_t>(v)] =
+          status[static_cast<std::size_t>(v)] == VertexStatus::kCandidate
+              ? key_of(v, weights)
+              : kMinKey;
+    for (int step = 0; step < election_hops; ++step) {
+      for (int v = 0; v < n; ++v) {
+        Key best = relax[static_cast<std::size_t>(v)];
+        for (int u : h_.neighbors(v))
+          best = std::max(best, relax[static_cast<std::size_t>(u)]);
+        relax_next[static_cast<std::size_t>(v)] = best;
+      }
+      std::swap(relax, relax_next);
+    }
+    std::vector<int> leaders;
+    for (int v = 0; v < n; ++v) {
+      if (status[static_cast<std::size_t>(v)] != VertexStatus::kCandidate)
+        continue;
+      if (relax[static_cast<std::size_t>(v)] == key_of(v, weights))
+        leaders.push_back(v);
+    }
+    MHCA_ASSERT(!leaders.empty(),
+                "a candidate of globally maximal weight must elect itself");
+    rec.leaders = static_cast<int>(leaders.size());
+
+    // --- Local MWIS + status determination (LMWIS / LB). ---
+    for (int leader : leaders) {
+      scratch_.k_hop_neighborhood(h_, leader, r, ball);
+      local_cands.clear();
+      for (int v : ball)
+        if (status[static_cast<std::size_t>(v)] == VertexStatus::kCandidate)
+          local_cands.push_back(v);
+      const MwisResult local = local_solver.solve(h_, weights, local_cands);
+      res.solver_nodes_explored += local.nodes_explored;
+      // Winners first, then every remaining candidate in the ball loses.
+      for (int v : local.vertices) {
+        status[static_cast<std::size_t>(v)] = VertexStatus::kWinner;
+        res.winners.push_back(v);
+        res.weight += weights[static_cast<std::size_t>(v)];
+        --candidates;
+        ++rec.new_winners;
+      }
+      for (int v : local_cands) {
+        if (status[static_cast<std::size_t>(v)] == VertexStatus::kCandidate) {
+          status[static_cast<std::size_t>(v)] = VertexStatus::kLoser;
+          --candidates;
+          ++rec.new_losers;
+        }
+      }
+      // Mirror the centralized PTAS's removal rule: every Candidate
+      // adjacent to a fresh Winner becomes a Loser, even if it lies just
+      // outside A_r (at distance r+1 from the leader). Without this, a
+      // later mini-round could crown a winner conflicting with this one.
+      for (int w : local.vertices) {
+        for (int u : h_.neighbors(w)) {
+          if (status[static_cast<std::size_t>(u)] == VertexStatus::kCandidate) {
+            status[static_cast<std::size_t>(u)] = VertexStatus::kLoser;
+            --candidates;
+            ++rec.new_losers;
+          }
+        }
+      }
+      if (cfg_.count_messages) {
+        rec.messages += ball_size(leader, election_hops);  // LD flood
+        rec.messages += ball_size(leader, 3 * r + 2);      // LB flood
+      }
+    }
+
+    rec.candidates_remaining = candidates;
+    rec.cumulative_weight = res.weight;
+    res.total_messages += rec.messages;
+    // LS takes 2r+1 mini-timeslots, LB 3r+2 (§IV-C gives 3r+1 for marks at
+    // distance <= r; winner-adjacent losers sit one hop further out).
+    res.total_mini_timeslots += (2 * r + 1) + (3 * r + 2);
+    res.mini_rounds.push_back(rec);
+  }
+
+  res.mini_rounds_used = mini_round;
+  res.all_marked = candidates == 0;
+  std::sort(res.winners.begin(), res.winners.end());
+  MHCA_ASSERT(h_.is_independent_set(res.winners),
+              "distributed PTAS produced a conflicting strategy");
+  return res;
+}
+
+}  // namespace mhca

@@ -1,0 +1,99 @@
+// Distributed robust PTAS — lockstep engine (paper Algorithm 3).
+//
+// This class simulates the per-vertex protocol synchronously ("lockstep"):
+// each mini-round it (1) elects LocalLeaders — Candidates whose weight is
+// maximal among Candidates within their (2r+1)-hop neighborhood, (2) lets
+// every leader solve local MWIS over the Candidates in its r-hop ball and
+// mark them Winner/Loser, and (3) accounts for the messages the real
+// protocol would flood (leader declaration to 2r+1 hops, determination
+// results to 3r+1 hops). Because any two leaders are at hop distance
+// ≥ 2r+2, their r-hop candidate sets are disjoint and non-adjacent, so the
+// union of local MWISs stays independent (Theorem 3).
+//
+// The message-level implementation of the same protocol lives in src/net;
+// integration tests check that both produce identical decisions. Benchmarks
+// use this engine (it avoids materializing floods).
+//
+// Leader election uses (2r+1) rounds of max-relaxation over the adjacency
+// structure — exactly the information a real flood would propagate — with
+// ties broken by vertex id (the paper assumes distinct weights).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/hop.h"
+#include "mwis/branch_and_bound.h"
+#include "mwis/greedy.h"
+#include "mwis/mwis.h"
+
+namespace mhca {
+
+/// Protocol status of a virtual vertex (paper §IV-C). LocalLeader is a
+/// transient within-mini-round role of a Candidate, not a stored status.
+enum class VertexStatus : std::uint8_t { kCandidate, kWinner, kLoser };
+
+/// Which solver a LocalLeader runs on its r-hop candidate set.
+enum class LocalSolverKind { kExact, kGreedy };
+
+struct DistributedPtasConfig {
+  int r = 2;                 ///< Paper's simulations use r = 2.
+  int max_mini_rounds = 0;   ///< D; 0 = run until every vertex is marked.
+  LocalSolverKind local_solver = LocalSolverKind::kExact;
+  std::int64_t bnb_node_cap = 200'000;  ///< Exact-local effort cap.
+  bool count_messages = false;          ///< Track flood sizes (costs BFS).
+};
+
+/// Per-mini-round trace record (drives the Fig. 6 reproduction).
+struct MiniRoundRecord {
+  int mini_round = 0;          ///< 1-based.
+  int leaders = 0;
+  int new_winners = 0;
+  int new_losers = 0;
+  int candidates_remaining = 0;
+  double cumulative_weight = 0.0;  ///< Summed weight of all winners so far.
+  std::int64_t messages = 0;       ///< Messages flooded this mini-round.
+};
+
+struct DistributedPtasResult {
+  std::vector<int> winners;   ///< Final independent set (sorted).
+  double weight = 0.0;
+  bool all_marked = false;    ///< Every vertex reached Winner/Loser.
+  int mini_rounds_used = 0;
+  std::vector<MiniRoundRecord> mini_rounds;
+  std::int64_t total_messages = 0;
+  std::int64_t total_mini_timeslots = 0;
+  std::int64_t solver_nodes_explored = 0;
+};
+
+class DistributedRobustPtas {
+ public:
+  /// The graph reference must outlive this object.
+  explicit DistributedRobustPtas(const Graph& h,
+                                 DistributedPtasConfig cfg = {});
+
+  const DistributedPtasConfig& config() const { return cfg_; }
+
+  /// Run one full strategy decision over the given vertex weights.
+  DistributedPtasResult run(std::span<const double> weights);
+
+  /// Messages the Weight-Broadcast step of Algorithm 2 costs: each vertex of
+  /// the previous strategy floods its new estimate within 2r+1 hops.
+  std::int64_t weight_broadcast_messages(std::span<const int> prev_winners);
+
+ private:
+  int ball_size(int v, int radius);
+
+  const Graph& h_;
+  DistributedPtasConfig cfg_;
+  BranchAndBoundMwisSolver exact_;
+  GreedyMwisSolver greedy_;
+  BfsScratch scratch_;
+  /// radius -> per-vertex |J_radius(v)| (-1 = not yet computed).
+  std::unordered_map<int, std::vector<int>> ball_size_cache_;
+};
+
+}  // namespace mhca

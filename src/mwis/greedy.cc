@@ -1,0 +1,37 @@
+#include "mwis/greedy.h"
+
+#include <algorithm>
+
+namespace mhca {
+
+MwisResult GreedyMwisSolver::solve(const Graph& g,
+                                   std::span<const double> weights,
+                                   std::span<const int> candidates) {
+  std::vector<int> order(candidates.begin(), candidates.end());
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double wa = weights[static_cast<std::size_t>(a)];
+    const double wb = weights[static_cast<std::size_t>(b)];
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+  MwisResult res;
+  res.exact = false;
+  for (int v : order) {
+    ++res.nodes_explored;
+    bool ok = true;
+    for (int u : res.vertices) {
+      if (g.has_edge(u, v)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      res.vertices.push_back(v);
+      res.weight += weights[static_cast<std::size_t>(v)];
+    }
+  }
+  std::sort(res.vertices.begin(), res.vertices.end());
+  return res;
+}
+
+}  // namespace mhca

@@ -1,0 +1,20 @@
+// Greedy MWIS heuristic.
+#pragma once
+
+#include "mwis/mwis.h"
+
+namespace mhca {
+
+/// Scan vertices by decreasing weight (ties by id) and keep every vertex
+/// not conflicting with an already-kept one. On growth-bounded graphs this
+/// is a constant-factor approximation — the paper (§IV-C) notes it as the
+/// practical replacement for local enumeration.
+class GreedyMwisSolver : public MwisSolver {
+ public:
+  std::string name() const override { return "greedy"; }
+
+  MwisResult solve(const Graph& g, std::span<const double> weights,
+                   std::span<const int> candidates) override;
+};
+
+}  // namespace mhca

@@ -1,0 +1,160 @@
+#include "net/agent.h"
+
+#include <algorithm>
+
+#include "graph/hop.h"
+#include "util/assert.h"
+
+namespace mhca::net {
+
+VertexAgent::VertexAgent(int id, int r) : id_(id), r_(r) {
+  MHCA_ASSERT(id >= 0, "negative vertex id");
+  MHCA_ASSERT(r >= 1, "r must be at least 1");
+}
+
+void VertexAgent::on_hello(const Message& msg) {
+  MHCA_ASSERT(!discovered_, "hello after discovery finalized");
+  hello_lists_[msg.origin] = msg.neighbor_list;
+}
+
+void VertexAgent::set_own_neighbors(std::vector<int> neighbors) {
+  own_neighbors_ = std::move(neighbors);
+}
+
+void VertexAgent::finalize_discovery() {
+  MHCA_ASSERT(!discovered_, "discovery finalized twice");
+  members_.clear();
+  members_.push_back(id_);
+  for (const auto& [origin, _] : hello_lists_) members_.push_back(origin);
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()),
+                 members_.end());
+
+  local_graph_ = Graph(static_cast<int>(members_.size()));
+  auto add_edges_of = [&](int origin, const std::vector<int>& nbs) {
+    const int lo = local_id(origin);
+    for (int u : nbs) {
+      const auto it =
+          std::lower_bound(members_.begin(), members_.end(), u);
+      if (it != members_.end() && *it == u)
+        local_graph_.add_edge(lo, static_cast<int>(it - members_.begin()));
+    }
+  };
+  add_edges_of(id_, own_neighbors_);
+  for (const auto& [origin, nbs] : hello_lists_) add_edges_of(origin, nbs);
+  hello_lists_.clear();
+
+  table_.clear();
+  for (int m : members_)
+    if (m != id_) table_.emplace(m, Entry{});
+  discovered_ = true;
+}
+
+int VertexAgent::local_id(int global) const {
+  const auto it = std::lower_bound(members_.begin(), members_.end(), global);
+  MHCA_ASSERT(it != members_.end() && *it == global,
+              "vertex not in local table");
+  return static_cast<int>(it - members_.begin());
+}
+
+void VertexAgent::observe(double reward) {
+  const double m_old = static_cast<double>(count_);
+  ++count_;
+  mean_ = (mean_ * m_old + reward) / static_cast<double>(count_);
+}
+
+void VertexAgent::begin_round(const IndexPolicy& policy, std::int64_t t,
+                              int num_arms) {
+  MHCA_ASSERT(discovered_, "begin_round before discovery");
+  status_ = VertexStatus::kCandidate;
+  own_index_ = policy.index_from(mean_, count_, id_, t, num_arms);
+  for (auto& [v, e] : table_) {
+    e.status = VertexStatus::kCandidate;
+    e.index = policy.index_from(e.mean, e.count, v, t, num_arms);
+  }
+}
+
+void VertexAgent::on_weight_update(const Message& msg) {
+  const auto it = table_.find(msg.origin);
+  if (it == table_.end()) return;  // beyond my 2r+1 horizon (shouldn't occur)
+  it->second.mean = msg.mean;
+  it->second.count = msg.count;
+}
+
+bool VertexAgent::should_lead() const {
+  if (status_ != VertexStatus::kCandidate) return false;
+  const std::pair<double, int> my_key{own_index_, -id_};
+  for (const auto& [v, e] : table_) {
+    if (e.status != VertexStatus::kCandidate) continue;
+    if (std::pair<double, int>{e.index, -v} > my_key) return false;
+  }
+  return true;
+}
+
+std::vector<StatusEntry> VertexAgent::lead(MwisSolver& solver) {
+  MHCA_ASSERT(status_ == VertexStatus::kCandidate, "non-candidate leading");
+  // Candidates within r hops of me, computed on the *local* subgraph —
+  // identical to global r-hop distance because every shortest path of
+  // length <= r stays inside J_{2r+1}(me).
+  BfsScratch scratch(local_graph_.size());
+  const std::vector<int> ball =
+      scratch.k_hop_neighborhood(local_graph_, local_id(id_), r_);
+
+  std::vector<int> cands;          // local ids
+  std::vector<double> weights(static_cast<std::size_t>(local_graph_.size()),
+                              0.0);
+  for (int lv : ball) {
+    const int gv = members_[static_cast<std::size_t>(lv)];
+    if (gv == id_) {
+      cands.push_back(lv);
+      weights[static_cast<std::size_t>(lv)] = own_index_;
+    } else {
+      const Entry& e = table_.at(gv);
+      if (e.status == VertexStatus::kCandidate) {
+        cands.push_back(lv);
+        weights[static_cast<std::size_t>(lv)] = e.index;
+      }
+    }
+  }
+  const MwisResult res = solver.solve(local_graph_, weights, cands);
+
+  std::vector<char> is_winner(static_cast<std::size_t>(local_graph_.size()), 0);
+  for (int lv : res.vertices) is_winner[static_cast<std::size_t>(lv)] = 1;
+  std::vector<char> decided(static_cast<std::size_t>(local_graph_.size()), 0);
+  std::vector<StatusEntry> verdicts;
+  verdicts.reserve(cands.size());
+  for (int lv : cands) {
+    decided[static_cast<std::size_t>(lv)] = 1;
+    verdicts.push_back(StatusEntry{
+        members_[static_cast<std::size_t>(lv)],
+        is_winner[static_cast<std::size_t>(lv)] ? VertexStatus::kWinner
+                                                : VertexStatus::kLoser});
+  }
+  // Centralized-PTAS removal rule: Candidates adjacent to a fresh Winner
+  // lose as well (they may sit at distance r+1, still inside the table).
+  for (int lw : res.vertices) {
+    for (int lu : local_graph_.neighbors(lw)) {
+      if (decided[static_cast<std::size_t>(lu)]) continue;
+      const int gu = members_[static_cast<std::size_t>(lu)];
+      const VertexStatus st =
+          gu == id_ ? status_ : table_.at(gu).status;
+      if (st != VertexStatus::kCandidate) continue;
+      decided[static_cast<std::size_t>(lu)] = 1;
+      verdicts.push_back(StatusEntry{gu, VertexStatus::kLoser});
+    }
+  }
+  return verdicts;
+}
+
+void VertexAgent::on_determination(const Message& msg) {
+  for (const StatusEntry& e : msg.statuses) {
+    if (e.vertex == id_) {
+      status_ = e.status;
+      continue;
+    }
+    const auto it = table_.find(e.vertex);
+    if (it != table_.end()) it->second.status = e.status;
+  }
+}
+
+}  // namespace mhca::net

@@ -1,0 +1,93 @@
+// Per-vertex protocol agent (paper Algorithm 3, vertex-local view).
+//
+// An agent stores only what a real node could learn from the control
+// channel: the membership, adjacency, sufficient statistics (µ̃, m) and
+// status of its (2r+1)-hop neighborhood — O(m) space as claimed in §IV-C.
+// Every decision it takes (leader self-election, local MWIS, status
+// updates) is a function of this local table alone.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bandit/policy.h"
+#include "graph/graph.h"
+#include "mwis/distributed_ptas.h"
+#include "net/message.h"
+
+namespace mhca::net {
+
+class VertexAgent {
+ public:
+  VertexAgent(int id, int r);
+
+  int id() const { return id_; }
+  VertexStatus status() const { return status_; }
+
+  // ---- Discovery (one-time) ----
+  /// Record another vertex's hello (its id + direct neighbor list).
+  void on_hello(const Message& msg);
+  /// Own direct neighbors (an agent knows who it can hear).
+  void set_own_neighbors(std::vector<int> neighbors);
+  /// Build the local subgraph from the collected hellos. Must be called
+  /// once after all hellos have been delivered.
+  void finalize_discovery();
+
+  // ---- Learning state (vertex-local) ----
+  /// Incorporate an observed data rate after transmitting (eqs. 5-6).
+  void observe(double reward);
+  double own_mean() const { return mean_; }
+  std::int64_t own_count() const { return count_; }
+
+  // ---- Round lifecycle ----
+  /// Reset all statuses to Candidate and recompute all indices from the
+  /// stored statistics for round t (K = num_arms network-wide).
+  void begin_round(const IndexPolicy& policy, std::int64_t t, int num_arms);
+  /// WB: a neighbor's refreshed statistics.
+  void on_weight_update(const Message& msg);
+  /// LS: does this agent's (weight, id) dominate every known Candidate in
+  /// its (2r+1)-hop table?
+  bool should_lead() const;
+  /// LMWIS + status determination: solve local MWIS over Candidates within
+  /// r hops and produce the verdicts (including the leader's own).
+  std::vector<StatusEntry> lead(MwisSolver& solver);
+  /// LB: apply a leader's verdicts to self / known members.
+  void on_determination(const Message& msg);
+
+  /// Number of (2r+1)-hop members tracked, excluding self (the O(m)
+  /// space-complexity metric of §IV-C).
+  std::size_t table_size() const { return table_.size(); }
+
+ private:
+  struct Entry {
+    double mean = 0.0;
+    std::int64_t count = 0;
+    double index = 0.0;
+    VertexStatus status = VertexStatus::kCandidate;
+  };
+
+  double own_index_ = 0.0;
+
+  int id_;
+  int r_;
+  VertexStatus status_ = VertexStatus::kCandidate;
+
+  double mean_ = 0.0;
+  std::int64_t count_ = 0;
+
+  // Discovery state.
+  std::vector<int> own_neighbors_;
+  std::unordered_map<int, std::vector<int>> hello_lists_;
+  bool discovered_ = false;
+
+  // Local view: sorted member ids (== J_{2r+1}(id) incl. self), local graph
+  // over them, and per-member entries.
+  std::vector<int> members_;
+  Graph local_graph_;
+  std::unordered_map<int, Entry> table_;
+
+  int local_id(int global) const;
+};
+
+}  // namespace mhca::net

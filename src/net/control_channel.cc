@@ -1,0 +1,73 @@
+#include "net/control_channel.h"
+
+#include "util/assert.h"
+#include "util/hash.h"
+
+namespace mhca::net {
+
+ControlChannel::ControlChannel(const Graph& topology, double drop_prob,
+                               std::uint64_t drop_seed)
+    : topology_(topology),
+      drop_prob_(drop_prob),
+      drop_seed_(drop_seed),
+      scratch_(topology.size()),
+      visit_stamp_(static_cast<std::size_t>(topology.size()), 0) {
+  MHCA_ASSERT(drop_prob >= 0.0 && drop_prob < 1.0,
+              "drop probability out of range");
+}
+
+void ControlChannel::flood(
+    const Message& msg, int ttl,
+    const std::function<void(int, const Message&)>& deliver) {
+  MHCA_ASSERT(msg.origin >= 0 && msg.origin < topology_.size(),
+              "flood origin out of range");
+  MHCA_ASSERT(ttl >= 0, "negative ttl");
+  ++stats_.floods;
+
+  if (drop_prob_ <= 0.0) {
+    scratch_.k_hop_neighborhood(topology_, msg.origin, ttl, reach_buf_);
+    stats_.messages += static_cast<std::int64_t>(reach_buf_.size());
+    stats_.messages_by_type[static_cast<std::size_t>(msg.type)] +=
+        static_cast<std::int64_t>(reach_buf_.size());
+    for (int v : reach_buf_) {
+      if (v == msg.origin) continue;
+      deliver(v, msg);
+    }
+    return;
+  }
+
+  // Lossy BFS: a vertex that fails reception neither delivers nor forwards.
+  ++visit_epoch_;
+  struct Item {
+    int vertex;
+    int depth;
+  };
+  std::vector<Item> queue;
+  queue.push_back({msg.origin, 0});
+  visit_stamp_[static_cast<std::size_t>(msg.origin)] = visit_epoch_;
+  std::size_t head = 0;
+  std::int64_t transmitters = 0;
+  while (head < queue.size()) {
+    const Item it = queue[head++];
+    ++transmitters;  // this vertex retransmits the flood once
+    if (it.depth == ttl) continue;
+    for (int u : topology_.neighbors(it.vertex)) {
+      auto ui = static_cast<std::size_t>(u);
+      if (visit_stamp_[ui] == visit_epoch_) continue;
+      visit_stamp_[ui] = visit_epoch_;
+      const std::uint64_t h = hash_combine(
+          drop_seed_, hash_combine(static_cast<std::uint64_t>(stats_.floods),
+                                   static_cast<std::uint64_t>(u)));
+      if (hash_to_unit(splitmix64(h)) < drop_prob_) {
+        ++stats_.drops;
+        continue;
+      }
+      deliver(u, msg);
+      queue.push_back({u, it.depth + 1});
+    }
+  }
+  stats_.messages += transmitters;
+  stats_.messages_by_type[static_cast<std::size_t>(msg.type)] += transmitters;
+}
+
+}  // namespace mhca::net

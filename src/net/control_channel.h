@@ -1,0 +1,74 @@
+// Synchronous common control channel with TTL-bounded flooding.
+//
+// Delivery model: a flood from `origin` with time-to-live `ttl` reaches
+// exactly the vertices within ttl hops in the control topology (one hop per
+// mini-timeslot, every reached vertex retransmits once). The channel counts
+// transmissions (= reached vertices, including the origin) and the
+// mini-timeslots a phase occupies, matching the accounting of the lockstep
+// engine and the paper's §IV-C complexity analysis.
+//
+// Failure injection: with drop_prob > 0 each non-origin vertex fails to
+// receive a given flood with that probability (deterministically derived
+// from drop_seed and the flood counter); a dropped vertex neither delivers
+// nor forwards. The paper assumes a reliable control channel — the lossy
+// mode exists to demonstrate (and test) that the protocol's independence
+// guarantee genuinely depends on that assumption.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/hop.h"
+#include "net/message.h"
+
+namespace mhca::net {
+
+struct ChannelStats {
+  std::int64_t messages = 0;        ///< Total transmissions.
+  std::int64_t floods = 0;          ///< Flood operations.
+  std::int64_t drops = 0;           ///< Reception failures (lossy mode).
+  std::int64_t mini_timeslots = 0;  ///< Accumulated phase durations.
+  /// Transmissions broken out per message type (indexed by MsgType):
+  /// hello / weight-update / leader-declare / determination. Lets tests
+  /// compare the real protocol's bill against the lockstep engine's
+  /// analytic accounting, phase by phase.
+  std::int64_t messages_by_type[4] = {0, 0, 0, 0};
+
+  std::int64_t of_type(MsgType t) const {
+    return messages_by_type[static_cast<std::size_t>(t)];
+  }
+};
+
+class ControlChannel {
+ public:
+  /// `topology` must outlive the channel (it is the extended graph H; the
+  /// paper's control plane shares the conflict structure of the data plane).
+  explicit ControlChannel(const Graph& topology, double drop_prob = 0.0,
+                          std::uint64_t drop_seed = 0);
+
+  /// Flood `msg` within `ttl` hops of msg.origin; `deliver(v, msg)` is
+  /// invoked once for every reached vertex except the origin.
+  void flood(const Message& msg, int ttl,
+             const std::function<void(int, const Message&)>& deliver);
+
+  /// Account that a protocol phase occupied `slots` mini-timeslots.
+  void charge_timeslots(int slots) { stats_.mini_timeslots += slots; }
+
+  double drop_prob() const { return drop_prob_; }
+  const ChannelStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = ChannelStats{}; }
+
+ private:
+  const Graph& topology_;
+  double drop_prob_;
+  std::uint64_t drop_seed_;
+  BfsScratch scratch_;
+  std::vector<int> reach_buf_;
+  std::vector<std::uint32_t> visit_stamp_;
+  std::uint32_t visit_epoch_ = 0;
+  ChannelStats stats_;
+};
+
+}  // namespace mhca::net

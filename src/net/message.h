@@ -1,0 +1,49 @@
+// Control-channel message formats (paper §IV: WB, LS/LD, LB phases).
+//
+// All strategy-decision coordination rides on a common control channel; the
+// four message types map to the protocol phases:
+//   kHello        — one-time neighborhood discovery (§IV-C: the first round
+//                   must collect ids/weights of the (2r+1)-hop neighborhood)
+//   kWeightUpdate — WB: a vertex that transmitted last round floods its new
+//                   sufficient statistics (µ̃, m); receivers recompute the
+//                   index locally, so only O(1) numbers travel per update
+//   kLeaderDeclare— LS/LD: a Candidate claims LocalLeader in 2r+1 hops
+//   kDetermination— LB: a leader's Winner/Loser verdicts, flooded 3r+1 hops
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mwis/distributed_ptas.h"  // VertexStatus
+
+namespace mhca::net {
+
+enum class MsgType : std::uint8_t {
+  kHello,
+  kWeightUpdate,
+  kLeaderDeclare,
+  kDetermination,
+};
+
+struct StatusEntry {
+  int vertex = -1;
+  VertexStatus status = VertexStatus::kCandidate;
+};
+
+struct Message {
+  MsgType type = MsgType::kHello;
+  int origin = -1;
+
+  // kHello payload: the origin's direct neighbors (lets receivers
+  // reconstruct the adjacency of their local neighborhood).
+  std::vector<int> neighbor_list;
+
+  // kWeightUpdate payload: origin's sufficient statistics.
+  double mean = 0.0;
+  std::int64_t count = 0;
+
+  // kDetermination payload: the leader's verdicts.
+  std::vector<StatusEntry> statuses;
+};
+
+}  // namespace mhca::net

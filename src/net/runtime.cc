@@ -1,0 +1,157 @@
+#include "net/runtime.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace mhca::net {
+
+DistributedRuntime::DistributedRuntime(const ExtendedConflictGraph& ecg,
+                                       const ChannelModel& model,
+                                       NetConfig cfg)
+    : ecg_(ecg),
+      model_(model),
+      cfg_(cfg),
+      channel_(ecg.graph(), cfg.drop_prob, cfg.drop_seed),
+      exact_(cfg.bnb_node_cap) {
+  MHCA_ASSERT(ecg.num_nodes() == model.num_nodes() &&
+                  ecg.num_channels() == model.num_channels(),
+              "graph/model dimension mismatch");
+  MHCA_ASSERT(cfg_.r >= 1, "r must be at least 1");
+  PolicyParams params = cfg_.policy_params;
+  if (cfg_.policy == PolicyKind::kLlr && params.llr_max_strategy_len <= 1)
+    params.llr_max_strategy_len = ecg.num_nodes();
+  policy_ = make_policy(cfg_.policy, params);
+
+  agents_.reserve(static_cast<std::size_t>(ecg.num_vertices()));
+  for (int v = 0; v < ecg.num_vertices(); ++v)
+    agents_.emplace_back(v, cfg_.r);
+  discover();
+}
+
+void DistributedRuntime::discover() {
+  const Graph& h = ecg_.graph();
+  const int horizon = 2 * cfg_.r + 1;
+  for (int v = 0; v < h.size(); ++v)
+    agents_[static_cast<std::size_t>(v)].set_own_neighbors(h.neighbors(v));
+  for (int v = 0; v < h.size(); ++v) {
+    Message hello;
+    hello.type = MsgType::kHello;
+    hello.origin = v;
+    hello.neighbor_list = h.neighbors(v);
+    channel_.flood(hello, horizon, [this](int to, const Message& m) {
+      agents_[static_cast<std::size_t>(to)].on_hello(m);
+    });
+  }
+  for (auto& a : agents_) a.finalize_discovery();
+}
+
+std::size_t DistributedRuntime::max_table_size() const {
+  std::size_t best = 0;
+  for (const auto& a : agents_) best = std::max(best, a.table_size());
+  return best;
+}
+
+NetRoundResult DistributedRuntime::step() {
+  ++t_;
+  const int k_arms = ecg_.num_vertices();
+  const int horizon = 2 * cfg_.r + 1;
+
+  // --- WB: previous strategy's vertices flood refreshed statistics. ---
+  if (t_ > 1) {
+    for (int v : prev_strategy_) {
+      Message wu;
+      wu.type = MsgType::kWeightUpdate;
+      wu.origin = v;
+      wu.mean = agents_[static_cast<std::size_t>(v)].own_mean();
+      wu.count = agents_[static_cast<std::size_t>(v)].own_count();
+      channel_.flood(wu, horizon, [this](int to, const Message& m) {
+        agents_[static_cast<std::size_t>(to)].on_weight_update(m);
+      });
+    }
+  }
+  for (auto& a : agents_) a.begin_round(*policy_, t_, k_arms);
+
+  // --- D mini-rounds of Algorithm 3. ---
+  MwisSolver& local_solver =
+      cfg_.local_solver == LocalSolverKind::kExact
+          ? static_cast<MwisSolver&>(exact_)
+          : static_cast<MwisSolver&>(greedy_);
+  NetRoundResult out;
+  out.round = t_;
+  int mr = 0;
+  while (cfg_.D == 0 || mr < cfg_.D) {
+    bool any_candidate = false;
+    for (const auto& a : agents_) {
+      if (a.status() == VertexStatus::kCandidate) {
+        any_candidate = true;
+        break;
+      }
+    }
+    if (!any_candidate) break;
+    ++mr;
+
+    // LS/LD: self-election + declaration flood.
+    std::vector<int> leaders;
+    for (const auto& a : agents_)
+      if (a.should_lead()) leaders.push_back(a.id());
+    // On a reliable channel the globally best candidate always elects
+    // itself. Under message loss, stale tables can leave every candidate
+    // believing a (long-marked) heavier neighbor is still in the race —
+    // a livelock a real deployment breaks by timeout; we end the decision.
+    MHCA_ASSERT(!leaders.empty() || cfg_.drop_prob > 0.0,
+                "a candidate of maximal weight must elect itself");
+    if (leaders.empty()) break;
+    for (int v : leaders) {
+      Message ld;
+      ld.type = MsgType::kLeaderDeclare;
+      ld.origin = v;
+      channel_.flood(ld, horizon, [](int, const Message&) {});
+    }
+    channel_.charge_timeslots(horizon);
+
+    // LMWIS + LB. Under loss, an earlier leader's verdict this mini-round
+    // may already have demoted a later "leader" (they can end up close
+    // together when declarations were dropped) — it must then stand down.
+    for (int v : leaders) {
+      if (agents_[static_cast<std::size_t>(v)].status() !=
+          VertexStatus::kCandidate)
+        continue;
+      Message det;
+      det.type = MsgType::kDetermination;
+      det.origin = v;
+      det.statuses = agents_[static_cast<std::size_t>(v)].lead(local_solver);
+      agents_[static_cast<std::size_t>(v)].on_determination(det);
+      // 3r+2: winner-adjacent losers sit up to r+1 hops from the leader and
+      // must reach every holder of their status (2r+1 further hops).
+      channel_.flood(det, 3 * cfg_.r + 2, [this](int to, const Message& m) {
+        agents_[static_cast<std::size_t>(to)].on_determination(m);
+      });
+    }
+    channel_.charge_timeslots(3 * cfg_.r + 2);
+  }
+  out.mini_rounds = mr;
+
+  // --- Data transmission + observation. ---
+  out.all_marked = true;
+  for (const auto& a : agents_) {
+    if (a.status() == VertexStatus::kWinner)
+      out.strategy.push_back(a.id());
+    else if (a.status() == VertexStatus::kCandidate)
+      out.all_marked = false;
+  }
+  out.conflict = !ecg_.graph().is_independent_set(out.strategy);
+  MHCA_ASSERT(!out.conflict || cfg_.drop_prob > 0.0,
+              "protocol produced a conflicting strategy on a reliable "
+              "control channel");
+  for (int v : out.strategy) {
+    const double x =
+        model_.sample(ecg_.master_of(v), ecg_.channel_of(v), t_);
+    agents_[static_cast<std::size_t>(v)].observe(x);
+    out.observed_sum += x;
+  }
+  prev_strategy_ = out.strategy;
+  return out;
+}
+
+}  // namespace mhca::net

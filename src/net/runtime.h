@@ -1,0 +1,95 @@
+// Message-level implementation of Algorithm 2 (the full distributed
+// channel-access scheme) over per-vertex agents and a flooding control
+// channel.
+//
+// Per round t:
+//   WB  — every vertex of the previous strategy floods its refreshed (µ̃, m)
+//         within 2r+1 hops; all agents recompute indices locally from the
+//         global round number (eq. 3 needs only t, K and the stored stats).
+//   LS  — Candidates whose key dominates their (2r+1)-hop table self-elect
+//         LocalLeader and declare within 2r+1 hops.
+//   LMWIS/LB — each leader solves MWIS over its r-hop Candidates and floods
+//         the verdicts within 3r+1 hops; D mini-rounds total.
+//   TX  — Winners access their channels, observe rates, update estimates.
+//
+// This runtime exists to demonstrate and *test* that the protocol works
+// from purely local knowledge; the lockstep engine in mwis/distributed_ptas
+// computes identical decisions (asserted by integration tests) and is what
+// the large benchmarks use.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bandit/policy.h"
+#include "channel/channel_model.h"
+#include "graph/extended_graph.h"
+#include "mwis/branch_and_bound.h"
+#include "mwis/greedy.h"
+#include "net/agent.h"
+#include "net/control_channel.h"
+
+namespace mhca::net {
+
+struct NetConfig {
+  int r = 2;
+  int D = 4;  ///< Mini-rounds per decision; 0 = run until all marked.
+  PolicyKind policy = PolicyKind::kCab;
+  PolicyParams policy_params{};
+  LocalSolverKind local_solver = LocalSolverKind::kExact;
+  std::int64_t bnb_node_cap = 200'000;
+  /// Control-channel reception failure probability (failure injection; the
+  /// protocol's independence guarantee assumes 0 — see ControlChannel).
+  double drop_prob = 0.0;
+  std::uint64_t drop_seed = 0;
+};
+
+struct NetRoundResult {
+  std::int64_t round = 0;
+  std::vector<int> strategy;  ///< Winner vertices of H (sorted).
+  double observed_sum = 0.0;  ///< Realized throughput (normalized).
+  int mini_rounds = 0;
+  bool all_marked = false;
+  /// True if the produced strategy contains a conflict. Always false on a
+  /// reliable control channel (asserted); possible under drop_prob > 0.
+  bool conflict = false;
+};
+
+class DistributedRuntime {
+ public:
+  /// References must outlive the runtime. Construction performs the
+  /// one-time (2r+1)-hop neighborhood discovery (paper: the first WB round
+  /// collects ids of the local neighborhood).
+  DistributedRuntime(const ExtendedConflictGraph& ecg,
+                     const ChannelModel& model, NetConfig cfg);
+
+  /// Execute one full round of Algorithm 2.
+  NetRoundResult step();
+
+  std::int64_t rounds_run() const { return t_; }
+  const ChannelStats& channel_stats() const { return channel_.stats(); }
+  const VertexAgent& agent(int v) const {
+    return agents_[static_cast<std::size_t>(v)];
+  }
+  const IndexPolicy& policy() const { return *policy_; }
+
+  /// Maximum agent table size — the per-vertex space bound O(m).
+  std::size_t max_table_size() const;
+
+ private:
+  void discover();
+
+  const ExtendedConflictGraph& ecg_;
+  const ChannelModel& model_;
+  NetConfig cfg_;
+  std::unique_ptr<IndexPolicy> policy_;
+  ControlChannel channel_;
+  std::vector<VertexAgent> agents_;
+  BranchAndBoundMwisSolver exact_;
+  GreedyMwisSolver greedy_;
+  std::vector<int> prev_strategy_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace mhca::net

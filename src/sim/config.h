@@ -1,0 +1,40 @@
+// Simulation configuration shared by the simulator and the core facade.
+#pragma once
+
+#include <cstdint>
+
+#include "mwis/distributed_ptas.h"
+#include "sim/timing.h"
+
+namespace mhca {
+
+/// Which MWIS oracle performs the strategy decision.
+enum class SolverKind {
+  kDistributedPtas,  ///< Algorithm 3 (lockstep engine) — the paper's scheme.
+  kCentralizedPtas,  ///< Centralized robust PTAS (§IV-B).
+  kGreedy,           ///< Global greedy heuristic.
+  kExact,            ///< Exact branch-and-bound (small instances / optimum).
+};
+
+const char* to_string(SolverKind kind);
+
+struct SimulationConfig {
+  std::int64_t slots = 1000;  ///< Time horizon n.
+  int update_period = 1;      ///< y: strategy refresh every y slots (§V-C).
+
+  // Strategy-decision oracle.
+  SolverKind solver = SolverKind::kDistributedPtas;
+  int r = 2;  ///< Local-neighborhood radius (paper simulations: r = 2).
+  int D = 4;  ///< Mini-round budget per decision (0 = until all marked).
+  LocalSolverKind local_solver = LocalSolverKind::kExact;
+  std::int64_t bnb_node_cap = 200'000;
+  double ptas_epsilon = 1.0;  ///< ε for the centralized robust PTAS.
+
+  RoundTiming timing;
+
+  std::uint64_t seed = 1;      ///< Drives ε-greedy randomization only.
+  bool count_messages = false; ///< Tally protocol messages (costs BFS).
+  int series_stride = 1;       ///< Record every k-th slot in the series.
+};
+
+}  // namespace mhca

@@ -1,0 +1,21 @@
+#include "sim/export.h"
+
+#include "util/csv.h"
+
+namespace mhca {
+
+bool export_series_csv(const SimulationResult& res, const std::string& path,
+                       double rate_scale) {
+  CsvWriter csv(path, {"slot", "cumavg_effective", "cumavg_estimated",
+                       "cumavg_observed", "cum_expected"});
+  if (!csv.ok()) return false;
+  for (std::size_t i = 0; i < res.slots.size(); ++i) {
+    csv.row(res.slots[i], res.cumavg_effective[i] * rate_scale,
+            res.cumavg_estimated[i] * rate_scale,
+            res.cumavg_observed[i] * rate_scale,
+            res.cum_expected[i] * rate_scale);
+  }
+  return csv.ok();
+}
+
+}  // namespace mhca

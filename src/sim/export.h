@@ -1,0 +1,18 @@
+// CSV export of simulation series (for external plotting of the figures).
+#pragma once
+
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace mhca {
+
+/// Write the recorded series of `res` to a CSV file with columns
+/// slot, cumavg_effective, cumavg_estimated, cumavg_observed, cum_expected.
+/// Values are multiplied by `rate_scale` (pass the model's kbps scale, or
+/// 1.0 for normalized units). Returns false if the file could not be
+/// written.
+bool export_series_csv(const SimulationResult& res, const std::string& path,
+                       double rate_scale = 1.0);
+
+}  // namespace mhca

@@ -1,0 +1,36 @@
+#include "sim/metrics.h"
+
+#include "sim/simulator.h"
+#include "util/assert.h"
+
+namespace mhca {
+
+std::vector<double> practical_regret_series(const SimulationResult& sim,
+                                            double r1) {
+  std::vector<double> out;
+  out.reserve(sim.cumavg_effective.size());
+  for (double eff : sim.cumavg_effective) out.push_back(r1 - eff);
+  return out;
+}
+
+std::vector<double> beta_regret_series(const SimulationResult& sim, double r1,
+                                       double beta) {
+  MHCA_ASSERT(beta >= 1.0, "beta must be at least 1");
+  std::vector<double> out;
+  out.reserve(sim.cumavg_effective.size());
+  for (double eff : sim.cumavg_effective) out.push_back(r1 / beta - eff);
+  return out;
+}
+
+std::vector<double> ideal_regret_series(const SimulationResult& sim,
+                                        double r1) {
+  std::vector<double> out;
+  out.reserve(sim.cum_expected.size());
+  for (std::size_t i = 0; i < sim.cum_expected.size(); ++i) {
+    const double t = static_cast<double>(sim.slots[i]);
+    out.push_back(t * r1 - sim.cum_expected[i]);
+  }
+  return out;
+}
+
+}  // namespace mhca

@@ -1,0 +1,26 @@
+// Regret metrics (paper §II eq. 1, §III β-regret, §IV-E practical regret).
+#pragma once
+
+#include <vector>
+
+namespace mhca {
+
+struct SimulationResult;  // defined in sim/simulator.h
+
+/// Practical regret series: R1 − cumavg effective throughput at each
+/// recorded slot (Fig. 7a). All values normalized; multiply by the model's
+/// rate scale for kbps.
+std::vector<double> practical_regret_series(const SimulationResult& sim,
+                                            double r1);
+
+/// Practical β-regret series: R1/β − cumavg effective throughput (Fig. 7b).
+/// Negative values mean the scheme beats the 1/β benchmark.
+std::vector<double> beta_regret_series(const SimulationResult& sim, double r1,
+                                       double beta);
+
+/// Ideal (timing-free) cumulative regret: t·R1 − Σ λ_{x(τ)} using true
+/// means of the chosen strategies — the classic eq. (1) regret.
+std::vector<double> ideal_regret_series(const SimulationResult& sim,
+                                        double r1);
+
+}  // namespace mhca

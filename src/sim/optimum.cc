@@ -1,0 +1,31 @@
+#include "sim/optimum.h"
+
+#include <cmath>
+
+#include "mwis/branch_and_bound.h"
+#include "util/assert.h"
+
+namespace mhca {
+
+OptimumInfo compute_optimum(const ExtendedConflictGraph& ecg,
+                            const ChannelModel& model,
+                            std::int64_t bnb_node_cap) {
+  const std::vector<double> means = model.mean_matrix(1);
+  BranchAndBoundMwisSolver solver(bnb_node_cap);
+  MwisResult res = solver.solve_all(ecg.graph(), means);
+  OptimumInfo info;
+  info.weight = res.weight;
+  info.vertices = std::move(res.vertices);
+  info.exact = res.exact;
+  return info;
+}
+
+double theorem2_rho(int num_channels, int r) {
+  MHCA_ASSERT(num_channels >= 1 && r >= 1, "invalid rho parameters");
+  const double bound =
+      static_cast<double>(num_channels) *
+      static_cast<double>((2 * r + 1) * (2 * r + 1));
+  return std::pow(bound, 1.0 / static_cast<double>(r));
+}
+
+}  // namespace mhca

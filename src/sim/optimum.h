@@ -1,0 +1,32 @@
+// Static-optimum computation: R1 = W(MWIS(H)) with true means as weights
+// (paper eq. 2) — the genie benchmark that regret is measured against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/channel_model.h"
+#include "graph/extended_graph.h"
+
+namespace mhca {
+
+struct OptimumInfo {
+  double weight = 0.0;        ///< R1, normalized units.
+  std::vector<int> vertices;  ///< The optimal strategy (vertices of H).
+  bool exact = true;          ///< False if the effort cap was hit.
+};
+
+/// Compute the optimal static strategy by exact branch-and-bound over H.
+/// For the paper's Fig. 7 network (15 users x 3 channels) this is fast;
+/// `bnb_node_cap` guards against accidental use on huge instances (the
+/// result then carries exact = false, like the paper's remark that large
+/// networks' optima are not computed).
+OptimumInfo compute_optimum(const ExtendedConflictGraph& ecg,
+                            const ChannelModel& model,
+                            std::int64_t bnb_node_cap = 50'000'000);
+
+/// Theorem-2 approximation ratio bound for the distributed PTAS on H:
+/// ρ = (M · (2r+1)²)^(1/r). Used as β in β-regret reporting.
+double theorem2_rho(int num_channels, int r);
+
+}  // namespace mhca

@@ -1,0 +1,47 @@
+#include "sim/replication.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace mhca {
+
+const Summary& ReplicationReport::metric(const std::string& name) const {
+  for (const auto& m : metrics)
+    if (m.name == name) return m.summary;
+  MHCA_ASSERT(false, "unknown replication metric: " + name);
+}
+
+ReplicationReport replicate(
+    const std::function<SimulationResult(std::uint64_t seed)>& experiment,
+    int replications, std::uint64_t seed0) {
+  MHCA_ASSERT(replications >= 1, "need at least one replication");
+  std::vector<double> expected, effective, observed, gap, size;
+  for (int i = 0; i < replications; ++i) {
+    const SimulationResult res = experiment(seed0 + static_cast<std::uint64_t>(i));
+    const double slots = static_cast<double>(res.total_slots);
+    expected.push_back(res.total_expected / slots);
+    effective.push_back(res.total_effective / slots);
+    observed.push_back(res.total_observed / slots);
+    const double eff = res.cumavg_effective.empty()
+                           ? 0.0
+                           : res.cumavg_effective.back();
+    const double est = res.cumavg_estimated.empty()
+                           ? 0.0
+                           : res.cumavg_estimated.back();
+    gap.push_back(eff > 0.0 ? std::abs(est - eff) / eff : 0.0);
+    size.push_back(res.avg_strategy_size);
+  }
+  ReplicationReport report;
+  report.replications = replications;
+  report.metrics = {
+      {"expected_rate", summarize(expected)},
+      {"effective_rate", summarize(effective)},
+      {"observed_rate", summarize(observed)},
+      {"estimate_gap", summarize(gap)},
+      {"strategy_size", summarize(size)},
+  };
+  return report;
+}
+
+}  // namespace mhca

@@ -1,0 +1,40 @@
+// Multi-seed replication: run the same experiment across independent seeds
+// and report mean/std error bars instead of single-run point estimates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace mhca {
+
+/// A named metric aggregated over replications.
+struct ReplicatedMetric {
+  std::string name;
+  Summary summary;
+};
+
+struct ReplicationReport {
+  int replications = 0;
+  std::vector<ReplicatedMetric> metrics;
+
+  /// Find a metric by name (throws if absent).
+  const Summary& metric(const std::string& name) const;
+};
+
+/// Run `experiment(seed)` for seeds seed0 .. seed0+replications-1 and
+/// aggregate the standard headline metrics of each SimulationResult:
+///   expected_rate   — avg true-mean throughput per slot
+///   effective_rate  — avg timing-discounted realized throughput per slot
+///   observed_rate   — avg raw observed throughput per slot
+///   estimate_gap    — |estimated − effective| / effective at the horizon
+///   strategy_size   — avg transmitters per slot
+ReplicationReport replicate(
+    const std::function<SimulationResult(std::uint64_t seed)>& experiment,
+    int replications, std::uint64_t seed0 = 1);
+
+}  // namespace mhca

@@ -1,0 +1,144 @@
+#include "sim/simulator.h"
+
+#include <chrono>
+
+#include "mwis/branch_and_bound.h"
+#include "mwis/distributed_ptas.h"
+#include "mwis/greedy.h"
+#include "mwis/robust_ptas.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mhca {
+
+const char* to_string(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kDistributedPtas: return "distributed-ptas";
+    case SolverKind::kCentralizedPtas: return "centralized-ptas";
+    case SolverKind::kGreedy: return "greedy";
+    case SolverKind::kExact: return "exact";
+  }
+  return "?";
+}
+
+Simulator::Simulator(const ExtendedConflictGraph& ecg,
+                     const ChannelModel& model, const IndexPolicy& policy,
+                     SimulationConfig cfg)
+    : ecg_(ecg), model_(model), policy_(policy), cfg_(cfg) {
+  MHCA_ASSERT(ecg.num_nodes() == model.num_nodes() &&
+                  ecg.num_channels() == model.num_channels(),
+              "graph/model dimension mismatch");
+  MHCA_ASSERT(cfg_.slots >= 1, "need at least one slot");
+  MHCA_ASSERT(cfg_.update_period >= 1, "update period must be positive");
+  MHCA_ASSERT(cfg_.series_stride >= 1, "series stride must be positive");
+}
+
+SimulationResult Simulator::run() {
+  using Clock = std::chrono::steady_clock;
+  const Graph& h = ecg_.graph();
+  const int k_arms = ecg_.num_vertices();
+
+  ArmEstimates est(k_arms);
+  Rng rng(cfg_.seed);
+
+  // Strategy-decision oracle.
+  DistributedPtasConfig dcfg;
+  dcfg.r = cfg_.r;
+  dcfg.max_mini_rounds = cfg_.D;
+  dcfg.local_solver = cfg_.local_solver;
+  dcfg.bnb_node_cap = cfg_.bnb_node_cap;
+  dcfg.count_messages = cfg_.count_messages;
+  DistributedRobustPtas engine(h, dcfg);
+  std::unique_ptr<MwisSolver> central;
+  switch (cfg_.solver) {
+    case SolverKind::kDistributedPtas:
+      break;
+    case SolverKind::kCentralizedPtas:
+      central = std::make_unique<RobustPtasSolver>(cfg_.ptas_epsilon, 4,
+                                                   cfg_.bnb_node_cap);
+      break;
+    case SolverKind::kGreedy:
+      central = std::make_unique<GreedyMwisSolver>();
+      break;
+    case SolverKind::kExact:
+      central = std::make_unique<BranchAndBoundMwisSolver>(cfg_.bnb_node_cap);
+      break;
+  }
+
+  SimulationResult out;
+  out.theta = cfg_.timing.theta();
+
+  std::vector<double> weights;
+  std::vector<int> strategy;
+  double estimated_sum = 0.0;  // index-sum W_x of the current strategy
+  double sum_observed = 0.0, sum_effective = 0.0, sum_estimated = 0.0;
+  double sum_expected = 0.0, sum_strategy_size = 0.0;
+
+  for (std::int64_t t = 1; t <= cfg_.slots; ++t) {
+    const bool decision_slot = ((t - 1) % cfg_.update_period) == 0;
+    if (decision_slot) {
+      const auto t0 = Clock::now();
+      if (policy_.randomize_round(t, rng)) {
+        weights.resize(static_cast<std::size_t>(k_arms));
+        for (auto& w : weights) w = rng.uniform();
+      } else {
+        policy_.compute_indices(est, t, weights);
+      }
+      if (cfg_.solver == SolverKind::kDistributedPtas) {
+        if (cfg_.count_messages && !strategy.empty())
+          out.total_messages += engine.weight_broadcast_messages(strategy);
+        DistributedPtasResult dres = engine.run(weights);
+        strategy = std::move(dres.winners);
+        out.total_messages += dres.total_messages;
+        out.total_mini_timeslots += dres.total_mini_timeslots;
+      } else {
+        strategy = central->solve_all(h, weights).vertices;
+      }
+      estimated_sum = 0.0;
+      for (int v : strategy)
+        estimated_sum += weights[static_cast<std::size_t>(v)];
+      out.decision_seconds +=
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      ++out.decisions;
+    }
+    sum_strategy_size += static_cast<double>(strategy.size());
+
+    // Data transmission + observation.
+    double observed = 0.0, expected = 0.0;
+    for (int v : strategy) {
+      const int node = ecg_.master_of(v);
+      const int chan = ecg_.channel_of(v);
+      const double x = model_.sample(node, chan, t);
+      est.observe(v, x);
+      observed += x;
+      expected += model_.mean(node, chan, t);
+    }
+    const double factor = decision_slot ? cfg_.timing.theta() : 1.0;
+    sum_observed += observed;
+    sum_effective += factor * observed;
+    sum_estimated += factor * estimated_sum;
+    sum_expected += expected;
+
+    if ((t - 1) % cfg_.series_stride == 0 || t == cfg_.slots) {
+      const double td = static_cast<double>(t);
+      out.slots.push_back(t);
+      out.cumavg_effective.push_back(sum_effective / td);
+      out.cumavg_estimated.push_back(sum_estimated / td);
+      out.cumavg_observed.push_back(sum_observed / td);
+      out.cum_expected.push_back(sum_expected);
+    }
+  }
+
+  out.total_slots = cfg_.slots;
+  out.total_observed = sum_observed;
+  out.total_effective = sum_effective;
+  out.total_expected = sum_expected;
+  out.avg_strategy_size =
+      sum_strategy_size / static_cast<double>(cfg_.slots);
+  out.final_means = est.means();
+  out.final_counts = est.counts();
+  out.last_strategy = strategy;
+  return out;
+}
+
+}  // namespace mhca

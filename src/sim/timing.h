@@ -1,0 +1,40 @@
+// Round timing model (paper Fig. 2 + Table II + §IV-E).
+//
+// A round of length t_a splits into a strategy-decision part t_s and a data
+// transmission part t_d. The decision part consists of c mini-rounds of
+// length t_m = 2·t_b + t_l each (two local broadcasts + local computation).
+// Only the fraction θ = t_d / t_a of a decision slot's throughput is
+// realized — the "practical regret" discount.
+#pragma once
+
+namespace mhca {
+
+struct RoundTiming {
+  double ta_ms = 2000.0;  ///< Round length (Table II).
+  double td_ms = 1000.0;  ///< Data-transmission part (Table II).
+  double tb_ms = 100.0;   ///< One local broadcast (Table II).
+  double tl_ms = 50.0;    ///< Local computation per mini-round (Table II).
+  int decision_mini_rounds = 4;  ///< c: paper §V sets t_s = 4·t_m.
+
+  /// Mini-round length t_m = 2 t_b + t_l (250 ms with Table II values).
+  double tm_ms() const { return 2.0 * tb_ms + tl_ms; }
+
+  /// Strategy-decision duration t_s = c · t_m.
+  double ts_ms() const { return decision_mini_rounds * tm_ms(); }
+
+  /// θ = t_d / t_a: realized fraction of a decision slot (0.5 in the paper).
+  double theta() const { return td_ms / ta_ms; }
+
+  /// Whether t_s + t_d fills the round exactly (true for Table II values).
+  bool is_consistent() const { return ts_ms() + td_ms == ta_ms; }
+
+  /// Fraction of ideal throughput realized when strategies are refreshed
+  /// every y slots (paper §V-C): (t_d + (y−1)·t_a) / (y·t_a);
+  /// y = 1, 5, 10, 20 → 1/2, 9/10, 19/20, 39/40.
+  double periodic_fraction(int y) const {
+    return (td_ms + static_cast<double>(y - 1) * ta_ms) /
+           (static_cast<double>(y) * ta_ms);
+  }
+};
+
+}  // namespace mhca

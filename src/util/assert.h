@@ -1,0 +1,27 @@
+// Precondition / invariant checking for the mhca library.
+//
+// MHCA_ASSERT is active in all build types (the library is a research
+// artifact; silent corruption is worse than the nanoseconds saved), and
+// throws std::logic_error so tests can assert on violations.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mhca::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MHCA_ASSERT failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace mhca::detail
+
+#define MHCA_ASSERT(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) ::mhca::detail::assert_fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

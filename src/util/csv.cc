@@ -1,0 +1,37 @@
+#include "util/csv.h"
+
+namespace mhca {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& h : header) {
+    if (!first) os << ',';
+    first = false;
+    write_cell(os, h);
+  }
+  write_line(os.str());
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::write_cell(std::ostringstream& os, const std::string& v) {
+  if (v.find_first_of(",\"\n") == std::string::npos) {
+    os << v;
+    return;
+  }
+  os << '"';
+  for (char c : v) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+void CsvWriter::write_line(const std::string& line) {
+  if (out_) out_ << line << '\n';
+}
+
+}  // namespace mhca

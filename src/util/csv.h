@@ -1,0 +1,53 @@
+// Minimal CSV writer used by the benchmark harnesses to dump raw series.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mhca {
+
+/// Writes rows of comma-separated values to a file (or any ostream).
+///
+/// Values are formatted with operator<<; strings containing commas or quotes
+/// are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Open `path` for writing and emit the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Append one row; the number of cells should match the header.
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    std::ostringstream os;
+    bool first = true;
+    (
+        [&] {
+          if (!first) os << ',';
+          first = false;
+          write_cell(os, cells);
+        }(),
+        ...);
+    write_line(os.str());
+  }
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  template <typename T>
+  static void write_cell(std::ostringstream& os, const T& v) {
+    os << v;
+  }
+  static void write_cell(std::ostringstream& os, const std::string& v);
+
+  void write_line(const std::string& line);
+
+  std::ofstream out_;
+};
+
+}  // namespace mhca

@@ -1,0 +1,31 @@
+// Small deterministic hashing / mixing utilities.
+//
+// The channel models use these to derive per-(node, channel, slot) random
+// values statelessly, so two different runtimes (the lockstep simulator and
+// the message-level protocol runtime) observe bit-identical channel
+// realizations for the same seed.
+#pragma once
+
+#include <cstdint>
+
+namespace mhca {
+
+/// splitmix64 finalizer — a high-quality 64-bit mixing function.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two 64-bit values into one well-mixed value.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return splitmix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Map a 64-bit hash to a double uniformly distributed in [0, 1).
+constexpr double hash_to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace mhca

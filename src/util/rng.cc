@@ -1,0 +1,13 @@
+#include "util/rng.h"
+
+#include "util/hash.h"
+
+namespace mhca {
+
+Rng Rng::split() {
+  const std::uint64_t a = engine_();
+  const std::uint64_t b = engine_();
+  return Rng(hash_combine(a, b));
+}
+
+}  // namespace mhca

@@ -1,0 +1,46 @@
+// Seedable random number generator with independent-stream splitting.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace mhca {
+
+/// Thin wrapper around std::mt19937_64 with convenience samplers.
+///
+/// All stochastic components of the library take an explicit Rng (or a seed)
+/// so that every experiment is reproducible from a single 64-bit seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Normal sample.
+  double gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli sample.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Derive an independent child stream (deterministic given parent state).
+  Rng split();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mhca

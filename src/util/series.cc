@@ -1,0 +1,67 @@
+#include "util/series.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace mhca {
+
+std::vector<double> cumulative_average(const std::vector<double>& xs) {
+  std::vector<double> out(xs.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum += xs[i];
+    out[i] = sum / static_cast<double>(i + 1);
+  }
+  return out;
+}
+
+std::vector<double> cumulative_sum(const std::vector<double>& xs) {
+  std::vector<double> out(xs.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum += xs[i];
+    out[i] = sum;
+  }
+  return out;
+}
+
+std::vector<double> moving_average(const std::vector<double>& xs,
+                                   std::size_t window) {
+  MHCA_ASSERT(window >= 1, "window must be positive");
+  std::vector<double> out(xs.size());
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(window) / 2;
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(xs.size());
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, i - half);
+    const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(n - 1, i + half);
+    double sum = 0.0;
+    for (std::ptrdiff_t j = lo; j <= hi; ++j) sum += xs[static_cast<std::size_t>(j)];
+    out[static_cast<std::size_t>(i)] = sum / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::size_t, double>> downsample(
+    const std::vector<double>& xs, std::size_t points) {
+  std::vector<std::pair<std::size_t, double>> out;
+  if (xs.empty() || points == 0) return out;
+  if (xs.size() <= points) {
+    for (std::size_t i = 0; i < xs.size(); ++i) out.emplace_back(i, xs[i]);
+    return out;
+  }
+  const double stride =
+      static_cast<double>(xs.size() - 1) / static_cast<double>(points - 1);
+  std::size_t prev = static_cast<std::size_t>(-1);
+  for (std::size_t p = 0; p < points; ++p) {
+    std::size_t idx = static_cast<std::size_t>(stride * static_cast<double>(p) + 0.5);
+    idx = std::min(idx, xs.size() - 1);
+    if (idx == prev) continue;
+    prev = idx;
+    out.emplace_back(idx, xs[idx]);
+  }
+  if (out.back().first != xs.size() - 1) out.emplace_back(xs.size() - 1, xs.back());
+  return out;
+}
+
+}  // namespace mhca

@@ -1,0 +1,24 @@
+// Time-series helpers for experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mhca {
+
+/// Cumulative-average transform: out[i] = mean(xs[0..i]).
+std::vector<double> cumulative_average(const std::vector<double>& xs);
+
+/// Prefix-sum transform: out[i] = sum(xs[0..i]).
+std::vector<double> cumulative_sum(const std::vector<double>& xs);
+
+/// Centered-window moving average with the given (odd) window width.
+std::vector<double> moving_average(const std::vector<double>& xs,
+                                   std::size_t window);
+
+/// Downsample a series to at most `points` evenly spaced samples
+/// (always keeps the last element). Returns (index, value) pairs.
+std::vector<std::pair<std::size_t, double>> downsample(
+    const std::vector<double>& xs, std::size_t points);
+
+}  // namespace mhca

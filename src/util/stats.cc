@@ -1,0 +1,34 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mhca {
+
+void RunningStat::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Summary summarize(const std::vector<double>& xs) {
+  RunningStat rs;
+  for (double x : xs) rs.add(x);
+  return Summary{rs.count(), rs.mean(), rs.stddev(), rs.min(), rs.max()};
+}
+
+}  // namespace mhca

@@ -1,0 +1,42 @@
+// Streaming statistics helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mhca {
+
+/// Welford streaming mean/variance accumulator.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary statistics of a finished sample.
+struct Summary {
+  std::int64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Compute a Summary over a vector of samples.
+Summary summarize(const std::vector<double>& xs);
+
+}  // namespace mhca

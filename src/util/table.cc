@@ -1,0 +1,41 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace mhca {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i)
+      widths[i] = std::max(widths[i], r[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < r.size() ? r[i] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << cell;
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string fixed(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+}  // namespace mhca

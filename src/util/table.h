@@ -1,0 +1,44 @@
+// Aligned console table printer used by the benchmark binaries to emit
+// paper-style rows.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mhca {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Append a row; cells are converted with operator<<.
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    std::vector<std::string> r;
+    r.reserve(sizeof...(cells));
+    (r.push_back(to_cell(cells)), ...);
+    rows_.push_back(std::move(r));
+  }
+
+  /// Render the table (header, rule, rows) to `os`.
+  void print(std::ostream& os) const;
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for table cells).
+std::string fixed(double v, int digits = 2);
+
+}  // namespace mhca

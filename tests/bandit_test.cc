@@ -1,0 +1,195 @@
+// Tests for src/bandit: estimate updates (eqs. 5-6), the CAB index (eq. 3),
+// LLR, UCB1, ε-greedy, the policy factory, and the naive strategy-as-arm
+// baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bandit/cab.h"
+#include "bandit/estimates.h"
+#include "bandit/llr.h"
+#include "bandit/naive_ucb.h"
+#include "bandit/policy.h"
+#include "bandit/simple_policies.h"
+#include "util/rng.h"
+
+namespace mhca {
+namespace {
+
+TEST(ArmEstimates, RunningMeanMatchesEq5And6) {
+  ArmEstimates est(3);
+  est.observe(1, 0.5);
+  est.observe(1, 1.0);
+  est.observe(1, 0.0);
+  EXPECT_EQ(est.count(1), 3);
+  EXPECT_NEAR(est.mean(1), 0.5, 1e-12);
+  // Untouched arms stay at (0, 0) — the "else" branches of eqs. 5-6.
+  EXPECT_EQ(est.count(0), 0);
+  EXPECT_DOUBLE_EQ(est.mean(0), 0.0);
+  EXPECT_EQ(est.total_plays(), 3);
+}
+
+TEST(ArmEstimates, BoundsChecked) {
+  ArmEstimates est(2);
+  EXPECT_THROW(est.observe(2, 0.5), std::logic_error);
+  EXPECT_THROW(est.mean(-1), std::logic_error);
+  EXPECT_THROW(ArmEstimates(0), std::logic_error);
+}
+
+TEST(UnplayedIndex, AboveRewardsAndDistinct) {
+  const int K = 100;
+  for (int k = 0; k < K; ++k) {
+    EXPECT_GT(IndexPolicy::unplayed_index(k, K), 1.0);
+    if (k > 0) {
+      EXPECT_NE(IndexPolicy::unplayed_index(k, K),
+                IndexPolicy::unplayed_index(k - 1, K));
+    }
+  }
+}
+
+TEST(CabIndex, MatchesEquation3) {
+  CabIndexPolicy cab;
+  const int K = 10;
+  const double mean = 0.4;
+  const std::int64_t m = 3;
+  const std::int64_t t = 1000;
+  const double inner = (2.0 / 3.0) * std::log(static_cast<double>(t)) -
+                       std::log(static_cast<double>(K) * 3.0);
+  const double expect = mean + std::sqrt(std::max(inner, 0.0) / 3.0);
+  EXPECT_NEAR(cab.index_from(mean, m, 0, t, K), expect, 1e-12);
+}
+
+TEST(CabIndex, ClipsToZeroWhenWellSampled) {
+  // For m >= t^{2/3}/K the logarithm is non-positive: pure exploitation.
+  CabIndexPolicy cab;
+  const int K = 10;
+  const std::int64_t t = 1000;  // t^{2/3} = 100, threshold m = 10
+  EXPECT_DOUBLE_EQ(cab.index_from(0.7, 50, 0, t, K), 0.7);
+  // Just below the threshold there is still a positive bonus.
+  EXPECT_GT(cab.index_from(0.7, 5, 0, t, K), 0.7);
+}
+
+TEST(CabIndex, UnplayedGetsOptimisticValue) {
+  CabIndexPolicy cab;
+  EXPECT_DOUBLE_EQ(cab.index_from(0.0, 0, 3, 10, 8),
+                   IndexPolicy::unplayed_index(3, 8));
+}
+
+TEST(CabIndex, BonusDecreasesWithSamples) {
+  CabIndexPolicy cab;
+  const double b1 = cab.index_from(0.0, 1, 0, 10000, 5);
+  const double b2 = cab.index_from(0.0, 4, 0, 10000, 5);
+  const double b3 = cab.index_from(0.0, 16, 0, 10000, 5);
+  EXPECT_GT(b1, b2);
+  EXPECT_GT(b2, b3);
+}
+
+TEST(LlrIndex, MatchesFormula) {
+  LlrIndexPolicy llr(15);  // L = 15
+  const double mean = 0.3;
+  const std::int64_t m = 4, t = 500;
+  const double expect =
+      mean + std::sqrt(16.0 * std::log(500.0) / 4.0);
+  EXPECT_NEAR(llr.index_from(mean, m, 0, t, 45), expect, 1e-12);
+  EXPECT_EQ(llr.max_strategy_len(), 15);
+}
+
+TEST(LlrIndex, BonusGrowsWithL) {
+  LlrIndexPolicy small(2), big(50);
+  EXPECT_LT(small.index_from(0.0, 10, 0, 100, 10),
+            big.index_from(0.0, 10, 0, 100, 10));
+}
+
+TEST(LlrIndex, LlrBonusDominatesCabLongRun) {
+  // The paper's Fig. 8 hinges on this: LLR keeps over-estimating while the
+  // CAB index converges to the sample mean.
+  CabIndexPolicy cab;
+  LlrIndexPolicy llr(100);
+  const std::int64_t t = 10000, m = t / 20;
+  EXPECT_DOUBLE_EQ(cab.index_from(0.5, m, 0, t, 1000), 0.5);
+  EXPECT_GT(llr.index_from(0.5, m, 0, t, 1000), 0.9);
+}
+
+TEST(Ucb1Index, Formula) {
+  Ucb1IndexPolicy ucb;
+  const double expect = 0.2 + std::sqrt(2.0 * std::log(100.0) / 5.0);
+  EXPECT_NEAR(ucb.index_from(0.2, 5, 0, 100, 10), expect, 1e-12);
+}
+
+TEST(GreedyIndex, PureExploitation) {
+  GreedyIndexPolicy g;
+  EXPECT_DOUBLE_EQ(g.index_from(0.42, 7, 0, 1000, 10), 0.42);
+  EXPECT_GT(g.index_from(0.0, 0, 0, 1000, 10), 1.0);  // still explores new
+}
+
+TEST(EpsGreedy, RandomizationFrequency) {
+  EpsilonGreedyIndexPolicy eps(0.25);
+  Rng rng(3);
+  int randomized = 0;
+  const int trials = 10000;
+  for (int t = 1; t <= trials; ++t)
+    if (eps.randomize_round(t, rng)) ++randomized;
+  EXPECT_NEAR(static_cast<double>(randomized) / trials, 0.25, 0.02);
+  EXPECT_THROW(EpsilonGreedyIndexPolicy(1.5), std::logic_error);
+}
+
+TEST(Policies, NonEpsNeverRandomize) {
+  CabIndexPolicy cab;
+  Rng rng(1);
+  for (int t = 1; t <= 100; ++t) EXPECT_FALSE(cab.randomize_round(t, rng));
+}
+
+TEST(Factory, BuildsEveryKind) {
+  PolicyParams p;
+  p.llr_max_strategy_len = 7;
+  p.epsilon = 0.5;
+  EXPECT_EQ(make_policy(PolicyKind::kCab, p)->name(), "CAB");
+  EXPECT_EQ(make_policy(PolicyKind::kLlr, p)->name(), "LLR");
+  EXPECT_EQ(make_policy(PolicyKind::kUcb1, p)->name(), "UCB1");
+  EXPECT_EQ(make_policy(PolicyKind::kGreedy, p)->name(), "greedy-exploit");
+  EXPECT_EQ(make_policy(PolicyKind::kEpsGreedy, p)->name(), "eps-greedy");
+  EXPECT_EQ(to_string(PolicyKind::kCab), "CAB");
+  EXPECT_EQ(to_string(PolicyKind::kLlr), "LLR");
+}
+
+TEST(Factory, ComputeIndicesFillsAllArms) {
+  auto cab = make_policy(PolicyKind::kCab);
+  ArmEstimates est(4);
+  est.observe(0, 0.9);
+  std::vector<double> w;
+  cab->compute_indices(est, 10, w);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_LT(w[0], w[1]);  // played arm has lower index than unplayed ones
+}
+
+TEST(NaiveUcb, ExploresAllArmsThenExploits) {
+  // Three strategies with different deterministic rewards.
+  NaiveStrategyUcb bandit({{0}, {1}, {2}});
+  const std::vector<double> reward{0.1, 0.9, 0.5};
+  std::int64_t t = 1;
+  for (; t <= 3; ++t) {
+    const int a = bandit.select(t);
+    EXPECT_EQ(bandit.strategy(a).size(), 1u);
+    bandit.observe(a, reward[static_cast<std::size_t>(a)]);
+  }
+  // After enough rounds the best arm dominates the play counts.
+  int best_plays = 0;
+  for (; t <= 400; ++t) {
+    const int a = bandit.select(t);
+    bandit.observe(a, reward[static_cast<std::size_t>(a)]);
+    if (a == 1) ++best_plays;
+  }
+  EXPECT_GT(best_plays, 250);
+}
+
+TEST(NaiveUcb, MemoryGrowsWithStrategyCount) {
+  NaiveStrategyUcb small({{0}, {1}});
+  std::vector<std::vector<int>> many;
+  for (int i = 0; i < 100; ++i) many.push_back({i, i + 1, i + 2});
+  NaiveStrategyUcb big(std::move(many));
+  EXPECT_GT(big.memory_bytes(), small.memory_bytes());
+  EXPECT_EQ(big.num_arms(), 100);
+}
+
+}  // namespace
+}  // namespace mhca

@@ -1,0 +1,89 @@
+// Tests for the CDS backbone (pipelined weight broadcast, paper §IV-C).
+#include <gtest/gtest.h>
+
+#include "graph/cds.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace mhca {
+namespace {
+
+TEST(Cds, PredicatesOnTinyGraphs) {
+  Graph g(4);  // star
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_TRUE(is_dominating_set(g, {0}));
+  EXPECT_FALSE(is_dominating_set(g, {1}));
+  EXPECT_TRUE(induces_connected_subgraph(g, {0, 1}));
+  EXPECT_FALSE(induces_connected_subgraph(g, {1, 2}));
+  EXPECT_TRUE(induces_connected_subgraph(g, {}));
+  EXPECT_TRUE(induces_connected_subgraph(g, {2}));
+}
+
+TEST(Cds, GreedyMisIsMaximalIndependent) {
+  Rng rng(1);
+  ConflictGraph cg = random_geometric_avg_degree(40, 5.0, rng);
+  const Graph& g = cg.graph();
+  const auto mis = greedy_mis(g);
+  EXPECT_TRUE(g.is_independent_set(mis));
+  EXPECT_TRUE(is_dominating_set(g, mis));  // maximal IS always dominates
+}
+
+TEST(Cds, ConstructionSatisfiesBothProperties) {
+  Rng rng(2);
+  for (int seed = 0; seed < 6; ++seed) {
+    ConflictGraph cg = random_geometric_avg_degree(30 + 10 * seed, 6.0, rng);
+    const Graph& g = cg.graph();
+    const auto cds = simple_connected_dominating_set(g);
+    EXPECT_TRUE(is_dominating_set(g, cds));
+    EXPECT_TRUE(induces_connected_subgraph(g, cds));
+    EXPECT_LE(static_cast<int>(cds.size()), g.size());
+  }
+}
+
+TEST(Cds, PathBackbone) {
+  ConflictGraph path = linear_network(9);
+  const auto cds = simple_connected_dominating_set(path.graph());
+  EXPECT_TRUE(is_dominating_set(path.graph(), cds));
+  EXPECT_TRUE(induces_connected_subgraph(path.graph(), cds));
+  // On a path the backbone must include at least the interior ~N-2 band.
+  EXPECT_GE(cds.size(), 5u);
+}
+
+TEST(Cds, RequiresConnectedGraph) {
+  Graph g(4);
+  g.add_edge(0, 1);  // {2}, {3} isolated
+  ConflictGraph cg = ConflictGraph::from_edges(4, {{0, 1}});
+  EXPECT_THROW(simple_connected_dominating_set(cg.graph()),
+               std::logic_error);
+}
+
+TEST(Cds, PipelinedBroadcastCoversSameBallWithBoundedStretch) {
+  Rng rng(3);
+  ConflictGraph cg = random_geometric_avg_degree(60, 6.0, rng);
+  const Graph& g = cg.graph();
+  const auto cds = simple_connected_dominating_set(g);
+  const int r = 2;
+  const int ttl = 2 * r + 1;
+  for (int origin = 0; origin < g.size(); origin += 11) {
+    const int slots = pipelined_broadcast_timeslots(g, cds, origin, ttl);
+    EXPECT_GE(slots, 0);
+    // Backbone detours stretch the flood by a constant factor at most
+    // (each plain hop maps to <= 3 backbone hops: to a dominator, across,
+    // and out).
+    EXPECT_LE(slots, 3 * ttl + 2);
+  }
+}
+
+TEST(Cds, FullGraphBackboneMatchesPlainFlood) {
+  ConflictGraph path = linear_network(10);
+  std::vector<int> everyone;
+  for (int v = 0; v < 10; ++v) everyone.push_back(v);
+  EXPECT_EQ(pipelined_broadcast_timeslots(path.graph(), everyone, 0, 4), 4);
+  EXPECT_EQ(pipelined_broadcast_timeslots(path.graph(), everyone, 5, 100), 5);
+}
+
+}  // namespace
+}  // namespace mhca

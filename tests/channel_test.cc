@@ -1,0 +1,184 @@
+// Tests for src/channel: Gaussian / Bernoulli models, primary-user
+// decorator, adversarial processes, determinism of stateless sampling.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "channel/adversarial.h"
+#include "channel/bernoulli.h"
+#include "channel/channel_model.h"
+#include "channel/gaussian.h"
+#include "channel/primary_user.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mhca {
+namespace {
+
+TEST(Gaussian, MeansComeFromPaperRateClasses) {
+  Rng rng(1);
+  GaussianChannelModel m(10, 8, rng);
+  for (int i = 0; i < 10; ++i)
+    for (int j = 0; j < 8; ++j) {
+      const double kbps = m.mean_rate_kbps(i, j);
+      EXPECT_NE(std::find(kDataRatesKbps.begin(), kDataRatesKbps.end(), kbps),
+                kDataRatesKbps.end());
+      EXPECT_GT(m.mean(i, j, 1), 0.0);
+      EXPECT_LE(m.mean(i, j, 1), 1.0);
+    }
+}
+
+TEST(Gaussian, SamplingIsStatelessDeterministic) {
+  Rng rng(2);
+  GaussianChannelModel m(5, 4, rng);
+  // Same (node, channel, t) twice -> identical value; this property is what
+  // lets two runtimes observe identical channels.
+  EXPECT_EQ(m.sample(1, 2, 77), m.sample(1, 2, 77));
+  EXPECT_NE(m.sample(1, 2, 77), m.sample(1, 2, 78));
+  EXPECT_NE(m.sample(1, 2, 77), m.sample(1, 3, 77));
+}
+
+TEST(Gaussian, EmpiricalMomentsMatch) {
+  Rng rng(3);
+  GaussianChannelModel m(2, 2, rng, 0.1);
+  RunningStat rs;
+  for (int t = 1; t <= 20000; ++t) rs.add(m.sample(0, 0, t));
+  EXPECT_NEAR(rs.mean(), m.mean(0, 0, 1), 0.01);
+  const double expected_std = 0.1 * m.mean(0, 0, 1);
+  EXPECT_NEAR(rs.stddev(), expected_std, 0.2 * expected_std + 1e-4);
+}
+
+TEST(Gaussian, SamplesClampedToUnit) {
+  Rng rng(4);
+  GaussianChannelModel m(3, 3, rng, 2.0);  // huge variance to force clipping
+  for (int t = 1; t <= 2000; ++t) {
+    const double x = m.sample(1, 1, t);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(Gaussian, ExplicitMeansAndScale) {
+  GaussianChannelModel m(1, 2, {300.0, 1350.0}, 0.0, 9);
+  EXPECT_DOUBLE_EQ(m.mean(0, 0, 1), 300.0 / kRateScaleKbps);
+  EXPECT_DOUBLE_EQ(m.sample(0, 1, 5), 1350.0 / kRateScaleKbps);
+  EXPECT_DOUBLE_EQ(m.rate_scale_kbps(), kRateScaleKbps);
+}
+
+TEST(Gaussian, MeanMatrixLayout) {
+  GaussianChannelModel m(2, 3, {150, 225, 300, 450, 600, 900}, 0.0, 1);
+  const auto mm = m.mean_matrix();
+  ASSERT_EQ(mm.size(), 6u);
+  EXPECT_DOUBLE_EQ(mm[0], 150.0 / kRateScaleKbps);
+  EXPECT_DOUBLE_EQ(mm[5], 900.0 / kRateScaleKbps);
+}
+
+TEST(Bernoulli, MeanIsProbTimesValue) {
+  BernoulliChannelModel m(1, 1, {0.5}, {0.8}, 7);
+  EXPECT_DOUBLE_EQ(m.mean(0, 0, 1), 0.4);
+}
+
+TEST(Bernoulli, EmpiricalFrequency) {
+  BernoulliChannelModel m(1, 1, {0.3}, {1.0}, 11);
+  int on = 0;
+  const int trials = 20000;
+  for (int t = 1; t <= trials; ++t)
+    if (m.sample(0, 0, t) > 0.0) ++on;
+  EXPECT_NEAR(static_cast<double>(on) / trials, 0.3, 0.02);
+}
+
+TEST(Bernoulli, RandomConstructionInRange) {
+  Rng rng(5);
+  BernoulliChannelModel m(4, 4, rng, 0.2, 0.9);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_GE(m.mean(i, j, 1), 0.0);
+      EXPECT_LE(m.mean(i, j, 1), 1.0);
+    }
+}
+
+TEST(PrimaryUser, BlocksChannelWideAtActiveSlots) {
+  Rng rng(6);
+  auto base = std::make_shared<GaussianChannelModel>(3, 2, rng, 0.0);
+  PrimaryUserChannelModel m(base, {1.0, 0.0}, 13);  // ch0 always busy
+  for (int t = 1; t <= 50; ++t) {
+    EXPECT_TRUE(m.primary_active(0, t));
+    EXPECT_FALSE(m.primary_active(1, t));
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_DOUBLE_EQ(m.sample(i, 0, t), 0.0);
+      EXPECT_EQ(m.sample(i, 1, t), base->sample(i, 1, t));
+    }
+  }
+  EXPECT_DOUBLE_EQ(m.mean(0, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean(0, 1, 1), base->mean(0, 1, 1));
+}
+
+TEST(PrimaryUser, ActivityFrequencyMatchesProb) {
+  Rng rng(7);
+  auto base = std::make_shared<GaussianChannelModel>(1, 1, rng, 0.0);
+  PrimaryUserChannelModel m(base, {0.25}, 17);
+  int active = 0;
+  const int trials = 20000;
+  for (int t = 1; t <= trials; ++t)
+    if (m.primary_active(0, t)) ++active;
+  EXPECT_NEAR(static_cast<double>(active) / trials, 0.25, 0.02);
+}
+
+TEST(PrimaryUser, RejectsBadConfig) {
+  Rng rng(8);
+  auto base = std::make_shared<GaussianChannelModel>(2, 2, rng);
+  EXPECT_THROW(PrimaryUserChannelModel(base, {0.5}, 1), std::logic_error);
+  EXPECT_THROW(PrimaryUserChannelModel(base, {0.5, 1.5}, 1), std::logic_error);
+}
+
+TEST(Adversarial, SwapFlipsBestAndWorst) {
+  Rng rng(9);
+  const std::int64_t horizon = 1000;
+  AdversarialChannelModel m(3, 4, AdversaryKind::kSwap, horizon, rng);
+  for (int i = 0; i < 3; ++i) {
+    // Identify best/worst channel before the swap.
+    int best = 0, worst = 0;
+    for (int j = 1; j < 4; ++j) {
+      if (m.mean(i, j, 1) > m.mean(i, best, 1)) best = j;
+      if (m.mean(i, j, 1) < m.mean(i, worst, 1)) worst = j;
+    }
+    // After t0 = horizon/2 the means of best and worst are exchanged.
+    EXPECT_DOUBLE_EQ(m.mean(i, best, horizon - 1), m.mean(i, worst, 1));
+    EXPECT_DOUBLE_EQ(m.mean(i, worst, horizon - 1), m.mean(i, best, 1));
+  }
+  EXPECT_FALSE(m.is_stationary());
+}
+
+TEST(Adversarial, RampInterpolates) {
+  Rng rng(10);
+  AdversarialChannelModel m(1, 1, AdversaryKind::kRamp, 100, rng, 0.0);
+  const double start = m.mean(0, 0, 0);
+  const double end = m.mean(0, 0, 100);
+  const double mid = m.mean(0, 0, 50);
+  EXPECT_NEAR(mid, 0.5 * (start + end), 1e-9);
+}
+
+TEST(Adversarial, DriftStaysBoundedAndMoves) {
+  Rng rng(11);
+  AdversarialChannelModel m(2, 2, AdversaryKind::kDrift, 500, rng, 0.0);
+  double lo = 1.0, hi = 0.0;
+  for (int t = 0; t <= 500; t += 10) {
+    const double mu = m.mean(0, 0, t);
+    EXPECT_GE(mu, 0.0);
+    EXPECT_LE(mu, 1.0);
+    lo = std::min(lo, mu);
+    hi = std::max(hi, mu);
+  }
+  EXPECT_GT(hi - lo, 0.0);  // it actually varies
+}
+
+TEST(Adversarial, SamplesNoisyAroundMean) {
+  Rng rng(12);
+  AdversarialChannelModel m(1, 1, AdversaryKind::kRamp, 10000, rng, 0.05);
+  RunningStat rs;
+  for (int t = 4000; t < 6000; ++t) rs.add(m.sample(0, 0, t));
+  EXPECT_NEAR(rs.mean(), m.mean(0, 0, 5000), 0.02);
+}
+
+}  // namespace
+}  // namespace mhca

@@ -1,0 +1,134 @@
+// Tests for the public facade (core/channel_access.h): step API, batch
+// API, configuration plumbing.
+#include <gtest/gtest.h>
+
+#include "channel/gaussian.h"
+#include "core/channel_access.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace mhca {
+namespace {
+
+class CoreFixture : public ::testing::Test {
+ protected:
+  CoreFixture() : rng_(21), cg_(random_geometric_avg_degree(10, 4.0, rng_)) {
+    cfg_.num_channels = 3;
+  }
+
+  Rng rng_;
+  ConflictGraph cg_;
+  ChannelAccessConfig cfg_;
+};
+
+TEST_F(CoreFixture, ConstructionExposesExtendedGraph) {
+  ChannelAccessScheme scheme(cg_, cfg_);
+  EXPECT_EQ(scheme.extended_graph().num_vertices(), 30);
+  EXPECT_EQ(scheme.network().num_nodes(), 10);
+  EXPECT_EQ(scheme.policy().name(), "CAB");
+  EXPECT_EQ(scheme.current_round(), 0);
+}
+
+TEST_F(CoreFixture, DecideProducesFeasibleStrategy) {
+  ChannelAccessScheme scheme(cg_, cfg_);
+  const Strategy& s = scheme.decide();
+  EXPECT_EQ(scheme.current_round(), 1);
+  EXPECT_TRUE(scheme.extended_graph().is_feasible(s));
+  EXPECT_FALSE(scheme.current_vertices().empty());
+}
+
+TEST_F(CoreFixture, ReportFeedsEstimates) {
+  ChannelAccessScheme scheme(cg_, cfg_);
+  const Strategy& s = scheme.decide();
+  int transmitter = -1;
+  for (int i = 0; i < 10; ++i)
+    if (s.channel_of_node[static_cast<std::size_t>(i)] != Strategy::kNoChannel) {
+      transmitter = i;
+      break;
+    }
+  ASSERT_GE(transmitter, 0);
+  scheme.report(transmitter, 0.8);
+  const int chan =
+      s.channel_of_node[static_cast<std::size_t>(transmitter)];
+  const int v = scheme.extended_graph().vertex_of(transmitter, chan);
+  EXPECT_EQ(scheme.estimates().count(v), 1);
+  EXPECT_DOUBLE_EQ(scheme.estimates().mean(v), 0.8);
+}
+
+TEST_F(CoreFixture, ReportValidation) {
+  ChannelAccessScheme scheme(cg_, cfg_);
+  EXPECT_THROW(scheme.report(0, 0.5), std::logic_error);  // before decide
+  const Strategy& s = scheme.decide();
+  int silent = -1;
+  for (int i = 0; i < 10; ++i)
+    if (s.channel_of_node[static_cast<std::size_t>(i)] == Strategy::kNoChannel) {
+      silent = i;
+      break;
+    }
+  if (silent >= 0) {
+    EXPECT_THROW(scheme.report(silent, 0.5), std::logic_error);
+  }
+  EXPECT_THROW(scheme.report(99, 0.5), std::logic_error);
+}
+
+TEST_F(CoreFixture, SteppingLearnsTheBetterChannel) {
+  // Two isolated nodes (no conflicts), two channels with very different
+  // rates: after a few rounds each node should settle on its best channel.
+  ConflictGraph iso = ConflictGraph::from_edges(2, {});
+  ChannelAccessConfig cfg;
+  cfg.num_channels = 2;
+  ChannelAccessScheme scheme(iso, cfg);
+  // True means: node 0 prefers channel 1; node 1 prefers channel 0.
+  const double mu[2][2] = {{0.2, 0.9}, {0.8, 0.1}};
+  for (int t = 1; t <= 60; ++t) {
+    const Strategy& s = scheme.decide();
+    for (int i = 0; i < 2; ++i) {
+      const int c = s.channel_of_node[static_cast<std::size_t>(i)];
+      if (c != Strategy::kNoChannel) scheme.report(i, mu[i][c]);
+    }
+  }
+  const Strategy& last = scheme.decide();
+  EXPECT_EQ(last.channel_of_node[0], 1);
+  EXPECT_EQ(last.channel_of_node[1], 0);
+}
+
+TEST_F(CoreFixture, BatchRunMatchesSimulatorShape) {
+  ChannelAccessScheme scheme(cg_, cfg_);
+  GaussianChannelModel model(10, 3, rng_);
+  const SimulationResult res = scheme.run(model, 150);
+  EXPECT_EQ(res.total_slots, 150);
+  EXPECT_GT(res.total_observed, 0.0);
+  EXPECT_EQ(res.slots.size(), res.cumavg_estimated.size());
+}
+
+TEST_F(CoreFixture, AllSolverKindsUsable) {
+  GaussianChannelModel model(10, 3, rng_);
+  for (SolverKind kind :
+       {SolverKind::kDistributedPtas, SolverKind::kCentralizedPtas,
+        SolverKind::kGreedy, SolverKind::kExact}) {
+    ChannelAccessConfig cfg = cfg_;
+    cfg.solver = kind;
+    ChannelAccessScheme scheme(cg_, cfg);
+    const Strategy& s = scheme.decide();
+    EXPECT_TRUE(scheme.extended_graph().is_feasible(s)) << to_string(kind);
+  }
+}
+
+TEST_F(CoreFixture, LlrDefaultsLToN) {
+  ChannelAccessConfig cfg = cfg_;
+  cfg.policy = PolicyKind::kLlr;
+  ChannelAccessScheme scheme(cg_, cfg);
+  EXPECT_EQ(scheme.policy().name(), "LLR");
+}
+
+TEST_F(CoreFixture, UpdatePeriodForwardedToBatchRun) {
+  ChannelAccessConfig cfg = cfg_;
+  cfg.update_period = 5;
+  ChannelAccessScheme scheme(cg_, cfg);
+  GaussianChannelModel model(10, 3, rng_);
+  const SimulationResult res = scheme.run(model, 100);
+  EXPECT_EQ(res.decisions, 20);
+}
+
+}  // namespace
+}  // namespace mhca

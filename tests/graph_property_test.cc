@@ -1,0 +1,194 @@
+// Randomized property tests over the graph substrate: BFS hop utilities
+// against a reference implementation, ball monotonicity/nesting, induced
+// subgraphs preserving structure, growth-bounded sweeps of H across (M, r),
+// and maximal-IS enumeration cross-checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "graph/extended_graph.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/hop.h"
+#include "graph/independence.h"
+#include "graph/induced.h"
+#include "util/rng.h"
+
+namespace mhca {
+namespace {
+
+/// Reference unbounded BFS distances (simple, obviously correct).
+std::vector<int> reference_distances(const Graph& g, int src) {
+  std::vector<int> dist(static_cast<std::size_t>(g.size()), -1);
+  std::queue<int> q;
+  q.push(src);
+  dist[static_cast<std::size_t>(src)] = 0;
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (int u : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(u)] < 0) {
+        dist[static_cast<std::size_t>(u)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+class RandomGraphSweep : public ::testing::TestWithParam<int> {
+ protected:
+  Graph make_graph() {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 48271 + 7);
+    ConflictGraph cg = erdos_renyi(35, 0.12, rng);
+    return cg.graph();
+  }
+};
+
+TEST_P(RandomGraphSweep, KHopMatchesReferenceDistances) {
+  const Graph g = make_graph();
+  BfsScratch scratch(g.size());
+  for (int src : {0, 10, 34}) {
+    const auto dist = reference_distances(g, src);
+    for (int k : {0, 1, 2, 3, 5}) {
+      const auto ball = scratch.k_hop_neighborhood(g, src, k);
+      std::set<int> got(ball.begin(), ball.end());
+      for (int v = 0; v < g.size(); ++v) {
+        const bool inside = dist[static_cast<std::size_t>(v)] >= 0 &&
+                            dist[static_cast<std::size_t>(v)] <= k;
+        EXPECT_EQ(got.count(v) == 1, inside)
+            << "src=" << src << " k=" << k << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST_P(RandomGraphSweep, HopDistanceSymmetricAndMatchesReference) {
+  const Graph g = make_graph();
+  BfsScratch scratch(g.size());
+  const auto dist = reference_distances(g, 3);
+  for (int v = 0; v < g.size(); v += 4) {
+    const int d = scratch.hop_distance(g, 3, v);
+    const int expected = dist[static_cast<std::size_t>(v)] < 0
+                             ? BfsScratch::unreachable()
+                             : dist[static_cast<std::size_t>(v)];
+    EXPECT_EQ(d, expected);
+    EXPECT_EQ(scratch.hop_distance(g, v, 3), d);  // symmetry
+  }
+}
+
+TEST_P(RandomGraphSweep, BallsAreNested) {
+  const Graph g = make_graph();
+  BfsScratch scratch(g.size());
+  for (int v = 0; v < g.size(); v += 7) {
+    std::vector<int> prev = scratch.k_hop_neighborhood(g, v, 0);
+    for (int k = 1; k <= 4; ++k) {
+      const auto ball = scratch.k_hop_neighborhood(g, v, k);
+      EXPECT_TRUE(std::includes(ball.begin(), ball.end(), prev.begin(),
+                                prev.end()))
+          << "J_" << k << " must contain J_" << k - 1;
+      prev = ball;
+    }
+  }
+}
+
+TEST_P(RandomGraphSweep, InducedSubgraphPreservesEdgesExactly) {
+  const Graph g = make_graph();
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  std::vector<int> keep;
+  for (int v = 0; v < g.size(); ++v)
+    if (rng.bernoulli(0.5)) keep.push_back(v);
+  if (keep.size() < 2) return;
+  const InducedSubgraph sub = induced_subgraph(g, keep);
+  for (int a = 0; a < sub.graph.size(); ++a)
+    for (int b = a + 1; b < sub.graph.size(); ++b)
+      EXPECT_EQ(sub.graph.has_edge(a, b),
+                g.has_edge(sub.to_parent[static_cast<std::size_t>(a)],
+                           sub.to_parent[static_cast<std::size_t>(b)]));
+}
+
+TEST_P(RandomGraphSweep, MaximalIndependentSetsAreMaximalAndIndependent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  ConflictGraph cg = erdos_renyi(12, 0.3, rng);
+  const Graph& g = cg.graph();
+  std::vector<std::vector<int>> sets;
+  ASSERT_TRUE(enumerate_maximal_independent_sets(g, 100000, sets));
+  ASSERT_FALSE(sets.empty());
+  for (const auto& s : sets) {
+    EXPECT_TRUE(g.is_independent_set(s));
+    // Maximality: every vertex outside s has a neighbor in s or is in s.
+    std::set<int> in(s.begin(), s.end());
+    for (int v = 0; v < g.size(); ++v) {
+      if (in.count(v)) continue;
+      bool blocked = false;
+      for (int u : s)
+        if (g.has_edge(u, v)) {
+          blocked = true;
+          break;
+        }
+      EXPECT_TRUE(blocked) << "set not maximal at vertex " << v;
+    }
+  }
+  // No duplicates.
+  std::set<std::vector<int>> uniq(sets.begin(), sets.end());
+  EXPECT_EQ(uniq.size(), sets.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphSweep, ::testing::Range(0, 6));
+
+// Growth-bound sweep across channels and radii (Theorem 2 generalization).
+class GrowthBoundSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GrowthBoundSweep, ExtendedGraphIndependenceWithinPigeonholeBound) {
+  const int m_channels = std::get<0>(GetParam());
+  const int r = std::get<1>(GetParam());
+  Rng rng(static_cast<std::uint64_t>(m_channels * 10 + r));
+  ConflictGraph cg = random_geometric_avg_degree(24, 5.0, rng, false);
+  ExtendedConflictGraph ecg(cg, m_channels);
+  const Graph& h = ecg.graph();
+  BfsScratch scratch(h.size());
+  for (int v = 0; v < h.size(); v += std::max(1, h.size() / 6)) {
+    const auto ball = scratch.k_hop_neighborhood(h, v, r);
+    const InducedSubgraph sub = induced_subgraph(h, ball);
+    EXPECT_LE(independence_number(sub.graph),
+              m_channels * (2 * r + 1) * (2 * r + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, GrowthBoundSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 2)));
+
+TEST(GraphProperty, ExtendedGraphDegreeStructure) {
+  // deg_H(v_{i,j}) = (M-1) + deg_G(i): the master clique plus same-channel
+  // conflict edges.
+  Rng rng(99);
+  ConflictGraph cg = random_geometric_avg_degree(15, 4.0, rng, false);
+  for (int m : {1, 2, 5}) {
+    ExtendedConflictGraph ecg(cg, m);
+    for (int i = 0; i < cg.num_nodes(); ++i)
+      for (int j = 0; j < m; ++j)
+        EXPECT_EQ(ecg.graph().degree(ecg.vertex_of(i, j)),
+                  (m - 1) + cg.graph().degree(i));
+  }
+}
+
+TEST(GraphProperty, ExtendedGraphEdgeCount) {
+  // |E_H| = N * C(M,2) + M * |E_G|.
+  Rng rng(100);
+  ConflictGraph cg = erdos_renyi(20, 0.2, rng);
+  for (int m : {2, 3, 6}) {
+    ExtendedConflictGraph ecg(cg, m);
+    const std::int64_t expected =
+        static_cast<std::int64_t>(20) * m * (m - 1) / 2 +
+        static_cast<std::int64_t>(m) * cg.graph().num_edges();
+    EXPECT_EQ(ecg.graph().num_edges(), expected);
+  }
+}
+
+}  // namespace
+}  // namespace mhca

@@ -1,0 +1,301 @@
+// Tests for src/net: control-channel flooding, agent-local protocol state,
+// and the full message-level runtime — including the key integration
+// property that the message-level protocol computes *identical* decisions
+// to the lockstep engine from purely local knowledge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "bandit/estimates.h"
+#include "bandit/policy.h"
+#include "channel/gaussian.h"
+#include "graph/extended_graph.h"
+#include "graph/generators.h"
+#include "mwis/distributed_ptas.h"
+#include "net/control_channel.h"
+#include "net/runtime.h"
+#include "util/rng.h"
+
+namespace mhca {
+namespace {
+
+using net::ControlChannel;
+using net::DistributedRuntime;
+using net::Message;
+using net::MsgType;
+using net::NetConfig;
+using net::NetRoundResult;
+
+Graph path_graph(int n) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+TEST(ControlChannel, FloodReachesExactlyTtlBall) {
+  Graph g = path_graph(10);
+  ControlChannel ch(g);
+  Message m;
+  m.type = MsgType::kHello;
+  m.origin = 5;
+  std::set<int> reached;
+  ch.flood(m, 2, [&](int v, const Message&) { reached.insert(v); });
+  EXPECT_EQ(reached, (std::set<int>{3, 4, 6, 7}));  // origin excluded
+  // Messages counted include the origin's own transmission.
+  EXPECT_EQ(ch.stats().messages, 5);
+  EXPECT_EQ(ch.stats().floods, 1);
+}
+
+TEST(ControlChannel, TtlZeroDeliversNobody) {
+  Graph g = path_graph(3);
+  ControlChannel ch(g);
+  Message m;
+  m.origin = 1;
+  int delivered = 0;
+  ch.flood(m, 0, [&](int, const Message&) { ++delivered; });
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(ch.stats().messages, 1);
+}
+
+TEST(ControlChannel, TimeslotCharging) {
+  Graph g = path_graph(3);
+  ControlChannel ch(g);
+  ch.charge_timeslots(5);
+  ch.charge_timeslots(7);
+  EXPECT_EQ(ch.stats().mini_timeslots, 12);
+  ch.reset_stats();
+  EXPECT_EQ(ch.stats().mini_timeslots, 0);
+}
+
+class NetFixture : public ::testing::Test {
+ protected:
+  NetFixture()
+      : rng_(11),
+        cg_(random_geometric_avg_degree(12, 4.0, rng_)),
+        ecg_(cg_, 3),
+        model_(12, 3, rng_) {}
+
+  Rng rng_;
+  ConflictGraph cg_;
+  ExtendedConflictGraph ecg_;
+  GaussianChannelModel model_;
+};
+
+TEST_F(NetFixture, RoundProducesIndependentStrategy) {
+  DistributedRuntime rt(ecg_, model_, NetConfig{});
+  const NetRoundResult res = rt.step();
+  EXPECT_EQ(res.round, 1);
+  EXPECT_FALSE(res.strategy.empty());
+  EXPECT_TRUE(ecg_.graph().is_independent_set(res.strategy));
+  EXPECT_GT(res.observed_sum, 0.0);
+  EXPECT_GE(res.mini_rounds, 1);
+}
+
+TEST_F(NetFixture, AgentsStoreOnlyLocalTables) {
+  DistributedRuntime rt(ecg_, model_, NetConfig{});
+  // Space bound O(m): every agent's table is at most the whole graph and at
+  // least its direct neighborhood.
+  for (int v = 0; v < ecg_.num_vertices(); ++v) {
+    const auto& a = rt.agent(v);
+    EXPECT_LT(a.table_size(),
+              static_cast<std::size_t>(ecg_.num_vertices()));
+    EXPECT_GE(a.table_size(),
+              static_cast<std::size_t>(ecg_.graph().degree(v)));
+  }
+  EXPECT_GT(rt.max_table_size(), 0u);
+}
+
+TEST_F(NetFixture, EstimatesUpdateOnlyForTransmitters) {
+  DistributedRuntime rt(ecg_, model_, NetConfig{});
+  const NetRoundResult res = rt.step();
+  std::set<int> winners(res.strategy.begin(), res.strategy.end());
+  for (int v = 0; v < ecg_.num_vertices(); ++v) {
+    const auto& a = rt.agent(v);
+    if (winners.count(v)) {
+      EXPECT_EQ(a.own_count(), 1);
+      EXPECT_GT(a.own_mean(), 0.0);
+    } else {
+      EXPECT_EQ(a.own_count(), 0);
+    }
+  }
+}
+
+TEST_F(NetFixture, MessageVolumeGrowsWithRounds) {
+  DistributedRuntime rt(ecg_, model_, NetConfig{});
+  rt.step();
+  const auto m1 = rt.channel_stats().messages;
+  rt.step();
+  const auto m2 = rt.channel_stats().messages;
+  EXPECT_GT(m1, 0);
+  EXPECT_GT(m2, m1);
+  EXPECT_GT(rt.channel_stats().mini_timeslots, 0);
+}
+
+// --- The central integration property: message-level protocol ==
+// lockstep engine, round for round. ---
+class Equivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(Equivalence, NetRuntimeMatchesLockstepEngine) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  ConflictGraph cg = random_geometric_avg_degree(10, 3.5, rng);
+  const int m_channels = 3;
+  ExtendedConflictGraph ecg(cg, m_channels);
+  GaussianChannelModel model(10, m_channels, rng);
+
+  NetConfig ncfg;
+  ncfg.r = 2;
+  ncfg.D = 4;
+  ncfg.policy = PolicyKind::kCab;
+  DistributedRuntime rt(ecg, model, ncfg);
+
+  // Lockstep replica: global estimates + engine + same policy.
+  DistributedPtasConfig dcfg;
+  dcfg.r = 2;
+  dcfg.max_mini_rounds = 4;
+  DistributedRobustPtas engine(ecg.graph(), dcfg);
+  auto policy = make_policy(PolicyKind::kCab);
+  ArmEstimates est(ecg.num_vertices());
+
+  std::vector<double> weights;
+  for (std::int64_t t = 1; t <= 15; ++t) {
+    const NetRoundResult net_res = rt.step();
+
+    policy->compute_indices(est, t, weights);
+    const DistributedPtasResult lock = engine.run(weights);
+    ASSERT_EQ(net_res.strategy, lock.winners) << "round " << t;
+    for (int v : lock.winners)
+      est.observe(v, model.sample(ecg.master_of(v), ecg.channel_of(v), t));
+  }
+
+  // After the horizon the learning state must agree too.
+  for (int v = 0; v < ecg.num_vertices(); ++v) {
+    EXPECT_EQ(rt.agent(v).own_count(), est.count(v));
+    EXPECT_NEAR(rt.agent(v).own_mean(), est.mean(v), 1e-12);
+  }
+}
+
+TEST_P(Equivalence, LlrPolicyAlsoMatches) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 5);
+  ConflictGraph cg = random_geometric_avg_degree(8, 3.0, rng);
+  ExtendedConflictGraph ecg(cg, 2);
+  GaussianChannelModel model(8, 2, rng);
+
+  NetConfig ncfg;
+  ncfg.policy = PolicyKind::kLlr;
+  DistributedRuntime rt(ecg, model, ncfg);
+
+  DistributedPtasConfig dcfg;
+  dcfg.max_mini_rounds = 4;
+  DistributedRobustPtas engine(ecg.graph(), dcfg);
+  PolicyParams params;
+  params.llr_max_strategy_len = ecg.num_nodes();
+  auto policy = make_policy(PolicyKind::kLlr, params);
+  ArmEstimates est(ecg.num_vertices());
+
+  std::vector<double> weights;
+  for (std::int64_t t = 1; t <= 10; ++t) {
+    const NetRoundResult net_res = rt.step();
+    policy->compute_indices(est, t, weights);
+    const DistributedPtasResult lock = engine.run(weights);
+    ASSERT_EQ(net_res.strategy, lock.winners) << "round " << t;
+    for (int v : lock.winners)
+      est.observe(v, model.sample(ecg.master_of(v), ecg.channel_of(v), t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Equivalence, ::testing::Range(0, 8));
+
+TEST_F(NetFixture, MessageBillMatchesLockstepAccounting) {
+  // The real floods (LD + LB transmissions, and WB transmissions) must
+  // equal the lockstep engine's analytic ball-size accounting, decision
+  // for decision — the §IV-C communication-complexity numbers are the
+  // same whichever implementation you measure.
+  net::NetConfig ncfg;
+  DistributedRuntime rt(ecg_, model_, ncfg);
+
+  DistributedPtasConfig dcfg;
+  dcfg.max_mini_rounds = ncfg.D;
+  dcfg.count_messages = true;
+  DistributedRobustPtas engine(ecg_.graph(), dcfg);
+  auto policy = make_policy(PolicyKind::kCab);
+  ArmEstimates est(ecg_.num_vertices());
+
+  std::vector<double> weights;
+  std::vector<int> prev;
+  for (std::int64_t t = 1; t <= 6; ++t) {
+    const auto before = rt.channel_stats();
+    const NetRoundResult net_res = rt.step();
+    const auto after = rt.channel_stats();
+
+    policy->compute_indices(est, t, weights);
+    std::int64_t lock_wb = 0;
+    if (!prev.empty()) lock_wb = engine.weight_broadcast_messages(prev);
+    const DistributedPtasResult lock = engine.run(weights);
+    ASSERT_EQ(net_res.strategy, lock.winners);
+
+    const std::int64_t net_ldlb =
+        (after.of_type(net::MsgType::kLeaderDeclare) -
+         before.of_type(net::MsgType::kLeaderDeclare)) +
+        (after.of_type(net::MsgType::kDetermination) -
+         before.of_type(net::MsgType::kDetermination));
+    EXPECT_EQ(net_ldlb, lock.total_messages) << "round " << t;
+    const std::int64_t net_wb =
+        after.of_type(net::MsgType::kWeightUpdate) -
+        before.of_type(net::MsgType::kWeightUpdate);
+    EXPECT_EQ(net_wb, lock_wb) << "round " << t;
+
+    prev = lock.winners;
+    for (int v : lock.winners)
+      est.observe(v, model_.sample(ecg_.master_of(v), ecg_.channel_of(v), t));
+  }
+}
+
+TEST_F(NetFixture, UnlimitedMiniRoundsMarkEveryone) {
+  NetConfig cfg;
+  cfg.D = 0;  // run until all marked
+  DistributedRuntime rt(ecg_, model_, cfg);
+  const NetRoundResult res = rt.step();
+  EXPECT_TRUE(res.all_marked);
+}
+
+TEST_F(NetFixture, GreedyLocalSolverWorks) {
+  NetConfig cfg;
+  cfg.local_solver = LocalSolverKind::kGreedy;
+  DistributedRuntime rt(ecg_, model_, cfg);
+  const NetRoundResult res = rt.step();
+  EXPECT_TRUE(ecg_.graph().is_independent_set(res.strategy));
+}
+
+TEST(NetValidation, DimensionMismatchRejected) {
+  Rng rng(3);
+  ConflictGraph cg = linear_network(4);
+  ExtendedConflictGraph ecg(cg, 2);
+  GaussianChannelModel wrong(5, 2, rng);
+  EXPECT_THROW(DistributedRuntime(ecg, wrong, NetConfig{}), std::logic_error);
+}
+
+TEST(NetLinearWorstCase, OneLeaderPerMiniRound) {
+  // The Fig. 5 pathology, at message level: decreasing weights on a path.
+  // We drive a single round with D = 0 and verify it still terminates and
+  // produces a feasible maximal-ish strategy.
+  const int n = 15;
+  ConflictGraph cg = linear_network(n);
+  ExtendedConflictGraph ecg(cg, 1);
+  // Deterministic means, decreasing along the path.
+  std::vector<double> rates;
+  for (int i = 0; i < n; ++i)
+    rates.push_back(1350.0 - 80.0 * static_cast<double>(i));
+  GaussianChannelModel model(n, 1, rates, 0.0, 1);
+  NetConfig cfg;
+  cfg.D = 0;
+  DistributedRuntime rt(ecg, model, cfg);
+  const NetRoundResult res = rt.step();
+  EXPECT_TRUE(res.all_marked);
+  // Needs about n / (2r+1) = 3 mini-rounds.
+  EXPECT_GE(res.mini_rounds, 3);
+  EXPECT_TRUE(ecg.graph().is_independent_set(res.strategy));
+}
+
+}  // namespace
+}  // namespace mhca
