@@ -1,0 +1,199 @@
+// Micro-benchmark of one full strategy decision (leader election + local
+// MWIS solves over H) on random geometric networks, comparing the seed
+// re-derivation path (per-decision max-relaxation floods, per-leader BFS,
+// per-solve allocation) against the cached decision path (NeighborhoodCache
+// + reusable SolveScratch + bitset-row adjacency gather).
+//
+// Emits a human-readable table on stdout and machine-readable JSON (default
+// BENCH_decision_path.json, or argv[1]) so the perf trajectory of the
+// decision path is tracked from PR 1 on. Every (n, r) cell also verifies
+// that both paths produce identical winners and total weight on every
+// measured decision — the speedup is only meaningful if the answers match.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/extended_graph.h"
+#include "graph/generators.h"
+#include "mwis/distributed_ptas.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mhca;
+using Clock = std::chrono::steady_clock;
+
+struct Cell {
+  int users = 0;
+  int r = 0;
+  int vertices = 0;
+  int decisions = 0;
+  double cache_build_ms = 0.0;   ///< One-time NeighborhoodCache cost.
+  double seed_ms = 0.0;          ///< Per-decision, seed path.
+  double cached_ms = 0.0;        ///< Per-decision, cached path.
+  double speedup = 0.0;
+  bool identical = true;         ///< Winners + weight match every decision.
+};
+
+std::vector<std::vector<double>> make_weight_sequence(int n, int decisions,
+                                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> ws(static_cast<std::size_t>(decisions));
+  for (auto& w : ws) {
+    w.resize(static_cast<std::size_t>(n));
+    for (auto& x : w) x = rng.uniform(0.05, 1.0);
+  }
+  return ws;
+}
+
+template <typename F>
+double time_decisions_ms(F&& decide, int decisions) {
+  const auto t0 = Clock::now();
+  for (int d = 0; d < decisions; ++d) decide(d);
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count() /
+         static_cast<double>(decisions);
+}
+
+/// Best-of-`reps` timing, with the two paths interleaved so scheduler noise
+/// and frequency drift hit both sides equally. Minimum-of-repetitions is
+/// the standard variance killer for micro-benchmarks on shared machines.
+template <typename A, typename B>
+std::pair<double, double> time_paths_ms(A&& seed_decide, B&& cached_decide,
+                                        int decisions, int reps) {
+  double seed_best = 0.0, cached_best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double s = time_decisions_ms(seed_decide, decisions);
+    const double c = time_decisions_ms(cached_decide, decisions);
+    if (rep == 0 || s < seed_best) seed_best = s;
+    if (rep == 0 || c < cached_best) cached_best = c;
+  }
+  return {seed_best, cached_best};
+}
+
+Cell run_cell(int users, int r, int channels, int decisions) {
+  Cell cell;
+  cell.users = users;
+  cell.r = r;
+  cell.decisions = decisions;
+
+  Rng topo_rng(static_cast<std::uint64_t>(users) * 131 +
+               static_cast<std::uint64_t>(r) * 17 + 5);
+  // Connectivity is irrelevant to the decision path; don't resample for it.
+  ConflictGraph cg =
+      random_geometric_avg_degree(users, 6.0, topo_rng,
+                                  /*force_connected=*/false);
+  ExtendedConflictGraph ecg(cg, channels);
+  const Graph& h = ecg.graph();
+  cell.vertices = h.size();
+
+  const auto weights = make_weight_sequence(
+      h.size(), decisions, static_cast<std::uint64_t>(users) * 7 + 1);
+
+  DistributedPtasConfig seed_cfg;
+  seed_cfg.r = r;
+  seed_cfg.use_decision_cache = false;
+  DistributedPtasConfig cached_cfg;
+  cached_cfg.r = r;
+
+  DistributedRobustPtas seed_engine(h, seed_cfg);
+  const auto tc0 = Clock::now();
+  DistributedRobustPtas cached_engine(h, cached_cfg);
+  cell.cache_build_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - tc0).count();
+
+  // Correctness first: identical winners and weight on every decision.
+  std::vector<std::vector<int>> seed_winners;
+  for (int d = 0; d < decisions; ++d) {
+    const auto a = seed_engine.run(weights[static_cast<std::size_t>(d)]);
+    const auto b = cached_engine.run(weights[static_cast<std::size_t>(d)]);
+    seed_winners.push_back(a.winners);
+    if (a.winners != b.winners || a.weight != b.weight)
+      cell.identical = false;
+  }
+
+  // Warmed-up best-of-3 timing over the same weight sequence.
+  const auto [seed_ms, cached_ms] = time_paths_ms(
+      [&](int d) { seed_engine.run(weights[static_cast<std::size_t>(d)]); },
+      [&](int d) { cached_engine.run(weights[static_cast<std::size_t>(d)]); },
+      decisions, /*reps=*/3);
+  cell.seed_ms = seed_ms;
+  cell.cached_ms = cached_ms;
+  cell.speedup = cell.cached_ms > 0.0 ? cell.seed_ms / cell.cached_ms : 0.0;
+  return cell;
+}
+
+std::string json_of(const std::vector<Cell>& cells, int channels) {
+  std::string out;
+  char buf[512];
+  out += "{\n  \"bench\": \"decision_path\",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"config\": {\"channels\": %d, \"avg_degree\": 6.0, "
+                "\"weights\": \"uniform[0.05,1)\"},\n",
+                channels);
+  out += buf;
+  out += "  \"results\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"users\": %d, \"r\": %d, \"vertices\": %d, "
+        "\"decisions\": %d, \"cache_build_ms\": %.4f, "
+        "\"seed_ms_per_decision\": %.4f, \"cached_ms_per_decision\": %.4f, "
+        "\"speedup\": %.2f, \"identical_results\": %s}%s\n",
+        c.users, c.r, c.vertices, c.decisions, c.cache_build_ms, c.seed_ms,
+        c.cached_ms, c.speedup, c.identical ? "true" : "false",
+        i + 1 < cells.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_decision_path.json";
+  const int kChannels = 4;
+
+  std::cout << "=== Decision path: seed re-derivation vs cached "
+               "(NeighborhoodCache + SolveScratch) ===\n\n";
+
+  std::vector<Cell> cells;
+  TablePrinter table({"users", "r", "|H|", "decisions", "cache build ms",
+                      "seed ms", "cached ms", "speedup", "identical"});
+  for (int users : {50, 200, 800}) {
+    for (int r : {1, 2, 3}) {
+      const int decisions = users >= 800 ? 8 : (users >= 200 ? 12 : 20);
+      const Cell c = run_cell(users, r, kChannels, decisions);
+      cells.push_back(c);
+      table.row(std::to_string(c.users), std::to_string(c.r),
+                std::to_string(c.vertices), std::to_string(c.decisions),
+                fixed(c.cache_build_ms, 2), fixed(c.seed_ms, 3),
+                fixed(c.cached_ms, 3), fixed(c.speedup, 2) + "x",
+                c.identical ? "yes" : "NO");
+    }
+  }
+  table.print(std::cout);
+
+  bool all_identical = true;
+  for (const Cell& c : cells) all_identical = all_identical && c.identical;
+  std::cout << "\nresults identical across paths: "
+            << (all_identical ? "yes" : "NO — BUG") << "\n";
+
+  const std::string json = json_of(cells, kChannels);
+  std::ofstream out(json_path);
+  out << json;
+  out.flush();
+  if (!out) {
+    std::cerr << "error: failed to write " << json_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << json_path << "\n";
+  return all_identical ? 0 : 1;
+}

@@ -9,6 +9,7 @@
 #include "graph/extended_graph.h"
 #include "graph/generators.h"
 #include "mwis/distributed_ptas.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -18,7 +19,15 @@ int main() {
 
   TablePrinter table({"N", "mini-rounds (linear)", "mini-rounds (random)",
                       "leaders/round (linear)"});
-  for (int n : {20, 40, 80, 160}) {
+  const std::vector<int> sizes{20, 40, 80, 160};
+  struct Row {
+    int linear_rounds = 0;
+    int random_rounds = 0;
+    double avg_leaders = 0.0;
+  };
+  std::vector<Row> rows(sizes.size());
+  parallel_run(static_cast<int>(sizes.size()), [&](int job) {
+    const int n = sizes[static_cast<std::size_t>(job)];
     // Pathological: path graph, strictly decreasing weights, M = 1.
     ConflictGraph path = linear_network(n);
     ExtendedConflictGraph hpath(path, 1);
@@ -40,9 +49,12 @@ int main() {
     DistributedRobustPtas rnd_engine(hrnd.graph(), {});
     const DistributedPtasResult rres = rnd_engine.run(model.mean_matrix());
 
-    table.row(n, pres.mini_rounds_used, rres.mini_rounds_used,
-              fixed(avg_leaders, 2));
-  }
+    rows[static_cast<std::size_t>(job)] =
+        Row{pres.mini_rounds_used, rres.mini_rounds_used, avg_leaders};
+  });
+  for (std::size_t i = 0; i < sizes.size(); ++i)
+    table.row(sizes[i], rows[i].linear_rounds, rows[i].random_rounds,
+              fixed(rows[i].avg_leaders, 2));
   table.print(std::cout);
 
   std::cout << "\nWeight recovered by a fixed budget D on the linear worst "

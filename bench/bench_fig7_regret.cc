@@ -19,6 +19,7 @@
 #include "sim/metrics.h"
 #include "sim/optimum.h"
 #include "sim/simulator.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -57,8 +58,13 @@ int main() {
     return sim.run();
   };
 
-  const SimulationResult cab = run(PolicyKind::kCab);
-  const SimulationResult llr = run(PolicyKind::kLlr);
+  SimulationResult cab, llr;
+  parallel_run(2, [&](int i) {
+    if (i == 0)
+      cab = run(PolicyKind::kCab);
+    else
+      llr = run(PolicyKind::kLlr);
+  });
 
   const auto pr_cab = practical_regret_series(cab, opt.weight);
   const auto pr_llr = practical_regret_series(llr, opt.weight);

@@ -17,6 +17,7 @@
 #include "graph/generators.h"
 #include "sim/simulator.h"
 #include "sim/timing.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -49,10 +50,24 @@ int main() {
     return sim.run();
   };
 
+  // All (policy, y) sims are independent (stateless channel sampling, one
+  // simulator per job) — run them on all cores, then print in order.
+  const std::vector<int> ys{1, 5, 10, 20};
+  std::vector<SimulationResult> cab_results(ys.size());
+  std::vector<SimulationResult> llr_results(ys.size());
+  parallel_run(static_cast<int>(ys.size()) * 2, [&](int i) {
+    const auto yi = static_cast<std::size_t>(i / 2);
+    if (i % 2 == 0)
+      cab_results[yi] = run(PolicyKind::kCab, ys[yi]);
+    else
+      llr_results[yi] = run(PolicyKind::kLlr, ys[yi]);
+  });
+
   RoundTiming timing;
-  for (int y : {1, 5, 10, 20}) {
-    const SimulationResult cab = run(PolicyKind::kCab, y);
-    const SimulationResult llr = run(PolicyKind::kLlr, y);
+  for (std::size_t yi = 0; yi < ys.size(); ++yi) {
+    const int y = ys[yi];
+    const SimulationResult& cab = cab_results[yi];
+    const SimulationResult& llr = llr_results[yi];
     std::cout << "\n--- " << y << " time slot(s) per period ("
               << cab.total_slots << " slots, ideal fraction "
               << fixed(timing.periodic_fraction(y), 3) << ") ---\n";

@@ -3,6 +3,7 @@
 // fixed topology. Single-seed point estimates can flatter either policy;
 // this bench shows the ordering is stable.
 #include <iostream>
+#include <thread>
 
 #include "bandit/policy.h"
 #include "channel/gaussian.h"
@@ -25,7 +26,10 @@ int main() {
 
   std::cout << "=== Replicated CAB vs LLR (" << kUsers << "x" << kChannels
             << ", " << kSlots << " slots, " << kReps
-            << " seeds; kbps, mean +/- std) ===\n\n";
+            << " seeds; kbps, mean +/- std) ===\n"
+            << "replication pool: up to "
+            << std::max(1u, std::thread::hardware_concurrency())
+            << " worker thread(s); results are seed-order deterministic\n\n";
 
   auto experiment = [&](PolicyKind kind) {
     return [&, kind](std::uint64_t seed) {
@@ -41,8 +45,11 @@ int main() {
     };
   };
 
-  const ReplicationReport cab = replicate(experiment(PolicyKind::kCab), kReps);
-  const ReplicationReport llr = replicate(experiment(PolicyKind::kLlr), kReps);
+  ReplicationConfig rcfg;
+  rcfg.replications = kReps;
+  rcfg.parallelism = 0;  // one worker per hardware thread
+  const ReplicationReport cab = replicate(experiment(PolicyKind::kCab), rcfg);
+  const ReplicationReport llr = replicate(experiment(PolicyKind::kLlr), rcfg);
 
   auto cell = [](const Summary& s, double scale) {
     return fixed(s.mean * scale, 1) + " +/- " + fixed(s.stddev * scale, 1);

@@ -7,7 +7,7 @@
 
 namespace mhca {
 
-bool is_dominating_set(const Graph& g, const std::vector<int>& ds) {
+bool is_dominating_set(const Graph& g, std::span<const int> ds) {
   std::vector<char> covered(static_cast<std::size_t>(g.size()), 0);
   for (int v : ds) {
     MHCA_ASSERT(v >= 0 && v < g.size(), "vertex out of range");
@@ -19,7 +19,7 @@ bool is_dominating_set(const Graph& g, const std::vector<int>& ds) {
   return true;
 }
 
-bool induces_connected_subgraph(const Graph& g, const std::vector<int>& vs) {
+bool induces_connected_subgraph(const Graph& g, std::span<const int> vs) {
   if (vs.size() <= 1) return true;
   std::vector<char> member(static_cast<std::size_t>(g.size()), 0);
   for (int v : vs) member[static_cast<std::size_t>(v)] = 1;
@@ -96,7 +96,7 @@ std::vector<int> simple_connected_dominating_set(const Graph& g) {
   return cds;
 }
 
-int pipelined_broadcast_timeslots(const Graph& g, const std::vector<int>& cds,
+int pipelined_broadcast_timeslots(const Graph& g, std::span<const int> cds,
                                   int origin, int ttl) {
   MHCA_ASSERT(origin >= 0 && origin < g.size(), "origin out of range");
   MHCA_ASSERT(ttl >= 0, "negative ttl");

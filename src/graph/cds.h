@@ -11,6 +11,7 @@
 // connectors), not size-optimal; see `simple_connected_dominating_set`.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -18,10 +19,10 @@
 namespace mhca {
 
 /// Every vertex is in `ds` or adjacent to a member of `ds`.
-bool is_dominating_set(const Graph& g, const std::vector<int>& ds);
+bool is_dominating_set(const Graph& g, std::span<const int> ds);
 
 /// The subgraph induced by `vs` is connected (empty/singleton: true).
-bool induces_connected_subgraph(const Graph& g, const std::vector<int>& vs);
+bool induces_connected_subgraph(const Graph& g, std::span<const int> vs);
 
 /// Greedy maximal independent set in ascending-id order (dominators).
 std::vector<int> greedy_mis(const Graph& g);
@@ -37,7 +38,17 @@ std::vector<int> simple_connected_dominating_set(const Graph& g);
 /// transmissions pipeline one hop per timeslot: the eccentricity of the
 /// restricted flood (or ttl if the plain flood is faster). This is the
 /// quantity the paper's O((2r+1)^2) WB argument bounds.
-int pipelined_broadcast_timeslots(const Graph& g, const std::vector<int>& cds,
+int pipelined_broadcast_timeslots(const Graph& g, std::span<const int> cds,
                                   int origin, int ttl);
+
+// Brace-initializer conveniences (spans cannot bind to {…} directly).
+inline bool is_dominating_set(const Graph& g, std::initializer_list<int> ds) {
+  return is_dominating_set(g, std::span<const int>(ds.begin(), ds.size()));
+}
+inline bool induces_connected_subgraph(const Graph& g,
+                                       std::initializer_list<int> vs) {
+  return induces_connected_subgraph(
+      g, std::span<const int>(vs.begin(), vs.size()));
+}
 
 }  // namespace mhca

@@ -7,7 +7,7 @@
 namespace mhca {
 
 std::vector<int> greedy_coloring(const Graph& g,
-                                 const std::vector<int>& order) {
+                                 std::span<const int> order) {
   MHCA_ASSERT(static_cast<int>(order.size()) == g.size(),
               "order must list every vertex exactly once");
   std::vector<int> color(static_cast<std::size_t>(g.size()), -1);
@@ -45,7 +45,7 @@ int num_colors(const std::vector<int>& coloring) {
   return best + 1;
 }
 
-bool is_proper_coloring(const Graph& g, const std::vector<int>& coloring) {
+bool is_proper_coloring(const Graph& g, std::span<const int> coloring) {
   if (static_cast<int>(coloring.size()) != g.size()) return false;
   for (int v = 0; v < g.size(); ++v)
     for (int u : g.neighbors(v))

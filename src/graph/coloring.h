@@ -7,6 +7,7 @@
 // assignment.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -15,7 +16,7 @@ namespace mhca {
 
 /// Greedy coloring in the given vertex order; returns per-vertex colors
 /// (0-based). Uses at most max_degree+1 colors.
-std::vector<int> greedy_coloring(const Graph& g, const std::vector<int>& order);
+std::vector<int> greedy_coloring(const Graph& g, std::span<const int> order);
 
 /// Welsh–Powell: greedy coloring in decreasing-degree order.
 std::vector<int> welsh_powell_coloring(const Graph& g);
@@ -24,6 +25,6 @@ std::vector<int> welsh_powell_coloring(const Graph& g);
 int num_colors(const std::vector<int>& coloring);
 
 /// True iff `coloring` assigns different colors to every edge's endpoints.
-bool is_proper_coloring(const Graph& g, const std::vector<int>& coloring);
+bool is_proper_coloring(const Graph& g, std::span<const int> coloring);
 
 }  // namespace mhca

@@ -18,6 +18,7 @@ ConflictGraph ConflictGraph::from_positions(std::vector<Point> positions,
       if (squared_distance(cg.positions_[static_cast<std::size_t>(i)],
                            cg.positions_[static_cast<std::size_t>(j)]) <= r2)
         cg.graph_.add_edge(i, j);
+  cg.graph_.finalize();
   return cg;
 }
 
@@ -26,6 +27,7 @@ ConflictGraph ConflictGraph::from_edges(
   ConflictGraph cg;
   cg.graph_ = Graph(num_nodes);
   for (const auto& [u, v] : edges) cg.graph_.add_edge(u, v);
+  cg.graph_.finalize();
   return cg;
 }
 

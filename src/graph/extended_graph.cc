@@ -21,6 +21,7 @@ ExtendedConflictGraph::ExtendedConflictGraph(const ConflictGraph& conflicts,
       if (p > i)
         for (int j = 0; j < num_channels_; ++j)
           graph_.add_edge(vertex_of(i, j), vertex_of(p, j));
+  graph_.finalize();
 }
 
 int ExtendedConflictGraph::vertex_of(int node, int channel) const {

@@ -11,6 +11,7 @@ void Graph::add_edge(int u, int v) {
   MHCA_ASSERT(u >= 0 && u < size() && v >= 0 && v < size(),
               "edge endpoint out of range");
   MHCA_ASSERT(u != v, "self-loops are not allowed");
+  if (finalized()) definalize();
   if (has_edge(u, v)) return;
   auto& au = adj_[static_cast<std::size_t>(u)];
   auto& av = adj_[static_cast<std::size_t>(v)];
@@ -18,16 +19,64 @@ void Graph::add_edge(int u, int v) {
   av.insert(std::lower_bound(av.begin(), av.end(), u), u);
 }
 
+void Graph::finalize() {
+  if (finalized()) return;
+  const auto n = static_cast<std::size_t>(n_);
+  offsets_.assign(n + 1, 0);
+  std::int64_t total = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    offsets_[v] = total;
+    total += static_cast<std::int64_t>(adj_[v].size());
+  }
+  offsets_[n] = total;
+  edges_.resize(static_cast<std::size_t>(total));
+  for (std::size_t v = 0; v < n; ++v)
+    std::copy(adj_[v].begin(), adj_[v].end(),
+              edges_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]));
+  if (n_ > 0 && n_ <= kAdjacencyMatrixLimit) {
+    row_blocks_ = (n + 63) / 64;
+    bits_.assign(n * row_blocks_, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      std::uint64_t* row = bits_.data() + v * row_blocks_;
+      for (int u : adj_[v]) {
+        const auto ui = static_cast<std::size_t>(u);
+        row[ui / 64] |= (std::uint64_t{1} << (ui % 64));
+      }
+    }
+  }
+  adj_.clear();
+  adj_.shrink_to_fit();
+}
+
+void Graph::definalize() {
+  adj_.assign(static_cast<std::size_t>(n_), {});
+  for (int v = 0; v < n_; ++v) {
+    const auto nb = neighbors(v);
+    adj_[static_cast<std::size_t>(v)].assign(nb.begin(), nb.end());
+  }
+  offsets_.clear();
+  edges_.clear();
+  bits_.clear();
+  row_blocks_ = 0;
+}
+
 bool Graph::has_edge(int u, int v) const {
   if (u < 0 || v < 0 || u >= size() || v >= size() || u == v) return false;
-  const auto& au = adj_[static_cast<std::size_t>(u)];
-  const auto& av = adj_[static_cast<std::size_t>(v)];
-  const auto& shorter = au.size() <= av.size() ? au : av;
-  const int target = au.size() <= av.size() ? v : u;
+  if (has_adjacency_matrix()) {
+    const auto vi = static_cast<std::size_t>(v);
+    return (bits_[static_cast<std::size_t>(u) * row_blocks_ + vi / 64] >>
+            (vi % 64)) &
+           1u;
+  }
+  const auto nu = neighbors(u);
+  const auto nv = neighbors(v);
+  const auto shorter = nu.size() <= nv.size() ? nu : nv;
+  const int target = nu.size() <= nv.size() ? v : u;
   return std::binary_search(shorter.begin(), shorter.end(), target);
 }
 
 std::int64_t Graph::num_edges() const {
+  if (finalized()) return offsets_[static_cast<std::size_t>(n_)] / 2;
   std::int64_t twice = 0;
   for (const auto& a : adj_) twice += static_cast<std::int64_t>(a.size());
   return twice / 2;

@@ -1,7 +1,16 @@
-// Undirected simple graph with sorted adjacency lists.
+// Undirected simple graph with a two-phase representation.
 //
 // One representation serves both the conflict graph G over users and the
 // extended conflict graph H over (user, channel) virtual vertices.
+//
+// Build phase: edges accumulate in per-vertex sorted adjacency vectors.
+// Read phase: `finalize()` packs the adjacency into a flat CSR layout
+// (`offsets_` / `edges_`) so neighbor iteration is one contiguous span, and
+// (for n <= kAdjacencyMatrixLimit) a packed bitset adjacency matrix so
+// `has_edge` is a single bit test and solvers can gather local adjacency
+// rows with word-wide masks. All graph factories in the library finalize
+// before returning; an unfinalized graph still answers every query through
+// the build-phase vectors, just slower. See src/graph/README.md.
 #pragma once
 
 #include <cstdint>
@@ -12,28 +21,63 @@ namespace mhca {
 
 /// Undirected simple graph on vertices 0..size()-1.
 ///
-/// Adjacency lists are kept sorted so `has_edge` is O(log deg). Vertices and
-/// edges are added once during construction; the structure is immutable
-/// afterwards by convention (all algorithms take `const Graph&`).
+/// Neighbor lists are sorted ascending in both phases, so `neighbors()` is
+/// ordered and `has_edge` is O(1) (bitset) or O(log deg) (binary search).
+/// Vertices and edges are added once during construction; the structure is
+/// immutable after `finalize()` by convention (all algorithms take
+/// `const Graph&`). Calling `add_edge` on a finalized graph reopens the
+/// build phase (dropping the packed structure) — safe, but wasteful if done
+/// repeatedly.
 class Graph {
  public:
-  Graph() = default;
-  explicit Graph(int n) : adj_(static_cast<std::size_t>(n)) {}
+  /// Densest n for which `finalize()` builds the bitset adjacency matrix
+  /// (n^2 bits; 8192 vertices = 8 MiB — small beside the CSR arrays).
+  static constexpr int kAdjacencyMatrixLimit = 8192;
 
-  int size() const { return static_cast<int>(adj_.size()); }
+  Graph() = default;
+  explicit Graph(int n)
+      : n_(n), adj_(static_cast<std::size_t>(n)) {}
+
+  int size() const { return n_; }
 
   /// Add an undirected edge {u, v}. Self-loops and duplicates are rejected
   /// (duplicates silently ignored so generators can be sloppy).
   void add_edge(int u, int v);
 
+  /// Pack the adjacency into CSR (and, for small n, the bitset matrix) and
+  /// release the build-phase vectors. Idempotent; O(V + E).
+  void finalize();
+
+  bool finalized() const { return !offsets_.empty(); }
+
   bool has_edge(int u, int v) const;
 
-  const std::vector<int>& neighbors(int v) const {
-    return adj_[static_cast<std::size_t>(v)];
+  /// Sorted neighbor ids of v. A contiguous CSR span once finalized.
+  std::span<const int> neighbors(int v) const {
+    if (finalized()) {
+      const auto b = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
+      const auto e = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1]);
+      return {edges_.data() + b, e - b};
+    }
+    const auto& a = adj_[static_cast<std::size_t>(v)];
+    return {a.data(), a.size()};
   }
 
   int degree(int v) const {
-    return static_cast<int>(adj_[static_cast<std::size_t>(v)].size());
+    return static_cast<int>(neighbors(v).size());
+  }
+
+  /// True once `finalize()` has built the packed adjacency matrix
+  /// (only for graphs with size() <= kAdjacencyMatrixLimit).
+  bool has_adjacency_matrix() const { return !bits_.empty(); }
+
+  /// Words per adjacency-matrix row (= ceil(size()/64)); 0 if no matrix.
+  std::size_t row_blocks() const { return row_blocks_; }
+
+  /// Row v of the packed adjacency matrix: bit u set iff {v, u} is an edge.
+  std::span<const std::uint64_t> adjacency_row(int v) const {
+    return {bits_.data() + static_cast<std::size_t>(v) * row_blocks_,
+            row_blocks_};
   }
 
   std::int64_t num_edges() const;
@@ -47,7 +91,20 @@ class Graph {
   bool is_independent_set(std::span<const int> vs) const;
 
  private:
+  /// Reopen the build phase: reconstruct adjacency vectors from the CSR and
+  /// drop the packed structure.
+  void definalize();
+
+  int n_ = 0;
+
+  // Build phase.
   std::vector<std::vector<int>> adj_;
+
+  // Read phase (empty until finalize()).
+  std::vector<std::int64_t> offsets_;   ///< size n_+1.
+  std::vector<int> edges_;              ///< size 2|E|, sorted per row.
+  std::vector<std::uint64_t> bits_;     ///< n_ rows of row_blocks_ words.
+  std::size_t row_blocks_ = 0;
 };
 
 }  // namespace mhca

@@ -49,6 +49,19 @@ void BfsScratch::k_hop_neighborhood(const Graph& g, int v, int k,
   std::sort(out.begin(), out.end());
 }
 
+void BfsScratch::two_radius_neighborhood(const Graph& g, int v, int k_inner,
+                                         int k_outer, std::vector<int>& inner,
+                                         std::vector<int>& outer) {
+  MHCA_ASSERT(0 <= k_inner && k_inner <= k_outer,
+              "need 0 <= k_inner <= k_outer");
+  k_hop_neighborhood(g, v, k_outer, outer);
+  // The BFS left dist_ stamped for every vertex of the outer ball; the
+  // inner ball is its distance-<= k_inner subset (outer is already sorted).
+  inner.clear();
+  for (int u : outer)
+    if (dist_[static_cast<std::size_t>(u)] <= k_inner) inner.push_back(u);
+}
+
 int BfsScratch::hop_distance(const Graph& g, int u, int v, int cap) {
   MHCA_ASSERT(u >= 0 && u < g.size() && v >= 0 && v < g.size(),
               "vertex out of range");

@@ -27,6 +27,12 @@ class BfsScratch {
   /// As above but appends to `out` (cleared first); avoids an allocation.
   void k_hop_neighborhood(const Graph& g, int v, int k, std::vector<int>& out);
 
+  /// Collect J_{k_inner}(v) and J_{k_outer}(v) (k_inner <= k_outer) in one
+  /// BFS; both outputs are cleared first and sorted ascending, including v.
+  void two_radius_neighborhood(const Graph& g, int v, int k_inner,
+                               int k_outer, std::vector<int>& inner,
+                               std::vector<int>& outer);
+
   /// Hop distance between u and v, or `unreachable()` if no path within
   /// `cap` hops exists.
   int hop_distance(const Graph& g, int u, int v,

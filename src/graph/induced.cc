@@ -40,6 +40,7 @@ InducedSubgraph induced_subgraph(const Graph& g,
         sub.graph.add_edge(static_cast<int>(i), it->second);
     }
   }
+  sub.graph.finalize();
   return sub;
 }
 

@@ -1,0 +1,33 @@
+#include "graph/neighborhood_cache.h"
+
+#include "graph/hop.h"
+#include "util/assert.h"
+
+namespace mhca {
+
+NeighborhoodCache::NeighborhoodCache(const Graph& g, int r)
+    : r_(r), size_(g.size()) {
+  MHCA_ASSERT(r >= 1, "r must be at least 1");
+  const auto n = static_cast<std::size_t>(size_);
+  r_offsets_.assign(n + 1, 0);
+  e_offsets_.assign(n + 1, 0);
+
+  // One BFS to 2r+1 hops per vertex yields both balls: the r-ball is the
+  // distance-<= r subset of the election ball.
+  BfsScratch scratch(size_);
+  std::vector<int> r_ball;
+  std::vector<int> e_ball;
+  for (int v = 0; v < size_; ++v) {
+    scratch.two_radius_neighborhood(g, v, r_, 2 * r_ + 1, r_ball, e_ball);
+    e_offsets_[static_cast<std::size_t>(v) + 1] =
+        e_offsets_[static_cast<std::size_t>(v)] +
+        static_cast<std::int64_t>(e_ball.size());
+    e_data_.insert(e_data_.end(), e_ball.begin(), e_ball.end());
+    r_offsets_[static_cast<std::size_t>(v) + 1] =
+        r_offsets_[static_cast<std::size_t>(v)] +
+        static_cast<std::int64_t>(r_ball.size());
+    r_data_.insert(r_data_.end(), r_ball.begin(), r_ball.end());
+  }
+}
+
+}  // namespace mhca

@@ -1,0 +1,72 @@
+// Precomputed r-hop neighborhood structure for repeated strategy decisions.
+//
+// The distributed robust PTAS re-reads the same static neighborhoods every
+// decision slot: leader election looks at (2r+1)-hop balls, local MWIS at
+// r-hop balls (paper §IV-C). Both depend only on the graph and r — never on
+// the weights — so they are computed once here (one bounded BFS per vertex)
+// and stored flat in CSR form. `DistributedRobustPtas` walks these spans
+// instead of re-flooding max-relaxation rounds and re-running BFS per
+// leader. Reuse contract: the cache borrows the graph; the graph must be
+// finalized first and must not change afterwards (see src/graph/README.md).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mhca {
+
+class NeighborhoodCache {
+ public:
+  NeighborhoodCache() = default;
+
+  /// Precompute, for every vertex v of g, the sorted r-hop ball J_r(v) and
+  /// the sorted (2r+1)-hop election ball J_{2r+1}(v) (both include v).
+  NeighborhoodCache(const Graph& g, int r);
+
+  bool built() const { return !r_offsets_.empty(); }
+  int r() const { return r_; }
+  int size() const { return size_; }
+
+  /// Sorted vertices within r hops of v, including v.
+  std::span<const int> r_ball(int v) const {
+    return span_of(r_offsets_, r_data_, v);
+  }
+
+  /// Sorted vertices within 2r+1 hops of v, including v.
+  std::span<const int> election_ball(int v) const {
+    return span_of(e_offsets_, e_data_, v);
+  }
+
+  int r_ball_size(int v) const {
+    return static_cast<int>(r_ball(v).size());
+  }
+  int election_ball_size(int v) const {
+    return static_cast<int>(election_ball(v).size());
+  }
+
+  /// Total stored ball entries (memory introspection).
+  std::int64_t total_entries() const {
+    return static_cast<std::int64_t>(r_data_.size() + e_data_.size());
+  }
+
+ private:
+  static std::span<const int> span_of(const std::vector<std::int64_t>& off,
+                                      const std::vector<int>& data, int v) {
+    const auto b = static_cast<std::size_t>(off[static_cast<std::size_t>(v)]);
+    const auto e =
+        static_cast<std::size_t>(off[static_cast<std::size_t>(v) + 1]);
+    return {data.data() + b, e - b};
+  }
+
+  int r_ = 0;
+  int size_ = 0;
+  std::vector<std::int64_t> r_offsets_;  ///< size_+1.
+  std::vector<int> r_data_;
+  std::vector<std::int64_t> e_offsets_;  ///< size_+1.
+  std::vector<int> e_data_;
+};
+
+}  // namespace mhca

@@ -1,6 +1,7 @@
 #include "mwis/branch_and_bound.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 
 #include "util/assert.h"
@@ -8,53 +9,49 @@
 namespace mhca {
 namespace {
 
-/// One in-flight solve. Local vertex ids are 0..n-1 (sorted original ids),
-/// adjacency as n bitset rows for O(n/64) conflict checks.
+/// One in-flight solve over caller-owned scratch buffers. Local vertex ids
+/// are 0..n-1 (sorted original ids), adjacency as n bitset rows for O(n/64)
+/// conflict checks.
 class Search {
  public:
   Search(const Graph& g, std::span<const double> weights,
-         std::span<const int> candidates, std::int64_t cap)
-      : cap_(cap) {
-    cands_.assign(candidates.begin(), candidates.end());
-    std::sort(cands_.begin(), cands_.end());
-    MHCA_ASSERT(std::adjacent_find(cands_.begin(), cands_.end()) ==
-                    cands_.end(),
+         std::span<const int> candidates, std::int64_t cap, SolveScratch& s,
+         bool use_adjacency_rows)
+      : s_(s), cap_(cap) {
+    s_.cands.assign(candidates.begin(), candidates.end());
+    std::sort(s_.cands.begin(), s_.cands.end());
+    MHCA_ASSERT(std::adjacent_find(s_.cands.begin(), s_.cands.end()) ==
+                    s_.cands.end(),
                 "duplicate candidates");
-    n_ = cands_.size();
-    w_.resize(n_);
+    n_ = s_.cands.size();
+    s_.w.resize(n_);
     for (std::size_t i = 0; i < n_; ++i) {
-      MHCA_ASSERT(cands_[i] >= 0 && cands_[i] < g.size(),
+      MHCA_ASSERT(s_.cands[i] >= 0 && s_.cands[i] < g.size(),
                   "candidate out of range");
-      w_[i] = weights[static_cast<std::size_t>(cands_[i])];
+      s_.w[i] = weights[static_cast<std::size_t>(s_.cands[i])];
     }
     blocks_ = (n_ + 63) / 64;
-    adj_.assign(n_ * blocks_, 0);
-    // Build local adjacency by scanning each candidate's (typically short)
-    // neighbor list against the sorted candidate array.
-    for (std::size_t i = 0; i < n_; ++i) {
-      for (int u : g.neighbors(cands_[i])) {
-        const auto it = std::lower_bound(cands_.begin(), cands_.end(), u);
-        if (it != cands_.end() && *it == u) {
-          const std::size_t j =
-              static_cast<std::size_t>(it - cands_.begin());
-          adj_[i * blocks_ + j / 64] |= (std::uint64_t{1} << (j % 64));
-        }
-      }
+    s_.adj.assign(n_ * blocks_, 0);
+    if (use_adjacency_rows && g.has_adjacency_matrix()) {
+      build_adjacency_from_rows(g);
+    } else {
+      build_adjacency_from_lists(g);
     }
   }
 
   MwisResult run() {
+    build_order();
     build_clique_cover();
     seed_with_greedy();
-    chosen_mask_.assign(blocks_, 0);
-    chosen_.clear();
+    s_.chosen_mask.assign(blocks_, 0);
+    s_.chosen.clear();
     cur_weight_ = 0.0;
     aborted_ = false;
     dfs(0);
 
     MwisResult res;
-    res.vertices.reserve(best_set_.size());
-    for (std::size_t i : best_set_) res.vertices.push_back(cands_[i]);
+    res.vertices.reserve(s_.best_set.size());
+    for (std::size_t i : s_.best_set) res.vertices.push_back(s_.cands[i]);
     std::sort(res.vertices.begin(), res.vertices.end());
     res.weight = best_weight_;
     res.exact = !aborted_;
@@ -63,31 +60,86 @@ class Search {
   }
 
  private:
+  /// Seed path: scan each candidate's (typically short) neighbor list
+  /// against the sorted candidate array.
+  void build_adjacency_from_lists(const Graph& g) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (int u : g.neighbors(s_.cands[i])) {
+        const auto it =
+            std::lower_bound(s_.cands.begin(), s_.cands.end(), u);
+        if (it != s_.cands.end() && *it == u) {
+          const auto j = static_cast<std::size_t>(it - s_.cands.begin());
+          s_.adj[i * blocks_ + j / 64] |= (std::uint64_t{1} << (j % 64));
+        }
+      }
+    }
+  }
+
+  /// Fast path: mask each candidate's packed adjacency row with the global
+  /// candidate bitset, then remap surviving bits to local ids. Stale
+  /// `global_to_local` entries from earlier solves are harmless — only ids
+  /// whose `cand_mask` bit was set *this* build are ever looked up.
+  void build_adjacency_from_rows(const Graph& g) {
+    const std::size_t gb = g.row_blocks();
+    s_.cand_mask.assign(gb, 0);
+    if (s_.global_to_local.size() < static_cast<std::size_t>(g.size()))
+      s_.global_to_local.resize(static_cast<std::size_t>(g.size()));
+    for (std::size_t i = 0; i < n_; ++i) {
+      const auto gi = static_cast<std::size_t>(s_.cands[i]);
+      s_.cand_mask[gi / 64] |= (std::uint64_t{1} << (gi % 64));
+      s_.global_to_local[gi] = static_cast<int>(i);
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      const auto row = g.adjacency_row(s_.cands[i]);
+      std::uint64_t* out = &s_.adj[i * blocks_];
+      for (std::size_t b = 0; b < gb; ++b) {
+        std::uint64_t word = row[b] & s_.cand_mask[b];
+        while (word != 0) {
+          const auto gu = b * 64 + static_cast<std::size_t>(
+                                       std::countr_zero(word));
+          const auto j = static_cast<std::size_t>(s_.global_to_local[gu]);
+          out[j / 64] |= (std::uint64_t{1} << (j % 64));
+          word &= word - 1;
+        }
+      }
+    }
+  }
+
   bool conflicts_with_chosen(std::size_t v) const {
-    const std::uint64_t* row = &adj_[v * blocks_];
+    const std::uint64_t* row = &s_.adj[v * blocks_];
     for (std::size_t b = 0; b < blocks_; ++b)
-      if (row[b] & chosen_mask_[b]) return true;
+      if (row[b] & s_.chosen_mask[b]) return true;
     return false;
+  }
+
+  /// Weight-descending (ties by local id) order shared by the clique cover
+  /// and the greedy incumbent.
+  void build_order() {
+    s_.order.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) s_.order[i] = i;
+    std::sort(s_.order.begin(), s_.order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (s_.w[a] != s_.w[b]) return s_.w[a] > s_.w[b];
+                return a < b;
+              });
   }
 
   /// Greedy clique cover: visit vertices by weight desc; place each into the
   /// first clique it is fully adjacent to, else open a new clique. On the
   /// extended conflict graph this recovers (refinements of) the per-master
-  /// channel cliques.
+  /// channel cliques. Inner vectors of `s_.cliques` are recycled across
+  /// solves; only the first `num_cliques_` are meaningful.
   void build_clique_cover() {
-    std::vector<std::size_t> order(n_);
-    for (std::size_t i = 0; i < n_; ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      if (w_[a] != w_[b]) return w_[a] > w_[b];
-      return a < b;
-    });
-    cliques_.clear();
-    for (std::size_t v : order) {
+    num_cliques_ = 0;
+    auto& cliques = s_.cliques;
+    for (std::size_t v : s_.order) {
       bool placed = false;
-      for (auto& q : cliques_) {
+      for (std::size_t qi = 0; qi < num_cliques_; ++qi) {
+        auto& q = cliques[qi];
         bool all_adjacent = true;
         for (std::size_t u : q) {
-          if (!(adj_[v * blocks_ + u / 64] & (std::uint64_t{1} << (u % 64)))) {
+          if (!(s_.adj[v * blocks_ + u / 64] &
+                (std::uint64_t{1} << (u % 64)))) {
             all_adjacent = false;
             break;
           }
@@ -98,45 +150,45 @@ class Search {
           break;
         }
       }
-      if (!placed) cliques_.push_back({v});
+      if (!placed) {
+        if (num_cliques_ == cliques.size()) cliques.emplace_back();
+        cliques[num_cliques_].clear();
+        cliques[num_cliques_].push_back(v);
+        ++num_cliques_;
+      }
     }
     // Members are already weight-descending (insertion order). Sort cliques
     // by their max weight descending so the bound tightens early.
-    std::sort(cliques_.begin(), cliques_.end(),
+    std::sort(cliques.begin(),
+              cliques.begin() + static_cast<std::ptrdiff_t>(num_cliques_),
               [&](const auto& a, const auto& b) {
-                if (w_[a.front()] != w_[b.front()])
-                  return w_[a.front()] > w_[b.front()];
+                if (s_.w[a.front()] != s_.w[b.front()])
+                  return s_.w[a.front()] > s_.w[b.front()];
                 return a.front() < b.front();
               });
-    // Suffix sums of per-clique maxima: remaining_[i] bounds any completion
+    // Suffix sums of per-clique maxima: remaining[i] bounds any completion
     // of a partial solution that has settled cliques 0..i-1.
-    remaining_.assign(cliques_.size() + 1, 0.0);
-    for (std::size_t i = cliques_.size(); i-- > 0;)
-      remaining_[i] = remaining_[i + 1] + w_[cliques_[i].front()];
+    s_.remaining.assign(num_cliques_ + 1, 0.0);
+    for (std::size_t i = num_cliques_; i-- > 0;)
+      s_.remaining[i] = s_.remaining[i + 1] + s_.w[cliques[i].front()];
   }
 
   void seed_with_greedy() {
-    std::vector<std::size_t> order(n_);
-    for (std::size_t i = 0; i < n_; ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      if (w_[a] != w_[b]) return w_[a] > w_[b];
-      return a < b;
-    });
-    std::vector<std::uint64_t> mask(blocks_, 0);
-    best_set_.clear();
+    s_.greedy_mask.assign(blocks_, 0);
+    s_.best_set.clear();
     best_weight_ = 0.0;
-    for (std::size_t v : order) {
-      const std::uint64_t* row = &adj_[v * blocks_];
+    for (std::size_t v : s_.order) {
+      const std::uint64_t* row = &s_.adj[v * blocks_];
       bool ok = true;
       for (std::size_t b = 0; b < blocks_; ++b)
-        if (row[b] & mask[b]) {
+        if (row[b] & s_.greedy_mask[b]) {
           ok = false;
           break;
         }
       if (ok) {
-        mask[v / 64] |= (std::uint64_t{1} << (v % 64));
-        best_set_.push_back(v);
-        best_weight_ += w_[v];
+        s_.greedy_mask[v / 64] |= (std::uint64_t{1} << (v % 64));
+        s_.best_set.push_back(v);
+        best_weight_ += s_.w[v];
       }
     }
   }
@@ -147,42 +199,42 @@ class Search {
       aborted_ = true;
       return;
     }
-    if (ci == cliques_.size()) {
+    if (ci == num_cliques_) {
       if (cur_weight_ > best_weight_) {
         best_weight_ = cur_weight_;
-        best_set_ = chosen_;
+        s_.best_set = s_.chosen;
       }
       return;
     }
-    if (cur_weight_ + remaining_[ci] <= best_weight_) return;  // bound
-    for (std::size_t v : cliques_[ci]) {
+    if (cur_weight_ + s_.remaining[ci] <= best_weight_) return;  // bound
+    bool rest_pruned = false;
+    for (std::size_t v : s_.cliques[ci]) {
+      // Members are weight-descending: once cur + w[v] + UB(rest) cannot
+      // beat the incumbent, neither can any later (lighter) member — and,
+      // for w[v] >= 0, neither can leaving the clique empty.
+      if (cur_weight_ + s_.w[v] + s_.remaining[ci + 1] <= best_weight_) {
+        rest_pruned = s_.w[v] >= 0.0;
+        break;
+      }
       if (conflicts_with_chosen(v)) continue;
-      chosen_mask_[v / 64] |= (std::uint64_t{1} << (v % 64));
-      chosen_.push_back(v);
-      cur_weight_ += w_[v];
+      s_.chosen_mask[v / 64] |= (std::uint64_t{1} << (v % 64));
+      s_.chosen.push_back(v);
+      cur_weight_ += s_.w[v];
       dfs(ci + 1);
-      cur_weight_ -= w_[v];
-      chosen_.pop_back();
-      chosen_mask_[v / 64] &= ~(std::uint64_t{1} << (v % 64));
+      cur_weight_ -= s_.w[v];
+      s_.chosen.pop_back();
+      s_.chosen_mask[v / 64] &= ~(std::uint64_t{1} << (v % 64));
       if (aborted_) return;
     }
-    dfs(ci + 1);  // leave this clique empty
+    if (!rest_pruned) dfs(ci + 1);  // leave this clique empty
   }
 
-  std::vector<int> cands_;
-  std::vector<double> w_;
+  SolveScratch& s_;
   std::size_t n_ = 0;
   std::size_t blocks_ = 0;
-  std::vector<std::uint64_t> adj_;
+  std::size_t num_cliques_ = 0;
 
-  std::vector<std::vector<std::size_t>> cliques_;
-  std::vector<double> remaining_;
-
-  std::vector<std::uint64_t> chosen_mask_;
-  std::vector<std::size_t> chosen_;
   double cur_weight_ = 0.0;
-
-  std::vector<std::size_t> best_set_;
   double best_weight_ = 0.0;
 
   std::int64_t explored_ = 0;
@@ -192,12 +244,24 @@ class Search {
 
 }  // namespace
 
+MwisResult BranchAndBoundMwisSolver::solve_with_scratch(
+    const Graph& g, std::span<const double> weights,
+    std::span<const int> candidates, SolveScratch& scratch,
+    bool use_adjacency_rows) const {
+  if (candidates.empty()) return MwisResult{};
+  Search s(g, weights, candidates, node_cap_, scratch, use_adjacency_rows);
+  return s.run();
+}
+
 MwisResult BranchAndBoundMwisSolver::solve(const Graph& g,
                                            std::span<const double> weights,
                                            std::span<const int> candidates) {
-  if (candidates.empty()) return MwisResult{};
-  Search s(g, weights, candidates, node_cap_);
-  return s.run();
+  if (!reuse_scratch_) {
+    SolveScratch fresh;  // seed behavior: allocate per solve, list-scan build
+    return solve_with_scratch(g, weights, candidates, fresh,
+                              /*use_adjacency_rows=*/false);
+  }
+  return solve_with_scratch(g, weights, candidates, scratch_);
 }
 
 }  // namespace mhca

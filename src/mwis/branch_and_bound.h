@@ -10,28 +10,75 @@
 // it returns the best set found so far (at least as good as greedy, which
 // seeds the incumbent) with `exact = false` — mirroring the paper's remark
 // that a constant-approximation local solver may replace enumeration.
+//
+// Repeated solves (one per leader per decision slot) dominate the decision
+// path, so the per-solve working set lives in a caller-owned `SolveScratch`
+// whose buffers are reused across solves, and local adjacency is gathered
+// from the graph's packed bitset rows (mask + remap) instead of per-neighbor
+// binary search when the matrix is available. Reuse contract: a scratch may
+// be shared by solves over *different* graphs and candidate sets (buffers
+// resize as needed) but never by two solves concurrently.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "mwis/mwis.h"
 
 namespace mhca {
 
+/// Reusable working memory for BranchAndBoundMwisSolver. Treat as opaque:
+/// contents are rewritten by every solve; only the allocations persist.
+struct SolveScratch {
+  std::vector<int> cands;                ///< Sorted original candidate ids.
+  std::vector<double> w;                 ///< Local weights.
+  std::vector<std::uint64_t> adj;        ///< Local bitset adjacency rows.
+  std::vector<std::uint64_t> cand_mask;  ///< Global candidate bitset.
+  /// Original id -> local id. Only entries whose `cand_mask` bit is set in
+  /// the *current* solve are valid; everything else is stale garbage.
+  std::vector<int> global_to_local;
+  std::vector<std::size_t> order;        ///< Weight-descending vertex order.
+  std::vector<std::vector<std::size_t>> cliques;
+  std::vector<double> remaining;         ///< Clique-max suffix sums.
+  std::vector<std::uint64_t> chosen_mask;
+  std::vector<std::size_t> chosen;
+  std::vector<std::uint64_t> greedy_mask;
+  std::vector<std::size_t> best_set;
+};
+
 class BranchAndBoundMwisSolver : public MwisSolver {
  public:
-  explicit BranchAndBoundMwisSolver(std::int64_t node_cap = 5'000'000)
-      : node_cap_(node_cap) {}
+  /// `reuse_scratch`: keep one SolveScratch inside the solver so repeated
+  /// `solve` calls reuse buffers and the bitset-row adjacency gather. With
+  /// false, every solve allocates fresh and builds adjacency by per-neighbor
+  /// binary search — the seed implementation's allocation and build
+  /// behavior; kept for equivalence tests and the bench_decision_path
+  /// baseline. The search itself (branching order, pruning) is shared by
+  /// both modes, so results are identical across them by construction.
+  explicit BranchAndBoundMwisSolver(std::int64_t node_cap = 5'000'000,
+                                    bool reuse_scratch = true)
+      : node_cap_(node_cap), reuse_scratch_(reuse_scratch) {}
 
   std::string name() const override { return "branch-and-bound"; }
 
   MwisResult solve(const Graph& g, std::span<const double> weights,
                    std::span<const int> candidates) override;
 
+  /// Solve using caller-owned working memory. `use_adjacency_rows` selects
+  /// the bitset-row gather (when the graph has a packed matrix) over the
+  /// per-neighbor binary-search build; both produce identical adjacency.
+  MwisResult solve_with_scratch(const Graph& g,
+                                std::span<const double> weights,
+                                std::span<const int> candidates,
+                                SolveScratch& scratch,
+                                bool use_adjacency_rows = true) const;
+
   std::int64_t node_cap() const { return node_cap_; }
 
  private:
   std::int64_t node_cap_;
+  bool reuse_scratch_;
+  SolveScratch scratch_;  ///< Used only when reuse_scratch_.
 };
 
 }  // namespace mhca

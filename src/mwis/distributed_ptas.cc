@@ -24,12 +24,20 @@ constexpr Key kMinKey{-std::numeric_limits<double>::infinity(),
 
 DistributedRobustPtas::DistributedRobustPtas(const Graph& h,
                                              DistributedPtasConfig cfg)
-    : h_(h), cfg_(cfg), exact_(cfg.bnb_node_cap), scratch_(h.size()) {
+    : h_(h),
+      cfg_(cfg),
+      exact_(cfg.bnb_node_cap, /*reuse_scratch=*/cfg.use_decision_cache),
+      scratch_(h.size()) {
   MHCA_ASSERT(cfg_.r >= 1, "r must be at least 1");
   MHCA_ASSERT(cfg_.max_mini_rounds >= 0, "negative mini-round budget");
+  if (cfg_.use_decision_cache) cache_ = NeighborhoodCache(h, cfg_.r);
 }
 
 int DistributedRobustPtas::ball_size(int v, int radius) {
+  if (cache_.built()) {
+    if (radius == cfg_.r) return cache_.r_ball_size(v);
+    if (radius == 2 * cfg_.r + 1) return cache_.election_ball_size(v);
+  }
   auto& sizes = ball_size_cache_[radius];
   if (sizes.empty()) sizes.assign(static_cast<std::size_t>(h_.size()), -1);
   int& s = sizes[static_cast<std::size_t>(v)];
@@ -48,6 +56,58 @@ std::int64_t DistributedRobustPtas::weight_broadcast_messages(
   return msgs;
 }
 
+void DistributedRobustPtas::elect_by_relaxation(
+    std::span<const double> weights, const std::vector<VertexStatus>& status,
+    std::vector<int>& leaders) {
+  const int n = h_.size();
+  const int election_hops = 2 * cfg_.r + 1;
+  relax_.resize(static_cast<std::size_t>(n));
+  relax_next_.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v)
+    relax_[static_cast<std::size_t>(v)] =
+        status[static_cast<std::size_t>(v)] == VertexStatus::kCandidate
+            ? key_of(v, weights)
+            : kMinKey;
+  for (int step = 0; step < election_hops; ++step) {
+    for (int v = 0; v < n; ++v) {
+      Key best = relax_[static_cast<std::size_t>(v)];
+      for (int u : h_.neighbors(v))
+        best = std::max(best, relax_[static_cast<std::size_t>(u)]);
+      relax_next_[static_cast<std::size_t>(v)] = best;
+    }
+    std::swap(relax_, relax_next_);
+  }
+  for (int v = 0; v < n; ++v) {
+    if (status[static_cast<std::size_t>(v)] != VertexStatus::kCandidate)
+      continue;
+    if (relax_[static_cast<std::size_t>(v)] == key_of(v, weights))
+      leaders.push_back(v);
+  }
+}
+
+void DistributedRobustPtas::elect_by_cache(
+    std::span<const double> weights, const std::vector<VertexStatus>& status,
+    std::vector<int>& leaders) {
+  const int n = h_.size();
+  for (int v = 0; v < n; ++v) {
+    if (status[static_cast<std::size_t>(v)] != VertexStatus::kCandidate)
+      continue;
+    const double wv = weights[static_cast<std::size_t>(v)];
+    bool is_leader = true;
+    for (int u : cache_.election_ball(v)) {
+      if (status[static_cast<std::size_t>(u)] != VertexStatus::kCandidate)
+        continue;
+      // key_of(u) > key_of(v) without materializing the pairs.
+      const double wu = weights[static_cast<std::size_t>(u)];
+      if (wu > wv || (wu == wv && u < v)) {
+        is_leader = false;
+        break;
+      }
+    }
+    if (is_leader) leaders.push_back(v);
+  }
+}
+
 DistributedPtasResult DistributedRobustPtas::run(
     std::span<const double> weights) {
   const int n = h_.size();
@@ -60,10 +120,9 @@ DistributedPtasResult DistributedRobustPtas::run(
   int candidates = n;
 
   DistributedPtasResult res;
-  std::vector<Key> relax(static_cast<std::size_t>(n));
-  std::vector<Key> relax_next(static_cast<std::size_t>(n));
   std::vector<int> ball;
   std::vector<int> local_cands;
+  std::vector<int> leaders;
 
   MwisSolver& local_solver =
       cfg_.local_solver == LocalSolverKind::kExact
@@ -77,27 +136,12 @@ DistributedPtasResult DistributedRobustPtas::run(
     MiniRoundRecord rec;
     rec.mini_round = mini_round;
 
-    // --- LocalLeader selection (LS): (2r+1)-hop max-relaxation. ---
-    for (int v = 0; v < n; ++v)
-      relax[static_cast<std::size_t>(v)] =
-          status[static_cast<std::size_t>(v)] == VertexStatus::kCandidate
-              ? key_of(v, weights)
-              : kMinKey;
-    for (int step = 0; step < election_hops; ++step) {
-      for (int v = 0; v < n; ++v) {
-        Key best = relax[static_cast<std::size_t>(v)];
-        for (int u : h_.neighbors(v))
-          best = std::max(best, relax[static_cast<std::size_t>(u)]);
-        relax_next[static_cast<std::size_t>(v)] = best;
-      }
-      std::swap(relax, relax_next);
-    }
-    std::vector<int> leaders;
-    for (int v = 0; v < n; ++v) {
-      if (status[static_cast<std::size_t>(v)] != VertexStatus::kCandidate)
-        continue;
-      if (relax[static_cast<std::size_t>(v)] == key_of(v, weights))
-        leaders.push_back(v);
+    // --- LocalLeader selection (LS): max over the (2r+1)-hop ball. ---
+    leaders.clear();
+    if (cache_.built()) {
+      elect_by_cache(weights, status, leaders);
+    } else {
+      elect_by_relaxation(weights, status, leaders);
     }
     MHCA_ASSERT(!leaders.empty(),
                 "a candidate of globally maximal weight must elect itself");
@@ -105,9 +149,15 @@ DistributedPtasResult DistributedRobustPtas::run(
 
     // --- Local MWIS + status determination (LMWIS / LB). ---
     for (int leader : leaders) {
-      scratch_.k_hop_neighborhood(h_, leader, r, ball);
+      std::span<const int> leader_ball;
+      if (cache_.built()) {
+        leader_ball = cache_.r_ball(leader);
+      } else {
+        scratch_.k_hop_neighborhood(h_, leader, r, ball);
+        leader_ball = ball;
+      }
       local_cands.clear();
-      for (int v : ball)
+      for (int v : leader_ball)
         if (status[static_cast<std::size_t>(v)] == VertexStatus::kCandidate)
           local_cands.push_back(v);
       const MwisResult local = local_solver.solve(h_, weights, local_cands);

@@ -14,9 +14,15 @@
 // integration tests check that both produce identical decisions. Benchmarks
 // use this engine (it avoids materializing floods).
 //
-// Leader election uses (2r+1) rounds of max-relaxation over the adjacency
-// structure — exactly the information a real flood would propagate — with
-// ties broken by vertex id (the paper assumes distinct weights).
+// The graph never changes between decision slots — only the weights do — so
+// by default the constructor precomputes a NeighborhoodCache (per-vertex
+// r-hop and (2r+1)-hop balls) and `run()` walks those cached spans: leader
+// election checks each Candidate's election ball directly (equivalent to
+// the seed's (2r+1) rounds of max-relaxation, which compute exactly the
+// ball maxima a real flood would propagate), and local solves read cached
+// r-balls instead of re-running BFS. Message *accounting* is unchanged: it
+// still charges the real flood sizes. `use_decision_cache = false` restores
+// the seed re-derivation path (kept for equivalence tests and benches).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +32,7 @@
 
 #include "graph/graph.h"
 #include "graph/hop.h"
+#include "graph/neighborhood_cache.h"
 #include "mwis/branch_and_bound.h"
 #include "mwis/greedy.h"
 #include "mwis/mwis.h"
@@ -45,6 +52,10 @@ struct DistributedPtasConfig {
   LocalSolverKind local_solver = LocalSolverKind::kExact;
   std::int64_t bnb_node_cap = 200'000;  ///< Exact-local effort cap.
   bool count_messages = false;          ///< Track flood sizes (costs BFS).
+  /// Precompute ball structure once and reuse solver scratch across local
+  /// solves. False = per-decision re-derivation exactly as the seed
+  /// implementation (same results either way, slower).
+  bool use_decision_cache = true;
 };
 
 /// Per-mini-round trace record (drives the Fig. 6 reproduction).
@@ -71,11 +82,15 @@ struct DistributedPtasResult {
 
 class DistributedRobustPtas {
  public:
-  /// The graph reference must outlive this object.
+  /// The graph reference must outlive this object. The graph must not be
+  /// mutated afterwards when the decision cache is enabled.
   explicit DistributedRobustPtas(const Graph& h,
                                  DistributedPtasConfig cfg = {});
 
   const DistributedPtasConfig& config() const { return cfg_; }
+
+  /// The precomputed ball structure (unbuilt if use_decision_cache=false).
+  const NeighborhoodCache& neighborhood_cache() const { return cache_; }
 
   /// Run one full strategy decision over the given vertex weights.
   DistributedPtasResult run(std::span<const double> weights);
@@ -87,13 +102,31 @@ class DistributedRobustPtas {
  private:
   int ball_size(int v, int radius);
 
+  /// Seed election: (2r+1) rounds of max-relaxation over the adjacency
+  /// structure — exactly the information a real flood would propagate —
+  /// with ties broken by vertex id (the paper assumes distinct weights).
+  void elect_by_relaxation(std::span<const double> weights,
+                           const std::vector<VertexStatus>& status,
+                           std::vector<int>& leaders);
+
+  /// Cached election: a Candidate leads iff no Candidate in its cached
+  /// (2r+1)-hop ball has a larger key. Identical leader set by construction.
+  void elect_by_cache(std::span<const double> weights,
+                      const std::vector<VertexStatus>& status,
+                      std::vector<int>& leaders);
+
   const Graph& h_;
   DistributedPtasConfig cfg_;
   BranchAndBoundMwisSolver exact_;
   GreedyMwisSolver greedy_;
   BfsScratch scratch_;
-  /// radius -> per-vertex |J_radius(v)| (-1 = not yet computed).
+  NeighborhoodCache cache_;  ///< Built once iff cfg_.use_decision_cache.
+  /// radius -> per-vertex |J_radius(v)| (-1 = not yet computed). Serves the
+  /// radii the cache does not store (the 3r+2 LB flood).
   std::unordered_map<int, std::vector<int>> ball_size_cache_;
+  // run() working buffers, reused across decision slots.
+  std::vector<std::pair<double, int>> relax_;
+  std::vector<std::pair<double, int>> relax_next_;
 };
 
 }  // namespace mhca

@@ -42,6 +42,7 @@ void VertexAgent::finalize_discovery() {
   };
   add_edges_of(id_, own_neighbors_);
   for (const auto& [origin, nbs] : hello_lists_) add_edges_of(origin, nbs);
+  local_graph_.finalize();
   hello_lists_.clear();
 
   table_.clear();

@@ -32,13 +32,17 @@ DistributedRuntime::DistributedRuntime(const ExtendedConflictGraph& ecg,
 void DistributedRuntime::discover() {
   const Graph& h = ecg_.graph();
   const int horizon = 2 * cfg_.r + 1;
-  for (int v = 0; v < h.size(); ++v)
-    agents_[static_cast<std::size_t>(v)].set_own_neighbors(h.neighbors(v));
   for (int v = 0; v < h.size(); ++v) {
+    const auto nb = h.neighbors(v);
+    agents_[static_cast<std::size_t>(v)].set_own_neighbors(
+        std::vector<int>(nb.begin(), nb.end()));
+  }
+  for (int v = 0; v < h.size(); ++v) {
+    const auto nb = h.neighbors(v);
     Message hello;
     hello.type = MsgType::kHello;
     hello.origin = v;
-    hello.neighbor_list = h.neighbors(v);
+    hello.neighbor_list.assign(nb.begin(), nb.end());
     channel_.flood(hello, horizon, [this](int to, const Message& m) {
       agents_[static_cast<std::size_t>(to)].on_hello(m);
     });

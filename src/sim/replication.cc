@@ -1,39 +1,75 @@
 #include "sim/replication.h"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "util/assert.h"
+#include "util/parallel.h"
 
 namespace mhca {
 
 const Summary& ReplicationReport::metric(const std::string& name) const {
   for (const auto& m : metrics)
     if (m.name == name) return m.summary;
-  MHCA_ASSERT(false, "unknown replication metric: " + name);
+  throw std::out_of_range("unknown replication metric: " + name);
 }
+
+namespace {
+
+/// The per-seed headline numbers extracted inside the worker so the full
+/// SimulationResult (series vectors included) can be freed immediately.
+struct SeedMetrics {
+  double expected = 0.0;
+  double effective = 0.0;
+  double observed = 0.0;
+  double gap = 0.0;
+  double size = 0.0;
+};
+
+SeedMetrics extract(const SimulationResult& res) {
+  SeedMetrics m;
+  const double slots = static_cast<double>(res.total_slots);
+  m.expected = res.total_expected / slots;
+  m.effective = res.total_effective / slots;
+  m.observed = res.total_observed / slots;
+  const double eff =
+      res.cumavg_effective.empty() ? 0.0 : res.cumavg_effective.back();
+  const double est =
+      res.cumavg_estimated.empty() ? 0.0 : res.cumavg_estimated.back();
+  m.gap = eff > 0.0 ? std::abs(est - eff) / eff : 0.0;
+  m.size = res.avg_strategy_size;
+  return m;
+}
+
+}  // namespace
 
 ReplicationReport replicate(
     const std::function<SimulationResult(std::uint64_t seed)>& experiment,
-    int replications, std::uint64_t seed0) {
-  MHCA_ASSERT(replications >= 1, "need at least one replication");
+    const ReplicationConfig& cfg) {
+  MHCA_ASSERT(cfg.replications >= 1, "need at least one replication");
+  MHCA_ASSERT(cfg.parallelism >= 0, "negative parallelism");
+  const int reps = cfg.replications;
+
+  std::vector<SeedMetrics> per_seed(static_cast<std::size_t>(reps));
+  parallel_run(
+      reps,
+      [&](int i) {
+        per_seed[static_cast<std::size_t>(i)] =
+            extract(experiment(cfg.seed0 + static_cast<std::uint64_t>(i)));
+      },
+      cfg.parallelism);
+
+  // Merge in seed order — identical output for any worker count.
   std::vector<double> expected, effective, observed, gap, size;
-  for (int i = 0; i < replications; ++i) {
-    const SimulationResult res = experiment(seed0 + static_cast<std::uint64_t>(i));
-    const double slots = static_cast<double>(res.total_slots);
-    expected.push_back(res.total_expected / slots);
-    effective.push_back(res.total_effective / slots);
-    observed.push_back(res.total_observed / slots);
-    const double eff = res.cumavg_effective.empty()
-                           ? 0.0
-                           : res.cumavg_effective.back();
-    const double est = res.cumavg_estimated.empty()
-                           ? 0.0
-                           : res.cumavg_estimated.back();
-    gap.push_back(eff > 0.0 ? std::abs(est - eff) / eff : 0.0);
-    size.push_back(res.avg_strategy_size);
+  for (const SeedMetrics& m : per_seed) {
+    expected.push_back(m.expected);
+    effective.push_back(m.effective);
+    observed.push_back(m.observed);
+    gap.push_back(m.gap);
+    size.push_back(m.size);
   }
   ReplicationReport report;
-  report.replications = replications;
+  report.replications = reps;
   report.metrics = {
       {"expected_rate", summarize(expected)},
       {"effective_rate", summarize(effective)},
@@ -42,6 +78,16 @@ ReplicationReport replicate(
       {"strategy_size", summarize(size)},
   };
   return report;
+}
+
+ReplicationReport replicate(
+    const std::function<SimulationResult(std::uint64_t seed)>& experiment,
+    int replications, std::uint64_t seed0) {
+  ReplicationConfig cfg;
+  cfg.replications = replications;
+  cfg.seed0 = seed0;
+  cfg.parallelism = 1;  // legacy sequential contract
+  return replicate(experiment, cfg);
 }
 
 }  // namespace mhca

@@ -1,5 +1,10 @@
 // Multi-seed replication: run the same experiment across independent seeds
 // and report mean/std error bars instead of single-run point estimates.
+//
+// Replications are independent by construction (each gets its own seed and
+// builds its own simulator state), so they run on a small std::thread pool.
+// Results are deterministic regardless of parallelism: per-seed metrics are
+// written to seed-indexed slots and aggregated in seed order.
 #pragma once
 
 #include <cstdint>
@@ -26,13 +31,33 @@ struct ReplicationReport {
   const Summary& metric(const std::string& name) const;
 };
 
-/// Run `experiment(seed)` for seeds seed0 .. seed0+replications-1 and
-/// aggregate the standard headline metrics of each SimulationResult:
+struct ReplicationConfig {
+  int replications = 8;
+  std::uint64_t seed0 = 1;
+  /// Worker threads running replications. 0 = one per hardware thread
+  /// (capped at `replications`); 1 = run inline on the calling thread.
+  int parallelism = 0;
+};
+
+/// Run `experiment(seed)` for seeds cfg.seed0 .. cfg.seed0+replications-1
+/// and aggregate the standard headline metrics of each SimulationResult:
 ///   expected_rate   — avg true-mean throughput per slot
 ///   effective_rate  — avg timing-discounted realized throughput per slot
 ///   observed_rate   — avg raw observed throughput per slot
 ///   estimate_gap    — |estimated − effective| / effective at the horizon
 ///   strategy_size   — avg transmitters per slot
+///
+/// The experiment callable must be safe to invoke from multiple threads at
+/// once (each call should build its own graphs/models/policies — which every
+/// caller in this repo already does). An exception thrown by any replication
+/// is rethrown on the calling thread after the pool joins.
+ReplicationReport replicate(
+    const std::function<SimulationResult(std::uint64_t seed)>& experiment,
+    const ReplicationConfig& cfg);
+
+/// Back-compat wrapper preserving the original *sequential* contract
+/// (parallelism = 1): legacy callers may pass experiments that are not
+/// thread-safe. Opt into the pool explicitly via ReplicationConfig.
 ReplicationReport replicate(
     const std::function<SimulationResult(std::uint64_t seed)>& experiment,
     int replications, std::uint64_t seed0 = 1);

@@ -41,18 +41,21 @@ SimulationResult Simulator::run() {
   ArmEstimates est(k_arms);
   Rng rng(cfg_.seed);
 
-  // Strategy-decision oracle.
-  DistributedPtasConfig dcfg;
-  dcfg.r = cfg_.r;
-  dcfg.max_mini_rounds = cfg_.D;
-  dcfg.local_solver = cfg_.local_solver;
-  dcfg.bnb_node_cap = cfg_.bnb_node_cap;
-  dcfg.count_messages = cfg_.count_messages;
-  DistributedRobustPtas engine(h, dcfg);
+  // Strategy-decision oracle. The distributed engine precomputes its
+  // NeighborhoodCache at construction, so only build it when selected.
+  std::unique_ptr<DistributedRobustPtas> engine;
   std::unique_ptr<MwisSolver> central;
   switch (cfg_.solver) {
-    case SolverKind::kDistributedPtas:
+    case SolverKind::kDistributedPtas: {
+      DistributedPtasConfig dcfg;
+      dcfg.r = cfg_.r;
+      dcfg.max_mini_rounds = cfg_.D;
+      dcfg.local_solver = cfg_.local_solver;
+      dcfg.bnb_node_cap = cfg_.bnb_node_cap;
+      dcfg.count_messages = cfg_.count_messages;
+      engine = std::make_unique<DistributedRobustPtas>(h, dcfg);
       break;
+    }
     case SolverKind::kCentralizedPtas:
       central = std::make_unique<RobustPtasSolver>(cfg_.ptas_epsilon, 4,
                                                    cfg_.bnb_node_cap);
@@ -86,8 +89,8 @@ SimulationResult Simulator::run() {
       }
       if (cfg_.solver == SolverKind::kDistributedPtas) {
         if (cfg_.count_messages && !strategy.empty())
-          out.total_messages += engine.weight_broadcast_messages(strategy);
-        DistributedPtasResult dres = engine.run(weights);
+          out.total_messages += engine->weight_broadcast_messages(strategy);
+        DistributedPtasResult dres = engine->run(weights);
         strategy = std::move(dres.winners);
         out.total_messages += dres.total_messages;
         out.total_mini_timeslots += dres.total_mini_timeslots;

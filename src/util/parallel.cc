@@ -1,0 +1,56 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace mhca {
+
+void parallel_run(int jobs, const std::function<void(int)>& job,
+                  int parallelism) {
+  MHCA_ASSERT(jobs >= 0, "negative job count");
+  MHCA_ASSERT(parallelism >= 0, "negative parallelism");
+  if (jobs == 0) return;
+
+  int workers = parallelism;
+  if (workers == 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers == 0) workers = 1;
+  }
+  if (workers > jobs) workers = jobs;
+
+  if (workers <= 1) {
+    for (int i = 0; i < jobs; ++i) job(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs || failed.load(std::memory_order_relaxed)) return;
+      try {
+        job(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace mhca

@@ -1,0 +1,22 @@
+// Minimal fork-join helper for embarrassingly parallel jobs.
+//
+// The replication harness and the figure benches all have the same shape:
+// N independent jobs (distinct seeds / configs / policies) whose outputs go
+// to preallocated, disjoint slots. `parallel_run` executes them on a small
+// std::thread pool; determinism is the *caller's* property (jobs must not
+// share mutable state), which every user in this repo satisfies because
+// channel sampling is stateless and each job builds its own simulator.
+#pragma once
+
+#include <functional>
+
+namespace mhca {
+
+/// Run job(0), ..., job(jobs-1) on min(parallelism, jobs) worker threads.
+/// parallelism 0 = one worker per hardware thread; 1 = inline on the
+/// calling thread (no threads spawned). If any job throws, the first
+/// exception is rethrown on the calling thread after all workers join.
+void parallel_run(int jobs, const std::function<void(int)>& job,
+                  int parallelism = 0);
+
+}  // namespace mhca
