@@ -5,7 +5,7 @@
 
 namespace mhca {
 
-NeighborhoodCache::NeighborhoodCache(const Graph& g, int r)
+NeighborhoodCache::NeighborhoodCache(const Graph& g, int r, bool build_covers)
     : r_(r), size_(g.size()) {
   MHCA_ASSERT(r >= 1, "r must be at least 1");
   const auto n = static_cast<std::size_t>(size_);
@@ -17,6 +17,8 @@ NeighborhoodCache::NeighborhoodCache(const Graph& g, int r)
   BfsScratch scratch(size_);
   std::vector<int> r_ball;
   std::vector<int> e_ball;
+  std::vector<int> clique_of;
+  if (build_covers) cover_counts_.assign(n, 0);
   for (int v = 0; v < size_; ++v) {
     scratch.two_radius_neighborhood(g, v, r_, 2 * r_ + 1, r_ball, e_ball);
     e_offsets_[static_cast<std::size_t>(v) + 1] =
@@ -27,7 +29,46 @@ NeighborhoodCache::NeighborhoodCache(const Graph& g, int r)
         r_offsets_[static_cast<std::size_t>(v)] +
         static_cast<std::int64_t>(r_ball.size());
     r_data_.insert(r_data_.end(), r_ball.begin(), r_ball.end());
+    if (build_covers) {
+      cover_counts_[static_cast<std::size_t>(v)] =
+          build_ball_cover(g, r_ball, clique_of);
+      cover_data_.insert(cover_data_.end(), clique_of.begin(),
+                         clique_of.end());
+    }
   }
+}
+
+int NeighborhoodCache::build_ball_cover(const Graph& g,
+                                        std::span<const int> ball,
+                                        std::vector<int>& clique_of) {
+  clique_of.assign(ball.size(), -1);
+  // Cliques as (first-member-index, id) chains would save memory, but balls
+  // are small; plain member lists keep the placement check obvious.
+  std::vector<std::vector<int>> cliques;
+  for (std::size_t i = 0; i < ball.size(); ++i) {
+    const int v = ball[i];
+    bool placed = false;
+    for (std::size_t q = 0; q < cliques.size(); ++q) {
+      bool all_adjacent = true;
+      for (int u : cliques[q]) {
+        if (!g.has_edge(v, u)) {
+          all_adjacent = false;
+          break;
+        }
+      }
+      if (all_adjacent) {
+        cliques[q].push_back(v);
+        clique_of[i] = static_cast<int>(q);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      clique_of[i] = static_cast<int>(cliques.size());
+      cliques.push_back({v});
+    }
+  }
+  return static_cast<int>(cliques.size());
 }
 
 }  // namespace mhca

@@ -6,8 +6,20 @@
 // the weights — so they are computed once here (one bounded BFS per vertex)
 // and stored flat in CSR form. `DistributedRobustPtas` walks these spans
 // instead of re-flooding max-relaxation rounds and re-running BFS per
-// leader. Reuse contract: the cache borrows the graph; the graph must be
-// finalized first and must not change afterwards (see src/graph/README.md).
+// leader.
+//
+// Optionally (`build_covers`) the cache also memoizes, per vertex, a greedy
+// clique cover of its r-ball computed in the weight-free id-ascending order
+// (`build_ball_cover`): the ball's clique *structure* never changes between
+// slots, only the weights do, so the partition can be reused by restricting
+// it to the current candidate subset (a subset of a clique is a clique).
+// Covers are opt-in because the weight-free partition is measurably weaker
+// as a bound than the per-solve weight-descending cover on hard instances
+// (see src/mwis/README.md for the measurement); they pay off only where
+// cover construction, not tree search, dominates.
+//
+// Reuse contract: the cache borrows the graph; the graph must be finalized
+// first and must not change afterwards (see src/graph/README.md).
 #pragma once
 
 #include <cstdint>
@@ -24,9 +36,11 @@ class NeighborhoodCache {
 
   /// Precompute, for every vertex v of g, the sorted r-hop ball J_r(v) and
   /// the sorted (2r+1)-hop election ball J_{2r+1}(v) (both include v).
-  NeighborhoodCache(const Graph& g, int r);
+  /// With `build_covers`, also memoize each r-ball's clique cover.
+  NeighborhoodCache(const Graph& g, int r, bool build_covers = false);
 
   bool built() const { return !r_offsets_.empty(); }
+  bool has_covers() const { return !cover_counts_.empty(); }
   int r() const { return r_; }
   int size() const { return size_; }
 
@@ -40,6 +54,16 @@ class NeighborhoodCache {
     return span_of(e_offsets_, e_data_, v);
   }
 
+  /// Clique id per member of r_ball(v), aligned with that span. Ids are
+  /// dense in [0, r_ball_clique_count(v)).
+  std::span<const int> r_ball_cover(int v) const {
+    return span_of(r_offsets_, cover_data_, v);
+  }
+
+  int r_ball_clique_count(int v) const {
+    return cover_counts_[static_cast<std::size_t>(v)];
+  }
+
   int r_ball_size(int v) const {
     return static_cast<int>(r_ball(v).size());
   }
@@ -49,8 +73,19 @@ class NeighborhoodCache {
 
   /// Total stored ball entries (memory introspection).
   std::int64_t total_entries() const {
-    return static_cast<std::int64_t>(r_data_.size() + e_data_.size());
+    return static_cast<std::int64_t>(r_data_.size() + e_data_.size() +
+                                     cover_data_.size());
   }
+
+  /// Greedy clique cover of `ball` (sorted vertex ids of g) in id-ascending
+  /// order: each vertex joins the first clique it is fully adjacent to, else
+  /// opens a new one. Writes the clique id of ball[i] to clique_of[i]
+  /// (resized) and returns the clique count. Weight-free and deterministic,
+  /// so a memoized cover and a freshly built one are always identical —
+  /// the seed decision path rebuilds this per solve, the cached path reads
+  /// it back from the cache, and both reach byte-identical solver behavior.
+  static int build_ball_cover(const Graph& g, std::span<const int> ball,
+                              std::vector<int>& clique_of);
 
  private:
   static std::span<const int> span_of(const std::vector<std::int64_t>& off,
@@ -67,6 +102,8 @@ class NeighborhoodCache {
   std::vector<int> r_data_;
   std::vector<std::int64_t> e_offsets_;  ///< size_+1.
   std::vector<int> e_data_;
+  std::vector<int> cover_data_;          ///< Aligned with r_data_ when built.
+  std::vector<int> cover_counts_;        ///< Cliques per r-ball when built.
 };
 
 }  // namespace mhca

@@ -7,9 +7,34 @@
 // vertex per clique can be chosen, hence UB = sum of per-clique maxima.
 //
 // An iteration cap turns the solver into an anytime method: when exceeded,
-// it returns the best set found so far (at least as good as greedy, which
-// seeds the incumbent) with `exact = false` — mirroring the paper's remark
-// that a constant-approximation local solver may replace enumeration.
+// it returns the best set found so far — never worse than the greedy
+// solution over the same instance — with `exact = false`, mirroring the
+// paper's remark that a constant-approximation local solver may replace
+// enumeration.
+//
+// Two search modes share the instance-build code (see BnbSolveOptions):
+//
+//   classic   The seed algorithm: one-shot greedy clique cover, DFS over
+//             cliques with the static suffix-max bound. Kept byte-for-byte
+//             for solver-level baseline comparisons (bench_solver_micro)
+//             and equivalence tests.
+//
+//   enhanced  Preprocessing reductions (non-positive-weight drop, isolated
+//             take, degree-1 take/fold, adjacent weight-dominance removal),
+//             connected-component decomposition (each component searched
+//             independently — sum, not product, of subtree sizes), O(1)
+//             conflict tests via an incremental conflict counter, pairwise
+//             clique-bound corrections, and a residual refinement that
+//             replaces each remaining clique's static max by its best
+//             member not in conflict with the chosen set. Optionally
+//             consumes a memoized clique cover (see NeighborhoodCache)
+//             instead of rebuilding one greedily per solve.
+//
+// Both modes are exact when they complete: on instances with a unique
+// optimum they return identical results. Under a node-cap abort the two
+// modes may return *different* (equally valid) anytime incumbents, because
+// their search trees differ. See src/mwis/README.md for the bound
+// hierarchy and the memoization contract.
 //
 // Repeated solves (one per leader per decision slot) dominate the decision
 // path, so the per-solve working set lives in a caller-owned `SolveScratch`
@@ -21,6 +46,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "mwis/mwis.h"
@@ -31,7 +58,7 @@ namespace mhca {
 /// contents are rewritten by every solve; only the allocations persist.
 struct SolveScratch {
   std::vector<int> cands;                ///< Sorted original candidate ids.
-  std::vector<double> w;                 ///< Local weights.
+  std::vector<double> w;                 ///< Local weights (folds mutate).
   std::vector<std::uint64_t> adj;        ///< Local bitset adjacency rows.
   std::vector<std::uint64_t> cand_mask;  ///< Global candidate bitset.
   /// Original id -> local id. Only entries whose `cand_mask` bit is set in
@@ -44,17 +71,56 @@ struct SolveScratch {
   std::vector<std::size_t> chosen;
   std::vector<std::uint64_t> greedy_mask;
   std::vector<std::size_t> best_set;
+  // Enhanced-mode state (unused by the classic search).
+  std::vector<int> conflict_cnt;         ///< #chosen neighbors per vertex.
+  std::vector<std::uint8_t> vstate;      ///< Reduction state per vertex.
+  std::vector<int> degree;               ///< Live local degree.
+  std::vector<int> worklist;             ///< Reduction FIFO.
+  std::vector<std::size_t> forced;       ///< Vertices taken by reductions.
+  std::vector<std::pair<std::size_t, std::size_t>> folds;  ///< (kept, folded).
+  std::vector<int> comp;                 ///< Component label per vertex.
+  std::vector<std::size_t> comp_queue;   ///< Component BFS queue.
+  std::vector<int> qid_bucket;           ///< Memo clique id -> bucket index.
+  std::vector<std::size_t> group_begin;  ///< Clique range per component.
+  std::vector<std::size_t> group_end;
+  std::vector<double> group_best_w;
+  std::vector<std::vector<std::size_t>> group_best;
+  std::vector<std::size_t> fallback_set; ///< Full-instance greedy backstop.
+  std::vector<double> pair_deduct;       ///< Suffix bound corrections.
+  std::vector<std::uint8_t> pair_matched;
+};
+
+/// Per-solve feature selection for BranchAndBoundMwisSolver. The defaults
+/// are the fast path; all-false (plus use_adjacency_rows=false) reproduces
+/// the seed implementation exactly.
+struct BnbSolveOptions {
+  /// Gather local adjacency from the graph's packed bitset rows when
+  /// available (false = per-neighbor binary search, the seed build).
+  bool use_adjacency_rows = true;
+  /// Enhanced search: component decomposition + conflict counters +
+  /// residual-refined clique bound. False = classic (seed) search.
+  bool enhanced = true;
+  /// Preprocessing reductions (requires `enhanced`; ignored otherwise).
+  bool use_reductions = true;
+  /// Memoized clique cover: clique id per candidate, aligned with the
+  /// *sorted* candidate span (callers pass candidates pre-sorted when using
+  /// this). Ids must be < clique_id_bound; members of one id must be
+  /// pairwise adjacent. Empty = build a greedy cover per solve. Requires
+  /// `enhanced`.
+  std::span<const int> cand_clique_ids = {};
+  int clique_id_bound = 0;
 };
 
 class BranchAndBoundMwisSolver : public MwisSolver {
  public:
   /// `reuse_scratch`: keep one SolveScratch inside the solver so repeated
-  /// `solve` calls reuse buffers and the bitset-row adjacency gather. With
-  /// false, every solve allocates fresh and builds adjacency by per-neighbor
-  /// binary search — the seed implementation's allocation and build
-  /// behavior; kept for equivalence tests and the bench_decision_path
-  /// baseline. The search itself (branching order, pruning) is shared by
-  /// both modes, so results are identical across them by construction.
+  /// `solve` calls reuse buffers, gather adjacency from bitset rows, and run
+  /// the enhanced search. With false, every solve allocates fresh, builds
+  /// adjacency by per-neighbor binary search and runs the classic search —
+  /// the seed implementation's behavior, kept for equivalence tests and
+  /// solver-level baselines. Both modes are exact when they complete
+  /// (`exact == true`), so they agree on every instance whose optimum is
+  /// unique; under a node-cap abort their anytime incumbents may differ.
   explicit BranchAndBoundMwisSolver(std::int64_t node_cap = 5'000'000,
                                     bool reuse_scratch = true)
       : node_cap_(node_cap), reuse_scratch_(reuse_scratch) {}
@@ -64,14 +130,12 @@ class BranchAndBoundMwisSolver : public MwisSolver {
   MwisResult solve(const Graph& g, std::span<const double> weights,
                    std::span<const int> candidates) override;
 
-  /// Solve using caller-owned working memory. `use_adjacency_rows` selects
-  /// the bitset-row gather (when the graph has a packed matrix) over the
-  /// per-neighbor binary-search build; both produce identical adjacency.
+  /// Solve using caller-owned working memory and explicit feature selection.
   MwisResult solve_with_scratch(const Graph& g,
                                 std::span<const double> weights,
                                 std::span<const int> candidates,
                                 SolveScratch& scratch,
-                                bool use_adjacency_rows = true) const;
+                                const BnbSolveOptions& opts = {}) const;
 
   std::int64_t node_cap() const { return node_cap_; }
 

@@ -1,10 +1,13 @@
 #include "mwis/distributed_ptas.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
+#include <thread>
 #include <utility>
 
 #include "util/assert.h"
+#include "util/parallel.h"
 
 namespace mhca {
 namespace {
@@ -20,17 +23,25 @@ Key key_of(int v, std::span<const double> w) {
 constexpr Key kMinKey{-std::numeric_limits<double>::infinity(),
                       std::numeric_limits<int>::min()};
 
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
 }  // namespace
 
 DistributedRobustPtas::DistributedRobustPtas(const Graph& h,
                                              DistributedPtasConfig cfg)
     : h_(h),
       cfg_(cfg),
-      exact_(cfg.bnb_node_cap, /*reuse_scratch=*/cfg.use_decision_cache),
+      exact_(cfg.bnb_node_cap),  // solves go through solve_with_scratch
       scratch_(h.size()) {
   MHCA_ASSERT(cfg_.r >= 1, "r must be at least 1");
   MHCA_ASSERT(cfg_.max_mini_rounds >= 0, "negative mini-round budget");
-  if (cfg_.use_decision_cache) cache_ = NeighborhoodCache(h, cfg_.r);
+  MHCA_ASSERT(cfg_.local_solve_parallelism >= 0, "negative parallelism");
+  if (cfg_.use_decision_cache)
+    cache_ = NeighborhoodCache(h, cfg_.r, cfg_.use_memoized_covers);
 }
 
 int DistributedRobustPtas::ball_size(int v, int radius) {
@@ -108,26 +119,125 @@ void DistributedRobustPtas::elect_by_cache(
   }
 }
 
+void DistributedRobustPtas::gather_local_instances(
+    const std::vector<int>& leaders, const std::vector<VertexStatus>& status) {
+  gather_cands_.clear();
+  gather_cover_ids_.clear();
+  gather_offsets_.clear();
+  gather_cover_counts_.assign(leaders.size(), 0);
+  gather_offsets_.reserve(leaders.size() + 1);
+  gather_offsets_.push_back(0);
+  for (std::size_t li = 0; li < leaders.size(); ++li) {
+    const int leader = leaders[li];
+    std::span<const int> ball;
+    std::span<const int> ball_cover;
+    if (cache_.built()) {
+      ball = cache_.r_ball(leader);
+      if (cfg_.use_memoized_covers) {
+        ball_cover = cache_.r_ball_cover(leader);
+        gather_cover_counts_[li] = cache_.r_ball_clique_count(leader);
+      }
+    } else {
+      scratch_.k_hop_neighborhood(h_, leader, cfg_.r, ball_buf_);
+      ball = ball_buf_;
+      if (cfg_.use_memoized_covers) {
+        // Seed path: rebuild the (weight-free, deterministic) ball cover the
+        // cache would have memoized — identical ids by construction.
+        gather_cover_counts_[li] =
+            NeighborhoodCache::build_ball_cover(h_, ball, cover_buf_);
+        ball_cover = cover_buf_;
+      }
+    }
+    for (std::size_t i = 0; i < ball.size(); ++i) {
+      const int v = ball[i];
+      if (status[static_cast<std::size_t>(v)] != VertexStatus::kCandidate)
+        continue;
+      gather_cands_.push_back(v);
+      if (cfg_.use_memoized_covers) gather_cover_ids_.push_back(ball_cover[i]);
+    }
+    gather_offsets_.push_back(gather_cands_.size());
+  }
+}
+
+void DistributedRobustPtas::solve_local_instances(
+    const std::vector<int>& leaders, std::span<const double> weights) {
+  solve_results_.resize(leaders.size());
+  const auto instance = [&](std::size_t li) {
+    return std::span<const int>(gather_cands_)
+        .subspan(gather_offsets_[li],
+                 gather_offsets_[li + 1] - gather_offsets_[li]);
+  };
+
+  if (cfg_.local_solver == LocalSolverKind::kGreedy) {
+    for (std::size_t li = 0; li < leaders.size(); ++li)
+      solve_results_[li] = greedy_.solve(h_, weights, instance(li));
+    return;
+  }
+
+  const auto solve_one = [&](std::size_t li, SolveScratch& scratch,
+                             bool cached_path) {
+    BnbSolveOptions opts;
+    opts.use_adjacency_rows = cached_path;
+    if (cfg_.use_memoized_covers) {
+      opts.cand_clique_ids =
+          std::span<const int>(gather_cover_ids_)
+              .subspan(gather_offsets_[li],
+                       gather_offsets_[li + 1] - gather_offsets_[li]);
+      opts.clique_id_bound = gather_cover_counts_[li];
+    }
+    solve_results_[li] =
+        exact_.solve_with_scratch(h_, weights, instance(li), scratch, opts);
+  };
+
+  if (!cache_.built()) {
+    // Seed path: allocate fresh working memory per solve, list-scan build.
+    for (std::size_t li = 0; li < leaders.size(); ++li) {
+      SolveScratch fresh;
+      solve_one(li, fresh, /*cached_path=*/false);
+    }
+    return;
+  }
+
+  int workers = cfg_.local_solve_parallelism;
+  if (workers == 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers == 0) workers = 1;
+  }
+  workers = std::min<int>(workers, static_cast<int>(leaders.size()));
+  if (static_cast<std::size_t>(workers) > worker_scratch_.size())
+    worker_scratch_.resize(static_cast<std::size_t>(workers));
+  if (workers <= 1) {
+    for (std::size_t li = 0; li < leaders.size(); ++li)
+      solve_one(li, worker_scratch_[0], /*cached_path=*/true);
+    return;
+  }
+  // Strided fan-out: worker j owns leaders j, j+W, ... with its own scratch.
+  // Output slots are disjoint, so any schedule yields identical results.
+  parallel_run(
+      workers,
+      [&](int j) {
+        for (std::size_t li = static_cast<std::size_t>(j);
+             li < leaders.size(); li += static_cast<std::size_t>(workers))
+          solve_one(li, worker_scratch_[static_cast<std::size_t>(j)],
+                    /*cached_path=*/true);
+      },
+      workers);
+}
+
 DistributedPtasResult DistributedRobustPtas::run(
     std::span<const double> weights) {
   const int n = h_.size();
   MHCA_ASSERT(static_cast<int>(weights.size()) == n, "weight vector mismatch");
   const int r = cfg_.r;
   const int election_hops = 2 * r + 1;
+  const bool timed = cfg_.collect_stage_times;
 
   std::vector<VertexStatus> status(static_cast<std::size_t>(n),
                                    VertexStatus::kCandidate);
   int candidates = n;
 
   DistributedPtasResult res;
-  std::vector<int> ball;
-  std::vector<int> local_cands;
   std::vector<int> leaders;
-
-  MwisSolver& local_solver =
-      cfg_.local_solver == LocalSolverKind::kExact
-          ? static_cast<MwisSolver&>(exact_)
-          : static_cast<MwisSolver&>(greedy_);
 
   int mini_round = 0;
   while (candidates > 0 &&
@@ -137,6 +247,7 @@ DistributedPtasResult DistributedRobustPtas::run(
     rec.mini_round = mini_round;
 
     // --- LocalLeader selection (LS): max over the (2r+1)-hop ball. ---
+    auto t0 = Clock::now();
     leaders.clear();
     if (cache_.built()) {
       elect_by_cache(weights, status, leaders);
@@ -146,22 +257,31 @@ DistributedPtasResult DistributedRobustPtas::run(
     MHCA_ASSERT(!leaders.empty(),
                 "a candidate of globally maximal weight must elect itself");
     rec.leaders = static_cast<int>(leaders.size());
+    if (timed) stage_times_.election_ms += ms_since(t0);
 
-    // --- Local MWIS + status determination (LMWIS / LB). ---
-    for (int leader : leaders) {
-      std::span<const int> leader_ball;
-      if (cache_.built()) {
-        leader_ball = cache_.r_ball(leader);
-      } else {
-        scratch_.k_hop_neighborhood(h_, leader, r, ball);
-        leader_ball = ball;
-      }
-      local_cands.clear();
-      for (int v : leader_ball)
-        if (status[static_cast<std::size_t>(v)] == VertexStatus::kCandidate)
-          local_cands.push_back(v);
-      const MwisResult local = local_solver.solve(h_, weights, local_cands);
+    // --- Local MWIS (LMWIS): gather instances, then solve. Leaders' balls
+    // are pairwise disjoint and non-adjacent (Theorem 3), so no leader's
+    // verdict can change another's instance: gathering everything up front
+    // and fanning the solves out is equivalent to the sequential protocol.
+    if (timed) t0 = Clock::now();
+    gather_local_instances(leaders, status);
+    if (timed) {
+      stage_times_.gather_ms += ms_since(t0);
+      t0 = Clock::now();
+    }
+    solve_local_instances(leaders, weights);
+    if (timed) {
+      stage_times_.solve_ms += ms_since(t0);
+      t0 = Clock::now();
+    }
+
+    // --- Status determination (LB), applied in election order. ---
+    for (std::size_t li = 0; li < leaders.size(); ++li) {
+      const int leader = leaders[li];
+      const MwisResult& local = solve_results_[li];
       res.solver_nodes_explored += local.nodes_explored;
+      if (cfg_.local_solver == LocalSolverKind::kExact && !local.exact)
+        res.all_local_solves_exact = false;
       // Winners first, then every remaining candidate in the ball loses.
       for (int v : local.vertices) {
         status[static_cast<std::size_t>(v)] = VertexStatus::kWinner;
@@ -170,7 +290,10 @@ DistributedPtasResult DistributedRobustPtas::run(
         --candidates;
         ++rec.new_winners;
       }
-      for (int v : local_cands) {
+      const auto cands_begin = gather_offsets_[li];
+      const auto cands_end = gather_offsets_[li + 1];
+      for (std::size_t ci = cands_begin; ci < cands_end; ++ci) {
+        const int v = gather_cands_[ci];
         if (status[static_cast<std::size_t>(v)] == VertexStatus::kCandidate) {
           status[static_cast<std::size_t>(v)] = VertexStatus::kLoser;
           --candidates;
@@ -195,6 +318,7 @@ DistributedPtasResult DistributedRobustPtas::run(
         rec.messages += ball_size(leader, 3 * r + 2);      // LB flood
       }
     }
+    if (timed) stage_times_.apply_ms += ms_since(t0);
 
     rec.candidates_remaining = candidates;
     rec.cumulative_weight = res.weight;

@@ -14,6 +14,14 @@
 // integration tests check that both produce identical decisions. Benchmarks
 // use this engine (it avoids materializing floods).
 //
+// Each mini-round is structured gather → solve → apply: candidate sets for
+// every leader are collected first, then all leaders' local solves run
+// (disjointness makes them embarrassingly parallel — `parallelism` fans
+// them across a thread pool with per-worker scratch, leader-order
+// deterministic: results are applied sequentially in election order, so
+// winners, weights, and message traces are byte-identical at any
+// parallelism), then statuses/messages are updated.
+//
 // The graph never changes between decision slots — only the weights do — so
 // by default the constructor precomputes a NeighborhoodCache (per-vertex
 // r-hop and (2r+1)-hop balls) and `run()` walks those cached spans: leader
@@ -22,7 +30,10 @@
 // ball maxima a real flood would propagate), and local solves read cached
 // r-balls instead of re-running BFS. Message *accounting* is unchanged: it
 // still charges the real flood sizes. `use_decision_cache = false` restores
-// the seed re-derivation path (kept for equivalence tests and benches).
+// the seed re-derivation path (kept for equivalence tests and benches);
+// the local-solve *algorithm* is shared by both paths, so their decisions
+// are byte-identical unconditionally — node-cap aborts and weight ties
+// included.
 #pragma once
 
 #include <cstdint>
@@ -50,12 +61,30 @@ struct DistributedPtasConfig {
   int r = 2;                 ///< Paper's simulations use r = 2.
   int max_mini_rounds = 0;   ///< D; 0 = run until every vertex is marked.
   LocalSolverKind local_solver = LocalSolverKind::kExact;
-  std::int64_t bnb_node_cap = 200'000;  ///< Exact-local effort cap.
+  /// Exact-local effort cap per solve. Tuned for the enhanced search
+  /// (reductions + component split + refined bound): the typical local
+  /// solve completes exactly well under it, the hard first-mini-round
+  /// balls at r >= 3 fall back to the anytime contract (measured < 0.7%
+  /// decision-weight loss vs unlimited at n=800, r=3), and per-slot
+  /// decision latency stays bounded — the paper's robustness only needs a
+  /// β-approximate local oracle. Raise for offline/optimum-quality runs.
+  std::int64_t bnb_node_cap = 2'000;
   bool count_messages = false;          ///< Track flood sizes (costs BFS).
   /// Precompute ball structure once and reuse solver scratch across local
   /// solves. False = per-decision re-derivation exactly as the seed
   /// implementation (same results either way, slower).
   bool use_decision_cache = true;
+  /// Fan independent per-leader local solves of one mini-round across
+  /// worker threads (cached path, exact solver only). 0 = one worker per
+  /// hardware thread, 1 = inline. Deterministic at any setting.
+  int local_solve_parallelism = 0;
+  /// Reuse the per-ball clique cover memoized in the NeighborhoodCache
+  /// (rebuilt per solve on the seed path — identical either way). Off by
+  /// default: the weight-free partition is a measurably weaker bound than
+  /// the per-solve weight-descending cover on hard balls (see
+  /// src/mwis/README.md); enable where cover construction dominates.
+  bool use_memoized_covers = false;
+  bool collect_stage_times = false;     ///< Accumulate per-stage timings.
 };
 
 /// Per-mini-round trace record (drives the Fig. 6 reproduction).
@@ -78,6 +107,18 @@ struct DistributedPtasResult {
   std::int64_t total_messages = 0;
   std::int64_t total_mini_timeslots = 0;
   std::int64_t solver_nodes_explored = 0;
+  /// True iff every exact-solver local solve completed within the node cap
+  /// (always true for the greedy local solver).
+  bool all_local_solves_exact = true;
+};
+
+/// Wall-clock spent per decision stage, accumulated across `run()` calls
+/// while `collect_stage_times` is set (see `stage_times()`).
+struct DecisionStageTimes {
+  double election_ms = 0.0;  ///< Leader election.
+  double gather_ms = 0.0;    ///< Ball lookup/BFS + candidate + cover gather.
+  double solve_ms = 0.0;     ///< Local MWIS solves.
+  double apply_ms = 0.0;     ///< Status updates + message accounting.
 };
 
 class DistributedRobustPtas {
@@ -99,6 +140,9 @@ class DistributedRobustPtas {
   /// the previous strategy floods its new estimate within 2r+1 hops.
   std::int64_t weight_broadcast_messages(std::span<const int> prev_winners);
 
+  const DecisionStageTimes& stage_times() const { return stage_times_; }
+  void reset_stage_times() { stage_times_ = {}; }
+
  private:
   int ball_size(int v, int radius);
 
@@ -115,6 +159,16 @@ class DistributedRobustPtas {
                       const std::vector<VertexStatus>& status,
                       std::vector<int>& leaders);
 
+  /// Collect, for every elected leader, the Candidates of its r-ball (and
+  /// their memoized clique ids when enabled) into the flat gather buffers.
+  void gather_local_instances(const std::vector<int>& leaders,
+                              const std::vector<VertexStatus>& status);
+
+  /// Solve every gathered instance (exact solves fan out across workers on
+  /// the cached path), filling solve_results_ leader by leader.
+  void solve_local_instances(const std::vector<int>& leaders,
+                             std::span<const double> weights);
+
   const Graph& h_;
   DistributedPtasConfig cfg_;
   BranchAndBoundMwisSolver exact_;
@@ -127,6 +181,15 @@ class DistributedRobustPtas {
   // run() working buffers, reused across decision slots.
   std::vector<std::pair<double, int>> relax_;
   std::vector<std::pair<double, int>> relax_next_;
+  std::vector<int> gather_cands_;        ///< Per-leader candidates, flat.
+  std::vector<int> gather_cover_ids_;    ///< Aligned clique ids (memo mode).
+  std::vector<std::size_t> gather_offsets_;
+  std::vector<int> gather_cover_counts_;
+  std::vector<MwisResult> solve_results_;
+  std::vector<SolveScratch> worker_scratch_;
+  std::vector<int> ball_buf_;            ///< Seed-path BFS ball.
+  std::vector<int> cover_buf_;           ///< Seed-path fresh ball cover.
+  DecisionStageTimes stage_times_;
 };
 
 }  // namespace mhca

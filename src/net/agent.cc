@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "graph/hop.h"
+#include "graph/neighborhood_cache.h"
 #include "util/assert.h"
 
 namespace mhca::net {
 
-VertexAgent::VertexAgent(int id, int r) : id_(id), r_(r) {
+VertexAgent::VertexAgent(int id, int r, bool memoize_cover)
+    : id_(id), r_(r), memoize_cover_(memoize_cover) {
   MHCA_ASSERT(id >= 0, "negative vertex id");
   MHCA_ASSERT(r >= 1, "r must be at least 1");
 }
@@ -44,6 +46,18 @@ void VertexAgent::finalize_discovery() {
   for (const auto& [origin, nbs] : hello_lists_) add_edges_of(origin, nbs);
   local_graph_.finalize();
   hello_lists_.clear();
+
+  // Memoize the r-ball (computed on the *local* subgraph — identical to
+  // global r-hop distance because every shortest path of length <= r stays
+  // inside J_{2r+1}(me)) and its weight-free clique cover: both are static
+  // for the lifetime of the network, while indices change every round.
+  BfsScratch scratch(local_graph_.size());
+  r_ball_local_ =
+      scratch.k_hop_neighborhood(local_graph_, local_id(id_), r_);
+  if (memoize_cover_) {
+    r_ball_cliques_ = NeighborhoodCache::build_ball_cover(
+        local_graph_, r_ball_local_, r_ball_cover_);
+  }
 
   table_.clear();
   for (int m : members_)
@@ -92,39 +106,36 @@ bool VertexAgent::should_lead() const {
   return true;
 }
 
-std::vector<StatusEntry> VertexAgent::lead(MwisSolver& solver) {
+void VertexAgent::gather_local_candidates() {
   MHCA_ASSERT(status_ == VertexStatus::kCandidate, "non-candidate leading");
-  // Candidates within r hops of me, computed on the *local* subgraph —
-  // identical to global r-hop distance because every shortest path of
-  // length <= r stays inside J_{2r+1}(me).
-  BfsScratch scratch(local_graph_.size());
-  const std::vector<int> ball =
-      scratch.k_hop_neighborhood(local_graph_, local_id(id_), r_);
-
-  std::vector<int> cands;          // local ids
-  std::vector<double> weights(static_cast<std::size_t>(local_graph_.size()),
-                              0.0);
-  for (int lv : ball) {
+  cand_buf_.clear();
+  cand_cover_buf_.clear();
+  weight_buf_.assign(static_cast<std::size_t>(local_graph_.size()), 0.0);
+  for (std::size_t i = 0; i < r_ball_local_.size(); ++i) {
+    const int lv = r_ball_local_[i];
     const int gv = members_[static_cast<std::size_t>(lv)];
     if (gv == id_) {
-      cands.push_back(lv);
-      weights[static_cast<std::size_t>(lv)] = own_index_;
+      cand_buf_.push_back(lv);
+      if (memoize_cover_) cand_cover_buf_.push_back(r_ball_cover_[i]);
+      weight_buf_[static_cast<std::size_t>(lv)] = own_index_;
     } else {
       const Entry& e = table_.at(gv);
       if (e.status == VertexStatus::kCandidate) {
-        cands.push_back(lv);
-        weights[static_cast<std::size_t>(lv)] = e.index;
+        cand_buf_.push_back(lv);
+        if (memoize_cover_) cand_cover_buf_.push_back(r_ball_cover_[i]);
+        weight_buf_[static_cast<std::size_t>(lv)] = e.index;
       }
     }
   }
-  const MwisResult res = solver.solve(local_graph_, weights, cands);
+}
 
+std::vector<StatusEntry> VertexAgent::verdicts_from(const MwisResult& res) {
   std::vector<char> is_winner(static_cast<std::size_t>(local_graph_.size()), 0);
   for (int lv : res.vertices) is_winner[static_cast<std::size_t>(lv)] = 1;
   std::vector<char> decided(static_cast<std::size_t>(local_graph_.size()), 0);
   std::vector<StatusEntry> verdicts;
-  verdicts.reserve(cands.size());
-  for (int lv : cands) {
+  verdicts.reserve(cand_buf_.size());
+  for (int lv : cand_buf_) {
     decided[static_cast<std::size_t>(lv)] = 1;
     verdicts.push_back(StatusEntry{
         members_[static_cast<std::size_t>(lv)],
@@ -145,6 +156,27 @@ std::vector<StatusEntry> VertexAgent::lead(MwisSolver& solver) {
     }
   }
   return verdicts;
+}
+
+std::vector<StatusEntry> VertexAgent::lead(MwisSolver& solver) {
+  gather_local_candidates();
+  const MwisResult res = solver.solve(local_graph_, weight_buf_, cand_buf_);
+  return verdicts_from(res);
+}
+
+std::vector<StatusEntry> VertexAgent::lead(
+    const BranchAndBoundMwisSolver& solver, SolveScratch& scratch,
+    bool use_memoized_cover) {
+  gather_local_candidates();
+  BnbSolveOptions opts;
+  if (use_memoized_cover) {
+    MHCA_ASSERT(memoize_cover_, "agent was built without a memoized cover");
+    opts.cand_clique_ids = cand_cover_buf_;
+    opts.clique_id_bound = r_ball_cliques_;
+  }
+  const MwisResult res = solver.solve_with_scratch(local_graph_, weight_buf_,
+                                                   cand_buf_, scratch, opts);
+  return verdicts_from(res);
 }
 
 void VertexAgent::on_determination(const Message& msg) {

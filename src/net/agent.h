@@ -13,6 +13,7 @@
 
 #include "bandit/policy.h"
 #include "graph/graph.h"
+#include "mwis/branch_and_bound.h"
 #include "mwis/distributed_ptas.h"
 #include "net/message.h"
 
@@ -20,7 +21,9 @@ namespace mhca::net {
 
 class VertexAgent {
  public:
-  VertexAgent(int id, int r);
+  /// `memoize_cover`: also build this agent's r-ball clique cover at
+  /// discovery (only useful when the runtime leads with memoized covers).
+  VertexAgent(int id, int r, bool memoize_cover = false);
 
   int id() const { return id_; }
   VertexStatus status() const { return status_; }
@@ -52,6 +55,13 @@ class VertexAgent {
   /// LMWIS + status determination: solve local MWIS over Candidates within
   /// r hops and produce the verdicts (including the leader's own).
   std::vector<StatusEntry> lead(MwisSolver& solver);
+  /// Exact-solver variant wired through the decision-path structures:
+  /// caller-owned SolveScratch (reused across agents by the runtime) and,
+  /// optionally, this agent's memoized r-ball clique cover — the
+  /// distributed analog of the engine's NeighborhoodCache memoization.
+  std::vector<StatusEntry> lead(const BranchAndBoundMwisSolver& solver,
+                                SolveScratch& scratch,
+                                bool use_memoized_cover);
   /// LB: apply a leader's verdicts to self / known members.
   void on_determination(const Message& msg);
 
@@ -71,6 +81,7 @@ class VertexAgent {
 
   int id_;
   int r_;
+  bool memoize_cover_;
   VertexStatus status_ = VertexStatus::kCandidate;
 
   double mean_ = 0.0;
@@ -86,8 +97,21 @@ class VertexAgent {
   std::vector<int> members_;
   Graph local_graph_;
   std::unordered_map<int, Entry> table_;
+  // Memoized at discovery: this agent's r-ball (local ids, sorted) and its
+  // weight-free clique cover — static for the lifetime of the network.
+  std::vector<int> r_ball_local_;
+  std::vector<int> r_ball_cover_;
+  int r_ball_cliques_ = 0;
+  // lead() working buffers, reused across rounds.
+  std::vector<int> cand_buf_;
+  std::vector<int> cand_cover_buf_;
+  std::vector<double> weight_buf_;
 
   int local_id(int global) const;
+  /// Fill cand_buf_/cand_cover_buf_/weight_buf_ with the Candidates of the
+  /// memoized r-ball (and their cover ids), in ascending local-id order.
+  void gather_local_candidates();
+  std::vector<StatusEntry> verdicts_from(const MwisResult& res);
 };
 
 }  // namespace mhca::net

@@ -25,7 +25,7 @@ DistributedRuntime::DistributedRuntime(const ExtendedConflictGraph& ecg,
 
   agents_.reserve(static_cast<std::size_t>(ecg.num_vertices()));
   for (int v = 0; v < ecg.num_vertices(); ++v)
-    agents_.emplace_back(v, cfg_.r);
+    agents_.emplace_back(v, cfg_.r, cfg_.use_memoized_covers);
   discover();
 }
 
@@ -124,7 +124,11 @@ NetRoundResult DistributedRuntime::step() {
       Message det;
       det.type = MsgType::kDetermination;
       det.origin = v;
-      det.statuses = agents_[static_cast<std::size_t>(v)].lead(local_solver);
+      det.statuses =
+          cfg_.local_solver == LocalSolverKind::kExact
+              ? agents_[static_cast<std::size_t>(v)].lead(
+                    exact_, lead_scratch_, cfg_.use_memoized_covers)
+              : agents_[static_cast<std::size_t>(v)].lead(local_solver);
       agents_[static_cast<std::size_t>(v)].on_determination(det);
       // 3r+2: winner-adjacent losers sit up to r+1 hops from the leader and
       // must reach every holder of their status (2r+1 further hops).

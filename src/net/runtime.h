@@ -38,7 +38,12 @@ struct NetConfig {
   PolicyKind policy = PolicyKind::kCab;
   PolicyParams policy_params{};
   LocalSolverKind local_solver = LocalSolverKind::kExact;
-  std::int64_t bnb_node_cap = 200'000;
+  /// Per-solve effort cap; mirrors DistributedPtasConfig::bnb_node_cap so
+  /// runtime and lockstep engine take identical decisions.
+  std::int64_t bnb_node_cap = 2'000;
+  /// Solve over each agent's memoized r-ball clique cover (mirrors
+  /// DistributedPtasConfig::use_memoized_covers; see src/mwis/README.md).
+  bool use_memoized_covers = false;
   /// Control-channel reception failure probability (failure injection; the
   /// protocol's independence guarantee assumes 0 — see ControlChannel).
   double drop_prob = 0.0;
@@ -88,6 +93,7 @@ class DistributedRuntime {
   std::vector<VertexAgent> agents_;
   BranchAndBoundMwisSolver exact_;
   GreedyMwisSolver greedy_;
+  SolveScratch lead_scratch_;  ///< Reused across agents' exact local solves.
   std::vector<int> prev_strategy_;
   std::int64_t t_ = 0;
 };

@@ -27,7 +27,17 @@ struct SimulationConfig {
   int r = 2;  ///< Local-neighborhood radius (paper simulations: r = 2).
   int D = 4;  ///< Mini-round budget per decision (0 = until all marked).
   LocalSolverKind local_solver = LocalSolverKind::kExact;
-  std::int64_t bnb_node_cap = 200'000;
+  /// Per-solve effort cap (distributed local solves and centralized
+  /// oracles alike); see DistributedPtasConfig::bnb_node_cap.
+  std::int64_t bnb_node_cap = 2'000;
+  /// Threads for per-leader local solves within one decision (0 = one per
+  /// hardware thread). Deterministic at any setting. Defaults to 1 here —
+  /// simulations usually already fan out across replications
+  /// (ReplicationConfig.parallelism), and nesting both oversubscribes;
+  /// raise it for single-simulation runs on idle cores.
+  int local_solve_parallelism = 1;
+  /// Reuse memoized per-ball clique covers (see src/mwis/README.md).
+  bool use_memoized_covers = false;
   double ptas_epsilon = 1.0;  ///< ε for the centralized robust PTAS.
 
   RoundTiming timing;

@@ -137,21 +137,49 @@ TEST(SolveScratch, ReusedScratchMatchesFreshAllocation) {
   const Graph& h = ecg.graph();
   ASSERT_TRUE(h.has_adjacency_matrix());
 
-  BranchAndBoundMwisSolver reusing(200'000, /*reuse_scratch=*/true);
-  BranchAndBoundMwisSolver fresh(200'000, /*reuse_scratch=*/false);
+  BranchAndBoundMwisSolver solver(200'000, /*reuse_scratch=*/true);
   NeighborhoodCache cache(h, 2);
 
-  // A series of solves over different candidate sets, same solver objects:
-  // the reused scratch must never leak state between solves.
+  // A series of solves over different candidate sets: the reused scratch
+  // must never leak state between solves — a fresh scratch with the same
+  // options must reproduce every solve byte-for-byte, node counts included.
+  SolveScratch reused;
   for (int leader = 0; leader < h.size(); leader += 7) {
     const auto ball = cache.r_ball(leader);
     const auto w = random_weights(h.size(), rng);
-    const MwisResult a = reusing.solve(h, w, ball);
-    const MwisResult b = fresh.solve(h, w, ball);
+    const MwisResult a = solver.solve_with_scratch(h, w, ball, reused);
+    SolveScratch fresh;
+    const MwisResult b = solver.solve_with_scratch(h, w, ball, fresh);
     ASSERT_EQ(a.vertices, b.vertices);
     EXPECT_DOUBLE_EQ(a.weight, b.weight);
     EXPECT_EQ(a.exact, b.exact);
     EXPECT_EQ(a.nodes_explored, b.nodes_explored);
+  }
+}
+
+TEST(SolveScratch, EnhancedAndClassicAgreeOnExactInstances) {
+  // The enhanced search (reductions + components + refined bound) and the
+  // classic seed search are both exact when they complete: same optimal set
+  // on unique-optimum instances, weight equal up to summation order.
+  Rng rng(13);
+  ConflictGraph cg = random_geometric_avg_degree(30, 6.0, rng);
+  ExtendedConflictGraph ecg(cg, 4);
+  const Graph& h = ecg.graph();
+
+  BranchAndBoundMwisSolver enhanced(5'000'000, /*reuse_scratch=*/true);
+  BranchAndBoundMwisSolver classic(5'000'000, /*reuse_scratch=*/false);
+  NeighborhoodCache cache(h, 2);
+  for (int leader = 0; leader < h.size(); leader += 7) {
+    const auto ball = cache.r_ball(leader);
+    const auto w = random_weights(h.size(), rng);
+    const MwisResult a = enhanced.solve(h, w, ball);
+    const MwisResult b = classic.solve(h, w, ball);
+    ASSERT_TRUE(a.exact);
+    ASSERT_TRUE(b.exact);
+    ASSERT_EQ(a.vertices, b.vertices);
+    EXPECT_NEAR(a.weight, b.weight, 1e-9);
+    // The enhanced tree must never be larger than the classic one here.
+    EXPECT_LE(a.nodes_explored, b.nodes_explored);
   }
 }
 
@@ -171,8 +199,10 @@ TEST(SolveScratch, ExternalScratchSharedAcrossGraphs) {
       for (int v = 0; v < g->size(); ++v) all[static_cast<std::size_t>(v)] = v;
       const MwisResult a = solver.solve_with_scratch(*g, w, all, scratch);
       SolveScratch fresh_scratch;
-      const MwisResult b = solver.solve_with_scratch(
-          *g, w, all, fresh_scratch, /*use_adjacency_rows=*/false);
+      BnbSolveOptions list_build;
+      list_build.use_adjacency_rows = false;
+      const MwisResult b =
+          solver.solve_with_scratch(*g, w, all, fresh_scratch, list_build);
       ASSERT_EQ(a.vertices, b.vertices);
       EXPECT_DOUBLE_EQ(a.weight, b.weight);
       EXPECT_EQ(a.nodes_explored, b.nodes_explored);

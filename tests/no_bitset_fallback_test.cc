@@ -1,0 +1,143 @@
+// Coverage for the no-bitset code paths: graphs larger than
+// Graph::kAdjacencyMatrixLimit never get a packed adjacency matrix, and
+// unfinalized graphs answer every query through build-phase vectors. The
+// solver's list-scan adjacency build and the NeighborhoodCache must behave
+// identically to the bitset/CSR fast paths in both situations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/hop.h"
+#include "graph/neighborhood_cache.h"
+#include "mwis/branch_and_bound.h"
+#include "mwis/brute_force.h"
+#include "util/rng.h"
+
+namespace mhca {
+namespace {
+
+std::vector<double> random_weights(int n, Rng& rng) {
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (auto& x : w) x = rng.uniform(0.05, 1.0);
+  return w;
+}
+
+TEST(NoBitsetFallback, SolverMatchesBruteForceBeyondMatrixLimit) {
+  // n > kAdjacencyMatrixLimit: finalize() builds CSR but skips the matrix,
+  // so every solve runs the list-scan adjacency build. Embed a nontrivial
+  // instance in the first 20 vertices plus edges to high-id vertices so the
+  // candidate filter is exercised against the full id range.
+  const int n = Graph::kAdjacencyMatrixLimit + 8;
+  Rng rng(31);
+  Graph big(n);
+  Graph small(20);
+  for (int i = 0; i < 20; ++i)
+    for (int j = i + 1; j < 20; ++j)
+      if (rng.uniform() < 0.3) {
+        big.add_edge(i, j);
+        small.add_edge(i, j);
+      }
+  for (int i = 0; i < 20; ++i) big.add_edge(i, n - 1 - i);
+  big.finalize();
+  small.finalize();
+  ASSERT_FALSE(big.has_adjacency_matrix());
+  ASSERT_TRUE(big.finalized());
+  ASSERT_TRUE(small.has_adjacency_matrix());
+
+  std::vector<double> w_small = random_weights(20, rng);
+  std::vector<double> w_big(static_cast<std::size_t>(n), 0.0);
+  std::copy(w_small.begin(), w_small.end(), w_big.begin());
+  std::vector<int> cands(20);
+  for (int v = 0; v < 20; ++v) cands[static_cast<std::size_t>(v)] = v;
+
+  BruteForceMwisSolver brute(24);
+  const MwisResult ref = brute.solve(small, w_small, cands);
+  BranchAndBoundMwisSolver solver;
+  const MwisResult got = solver.solve(big, w_big, cands);
+  EXPECT_TRUE(got.exact);
+  EXPECT_EQ(got.vertices, ref.vertices);
+  EXPECT_NEAR(got.weight, ref.weight, 1e-12);
+  // And the classic mode takes the same fallback.
+  BranchAndBoundMwisSolver classic(5'000'000, /*reuse_scratch=*/false);
+  const MwisResult got_classic = classic.solve(big, w_big, cands);
+  EXPECT_EQ(got_classic.vertices, ref.vertices);
+}
+
+TEST(NoBitsetFallback, UnfinalizedGraphSolvesIdenticalToFinalized) {
+  Rng rng(37);
+  ConflictGraph cg = erdos_renyi(24, 0.3, rng);
+  const Graph& fin = cg.graph();  // factories finalize
+  ASSERT_TRUE(fin.has_adjacency_matrix());
+
+  Graph raw(fin.size());
+  for (int v = 0; v < fin.size(); ++v)
+    for (int u : fin.neighbors(v))
+      if (u > v) raw.add_edge(v, u);
+  ASSERT_FALSE(raw.finalized());
+
+  BranchAndBoundMwisSolver solver;
+  SolveScratch scratch;
+  std::vector<int> all(static_cast<std::size_t>(fin.size()));
+  for (int v = 0; v < fin.size(); ++v) all[static_cast<std::size_t>(v)] = v;
+  for (int round = 0; round < 5; ++round) {
+    const auto w = random_weights(fin.size(), rng);
+    // Same scratch serves both: bitset-rows on the finalized graph, list
+    // scan on the raw one — identical trees, identical results.
+    const MwisResult a = solver.solve_with_scratch(fin, w, all, scratch);
+    const MwisResult b = solver.solve_with_scratch(raw, w, all, scratch);
+    ASSERT_EQ(a.vertices, b.vertices);
+    EXPECT_DOUBLE_EQ(a.weight, b.weight);
+    EXPECT_EQ(a.nodes_explored, b.nodes_explored);
+  }
+}
+
+TEST(NoBitsetFallback, NeighborhoodCacheMatchesOnUnfinalizedAndHugeGraphs) {
+  // Unfinalized graph: cache builds through build-phase adjacency.
+  Rng rng(41);
+  ConflictGraph cg = random_geometric_avg_degree(30, 5.0, rng);
+  const Graph& fin = cg.graph();
+  Graph raw(fin.size());
+  for (int v = 0; v < fin.size(); ++v)
+    for (int u : fin.neighbors(v))
+      if (u > v) raw.add_edge(v, u);
+  ASSERT_FALSE(raw.finalized());
+
+  NeighborhoodCache cache_fin(fin, 2, /*build_covers=*/true);
+  NeighborhoodCache cache_raw(raw, 2, /*build_covers=*/true);
+  for (int v = 0; v < fin.size(); ++v) {
+    const auto a = cache_fin.r_ball(v);
+    const auto b = cache_raw.r_ball(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+    const auto ea = cache_fin.election_ball(v);
+    const auto eb = cache_raw.election_ball(v);
+    ASSERT_TRUE(std::equal(ea.begin(), ea.end(), eb.begin(), eb.end()));
+    // Covers come out identical too: build_ball_cover only uses has_edge.
+    const auto ca = cache_fin.r_ball_cover(v);
+    const auto cb = cache_raw.r_ball_cover(v);
+    ASSERT_TRUE(std::equal(ca.begin(), ca.end(), cb.begin(), cb.end()));
+    EXPECT_EQ(cache_fin.r_ball_clique_count(v),
+              cache_raw.r_ball_clique_count(v));
+  }
+
+  // Beyond the matrix limit: balls still match a reference BFS.
+  const int n = Graph::kAdjacencyMatrixLimit + 5;
+  Graph big(n);
+  for (int i = 0; i < 200; ++i) big.add_edge(i, i + 1);  // path prefix
+  big.add_edge(0, n - 1);
+  big.finalize();
+  ASSERT_FALSE(big.has_adjacency_matrix());
+  NeighborhoodCache cache_big(big, 2);
+  BfsScratch scratch(n);
+  for (int v : {0, 1, 100, 199, 200, n - 1, n - 2}) {
+    const auto ball = scratch.k_hop_neighborhood(big, v, 2);
+    const auto cached = cache_big.r_ball(v);
+    ASSERT_TRUE(
+        std::equal(ball.begin(), ball.end(), cached.begin(), cached.end()))
+        << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace mhca
