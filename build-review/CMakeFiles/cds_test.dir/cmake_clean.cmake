@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cds_test.dir/tests/cds_test.cc.o"
+  "CMakeFiles/cds_test.dir/tests/cds_test.cc.o.d"
+  "cds_test"
+  "cds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

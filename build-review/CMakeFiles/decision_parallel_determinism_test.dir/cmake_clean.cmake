@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decision_parallel_determinism_test.dir/tests/decision_parallel_determinism_test.cc.o"
+  "CMakeFiles/decision_parallel_determinism_test.dir/tests/decision_parallel_determinism_test.cc.o.d"
+  "decision_parallel_determinism_test"
+  "decision_parallel_determinism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decision_parallel_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decision_path_equivalence_test.dir/tests/decision_path_equivalence_test.cc.o"
+  "CMakeFiles/decision_path_equivalence_test.dir/tests/decision_path_equivalence_test.cc.o.d"
+  "decision_path_equivalence_test"
+  "decision_path_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decision_path_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bandit/cab.cc" "CMakeFiles/mhca.dir/src/bandit/cab.cc.o" "gcc" "CMakeFiles/mhca.dir/src/bandit/cab.cc.o.d"
+  "/root/repo/src/bandit/estimates.cc" "CMakeFiles/mhca.dir/src/bandit/estimates.cc.o" "gcc" "CMakeFiles/mhca.dir/src/bandit/estimates.cc.o.d"
+  "/root/repo/src/bandit/llr.cc" "CMakeFiles/mhca.dir/src/bandit/llr.cc.o" "gcc" "CMakeFiles/mhca.dir/src/bandit/llr.cc.o.d"
+  "/root/repo/src/bandit/naive_ucb.cc" "CMakeFiles/mhca.dir/src/bandit/naive_ucb.cc.o" "gcc" "CMakeFiles/mhca.dir/src/bandit/naive_ucb.cc.o.d"
+  "/root/repo/src/bandit/policy.cc" "CMakeFiles/mhca.dir/src/bandit/policy.cc.o" "gcc" "CMakeFiles/mhca.dir/src/bandit/policy.cc.o.d"
+  "/root/repo/src/bandit/simple_policies.cc" "CMakeFiles/mhca.dir/src/bandit/simple_policies.cc.o" "gcc" "CMakeFiles/mhca.dir/src/bandit/simple_policies.cc.o.d"
+  "/root/repo/src/bandit/thompson.cc" "CMakeFiles/mhca.dir/src/bandit/thompson.cc.o" "gcc" "CMakeFiles/mhca.dir/src/bandit/thompson.cc.o.d"
+  "/root/repo/src/channel/adversarial.cc" "CMakeFiles/mhca.dir/src/channel/adversarial.cc.o" "gcc" "CMakeFiles/mhca.dir/src/channel/adversarial.cc.o.d"
+  "/root/repo/src/channel/bernoulli.cc" "CMakeFiles/mhca.dir/src/channel/bernoulli.cc.o" "gcc" "CMakeFiles/mhca.dir/src/channel/bernoulli.cc.o.d"
+  "/root/repo/src/channel/channel_model.cc" "CMakeFiles/mhca.dir/src/channel/channel_model.cc.o" "gcc" "CMakeFiles/mhca.dir/src/channel/channel_model.cc.o.d"
+  "/root/repo/src/channel/gaussian.cc" "CMakeFiles/mhca.dir/src/channel/gaussian.cc.o" "gcc" "CMakeFiles/mhca.dir/src/channel/gaussian.cc.o.d"
+  "/root/repo/src/channel/markov.cc" "CMakeFiles/mhca.dir/src/channel/markov.cc.o" "gcc" "CMakeFiles/mhca.dir/src/channel/markov.cc.o.d"
+  "/root/repo/src/channel/primary_user.cc" "CMakeFiles/mhca.dir/src/channel/primary_user.cc.o" "gcc" "CMakeFiles/mhca.dir/src/channel/primary_user.cc.o.d"
+  "/root/repo/src/channel/trace.cc" "CMakeFiles/mhca.dir/src/channel/trace.cc.o" "gcc" "CMakeFiles/mhca.dir/src/channel/trace.cc.o.d"
+  "/root/repo/src/core/channel_access.cc" "CMakeFiles/mhca.dir/src/core/channel_access.cc.o" "gcc" "CMakeFiles/mhca.dir/src/core/channel_access.cc.o.d"
+  "/root/repo/src/graph/cds.cc" "CMakeFiles/mhca.dir/src/graph/cds.cc.o" "gcc" "CMakeFiles/mhca.dir/src/graph/cds.cc.o.d"
+  "/root/repo/src/graph/coloring.cc" "CMakeFiles/mhca.dir/src/graph/coloring.cc.o" "gcc" "CMakeFiles/mhca.dir/src/graph/coloring.cc.o.d"
+  "/root/repo/src/graph/conflict_graph.cc" "CMakeFiles/mhca.dir/src/graph/conflict_graph.cc.o" "gcc" "CMakeFiles/mhca.dir/src/graph/conflict_graph.cc.o.d"
+  "/root/repo/src/graph/extended_graph.cc" "CMakeFiles/mhca.dir/src/graph/extended_graph.cc.o" "gcc" "CMakeFiles/mhca.dir/src/graph/extended_graph.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "CMakeFiles/mhca.dir/src/graph/generators.cc.o" "gcc" "CMakeFiles/mhca.dir/src/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "CMakeFiles/mhca.dir/src/graph/graph.cc.o" "gcc" "CMakeFiles/mhca.dir/src/graph/graph.cc.o.d"
+  "/root/repo/src/graph/hop.cc" "CMakeFiles/mhca.dir/src/graph/hop.cc.o" "gcc" "CMakeFiles/mhca.dir/src/graph/hop.cc.o.d"
+  "/root/repo/src/graph/independence.cc" "CMakeFiles/mhca.dir/src/graph/independence.cc.o" "gcc" "CMakeFiles/mhca.dir/src/graph/independence.cc.o.d"
+  "/root/repo/src/graph/induced.cc" "CMakeFiles/mhca.dir/src/graph/induced.cc.o" "gcc" "CMakeFiles/mhca.dir/src/graph/induced.cc.o.d"
+  "/root/repo/src/graph/neighborhood_cache.cc" "CMakeFiles/mhca.dir/src/graph/neighborhood_cache.cc.o" "gcc" "CMakeFiles/mhca.dir/src/graph/neighborhood_cache.cc.o.d"
+  "/root/repo/src/mwis/branch_and_bound.cc" "CMakeFiles/mhca.dir/src/mwis/branch_and_bound.cc.o" "gcc" "CMakeFiles/mhca.dir/src/mwis/branch_and_bound.cc.o.d"
+  "/root/repo/src/mwis/brute_force.cc" "CMakeFiles/mhca.dir/src/mwis/brute_force.cc.o" "gcc" "CMakeFiles/mhca.dir/src/mwis/brute_force.cc.o.d"
+  "/root/repo/src/mwis/distributed_ptas.cc" "CMakeFiles/mhca.dir/src/mwis/distributed_ptas.cc.o" "gcc" "CMakeFiles/mhca.dir/src/mwis/distributed_ptas.cc.o.d"
+  "/root/repo/src/mwis/greedy.cc" "CMakeFiles/mhca.dir/src/mwis/greedy.cc.o" "gcc" "CMakeFiles/mhca.dir/src/mwis/greedy.cc.o.d"
+  "/root/repo/src/mwis/robust_ptas.cc" "CMakeFiles/mhca.dir/src/mwis/robust_ptas.cc.o" "gcc" "CMakeFiles/mhca.dir/src/mwis/robust_ptas.cc.o.d"
+  "/root/repo/src/net/agent.cc" "CMakeFiles/mhca.dir/src/net/agent.cc.o" "gcc" "CMakeFiles/mhca.dir/src/net/agent.cc.o.d"
+  "/root/repo/src/net/control_channel.cc" "CMakeFiles/mhca.dir/src/net/control_channel.cc.o" "gcc" "CMakeFiles/mhca.dir/src/net/control_channel.cc.o.d"
+  "/root/repo/src/net/runtime.cc" "CMakeFiles/mhca.dir/src/net/runtime.cc.o" "gcc" "CMakeFiles/mhca.dir/src/net/runtime.cc.o.d"
+  "/root/repo/src/sim/export.cc" "CMakeFiles/mhca.dir/src/sim/export.cc.o" "gcc" "CMakeFiles/mhca.dir/src/sim/export.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "CMakeFiles/mhca.dir/src/sim/metrics.cc.o" "gcc" "CMakeFiles/mhca.dir/src/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/optimum.cc" "CMakeFiles/mhca.dir/src/sim/optimum.cc.o" "gcc" "CMakeFiles/mhca.dir/src/sim/optimum.cc.o.d"
+  "/root/repo/src/sim/replication.cc" "CMakeFiles/mhca.dir/src/sim/replication.cc.o" "gcc" "CMakeFiles/mhca.dir/src/sim/replication.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "CMakeFiles/mhca.dir/src/sim/simulator.cc.o" "gcc" "CMakeFiles/mhca.dir/src/sim/simulator.cc.o.d"
+  "/root/repo/src/util/csv.cc" "CMakeFiles/mhca.dir/src/util/csv.cc.o" "gcc" "CMakeFiles/mhca.dir/src/util/csv.cc.o.d"
+  "/root/repo/src/util/parallel.cc" "CMakeFiles/mhca.dir/src/util/parallel.cc.o" "gcc" "CMakeFiles/mhca.dir/src/util/parallel.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/mhca.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/mhca.dir/src/util/rng.cc.o.d"
+  "/root/repo/src/util/series.cc" "CMakeFiles/mhca.dir/src/util/series.cc.o" "gcc" "CMakeFiles/mhca.dir/src/util/series.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/mhca.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/mhca.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "CMakeFiles/mhca.dir/src/util/table.cc.o" "gcc" "CMakeFiles/mhca.dir/src/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhca_sim.dir/tools/mhca_sim.cc.o"
+  "CMakeFiles/mhca_sim.dir/tools/mhca_sim.cc.o.d"
+  "mhca_sim"
+  "mhca_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhca_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

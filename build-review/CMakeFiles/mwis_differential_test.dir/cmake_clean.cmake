@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwis_differential_test.dir/tests/mwis_differential_test.cc.o"
+  "CMakeFiles/mwis_differential_test.dir/tests/mwis_differential_test.cc.o.d"
+  "mwis_differential_test"
+  "mwis_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwis_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwis_distributed_test.dir/tests/mwis_distributed_test.cc.o"
+  "CMakeFiles/mwis_distributed_test.dir/tests/mwis_distributed_test.cc.o.d"
+  "mwis_distributed_test"
+  "mwis_distributed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwis_distributed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/no_bitset_fallback_test.dir/tests/no_bitset_fallback_test.cc.o"
+  "CMakeFiles/no_bitset_fallback_test.dir/tests/no_bitset_fallback_test.cc.o.d"
+  "no_bitset_fallback_test"
+  "no_bitset_fallback_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/no_bitset_fallback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

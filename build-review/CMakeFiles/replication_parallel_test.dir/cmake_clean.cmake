@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_parallel_test.dir/tests/replication_parallel_test.cc.o"
+  "CMakeFiles/replication_parallel_test.dir/tests/replication_parallel_test.cc.o.d"
+  "replication_parallel_test"
+  "replication_parallel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

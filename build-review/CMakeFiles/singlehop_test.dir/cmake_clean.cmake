@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/singlehop_test.dir/tests/singlehop_test.cc.o"
+  "CMakeFiles/singlehop_test.dir/tests/singlehop_test.cc.o.d"
+  "singlehop_test"
+  "singlehop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/singlehop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
