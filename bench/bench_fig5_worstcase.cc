@@ -3,19 +3,43 @@
 // mini-round, so full termination needs Θ(N) mini-rounds — while random
 // networks (Theorem 4 / Fig. 6) finish in a small constant number. Also
 // shows what a fixed budget D recovers on the pathological instance.
+//
+// Cells are Scenario overrides on a declarative base (topology kind/size
+// swapped per cell); the engine runs from ScenarioRunner::engine_config().
 #include <iostream>
 
-#include "channel/gaussian.h"
-#include "graph/extended_graph.h"
-#include "graph/generators.h"
 #include "mwis/distributed_ptas.h"
+#include "scenario/runner.h"
 #include "util/parallel.h"
-#include "util/rng.h"
 #include "util/table.h"
+
+namespace {
+
+const char* kBase = R"(name = fig5-worstcase
+[topology]
+kind = linear
+nodes = 20
+[channel]
+kind = gaussian
+channels = 1
+[solver]
+kind = distributed
+r = 2
+D = 0
+)";
+
+}  // namespace
 
 int main() {
   using namespace mhca;
   std::cout << "=== Fig. 5 worst case: linear network, decreasing weights ===\n\n";
+
+  const scenario::Scenario base = scenario::parse_scenario(kBase);
+  auto cell = [&](std::initializer_list<std::string> overrides) {
+    scenario::Scenario s = base;
+    for (const auto& ov : overrides) scenario::apply_override(s, ov);
+    return scenario::ScenarioRunner(s);
+  };
 
   TablePrinter table({"N", "mini-rounds (linear)", "mini-rounds (random)",
                       "leaders/round (linear)"});
@@ -28,26 +52,28 @@ int main() {
   std::vector<Row> rows(sizes.size());
   parallel_run(static_cast<int>(sizes.size()), [&](int job) {
     const int n = sizes[static_cast<std::size_t>(job)];
+    const std::string nodes = "topology.nodes=" + std::to_string(n);
     // Pathological: path graph, strictly decreasing weights, M = 1.
-    ConflictGraph path = linear_network(n);
-    ExtendedConflictGraph hpath(path, 1);
+    const scenario::ScenarioRunner path = cell({nodes});
     std::vector<double> w(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i)
       w[static_cast<std::size_t>(i)] =
           1.0 - 0.9 * static_cast<double>(i) / static_cast<double>(n);
-    DistributedRobustPtas path_engine(hpath.graph(), {});
+    DistributedRobustPtas path_engine(path.extended_graph().graph(),
+                                      path.engine_config());
     const DistributedPtasResult pres = path_engine.run(w);
     double avg_leaders = 0.0;
     for (const auto& mr : pres.mini_rounds) avg_leaders += mr.leaders;
     avg_leaders /= static_cast<double>(pres.mini_rounds.size());
 
     // Control: random geometric network of the same size and M.
-    Rng rng(static_cast<std::uint64_t>(n));
-    ConflictGraph rnd = random_geometric_avg_degree(n, 6.0, rng);
-    ExtendedConflictGraph hrnd(rnd, 1);
-    GaussianChannelModel model(n, 1, rng);
-    DistributedRobustPtas rnd_engine(hrnd.graph(), {});
-    const DistributedPtasResult rres = rnd_engine.run(model.mean_matrix());
+    const scenario::ScenarioRunner rnd =
+        cell({"topology.kind=geometric", nodes, "topology.avg_degree=6.0",
+              "run.seed=" + std::to_string(n)});
+    DistributedRobustPtas rnd_engine(rnd.extended_graph().graph(),
+                                     rnd.engine_config());
+    const DistributedPtasResult rres =
+        rnd_engine.run(rnd.model().mean_matrix());
 
     rows[static_cast<std::size_t>(job)] =
         Row{pres.mini_rounds_used, rres.mini_rounds_used, avg_leaders};
@@ -59,18 +85,18 @@ int main() {
 
   std::cout << "\nWeight recovered by a fixed budget D on the linear worst "
                "case (N = 80):\n";
-  ConflictGraph path = linear_network(80);
-  ExtendedConflictGraph hp(path, 1);
+  const scenario::ScenarioRunner n80 = cell({"topology.nodes=80"});
   std::vector<double> w(80);
   for (int i = 0; i < 80; ++i)
     w[static_cast<std::size_t>(i)] = 1.0 - 0.9 * i / 80.0;
-  DistributedRobustPtas full(hp.graph(), {});
+  DistributedRobustPtas full(n80.extended_graph().graph(), n80.engine_config());
   const double opt = full.run(w).weight;
   TablePrinter budget({"D", "relative weight", "all marked?"});
   for (int d : {1, 2, 4, 8, 16, 0}) {
-    DistributedPtasConfig cfg;
-    cfg.max_mini_rounds = d;
-    DistributedRobustPtas engine(hp.graph(), cfg);
+    const scenario::ScenarioRunner bounded =
+        cell({"topology.nodes=80", "solver.D=" + std::to_string(d)});
+    DistributedRobustPtas engine(bounded.extended_graph().graph(),
+                                 bounded.engine_config());
     const DistributedPtasResult res = engine.run(w);
     budget.row(d == 0 ? std::string("inf") : std::to_string(d),
                fixed(res.weight / opt, 3), res.all_marked ? "yes" : "no");

@@ -6,18 +6,19 @@
 // mini-round regardless of network size (Theorem 4 — a constant number of
 // mini-rounds suffices on random networks), and that value is close to the
 // quality of the centralized solution.
+//
+// The 6-cell grid is pure Scenario data: N and M are two overrides on one
+// declarative base scenario.
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
-#include "channel/gaussian.h"
-#include "graph/extended_graph.h"
-#include "graph/generators.h"
+#include "channel/rates.h"
 #include "mwis/distributed_ptas.h"
 #include "mwis/greedy.h"
 #include "mwis/robust_ptas.h"
+#include "scenario/runner.h"
 #include "util/parallel.h"
-#include "util/rng.h"
 #include "util/table.h"
 
 namespace {
@@ -26,6 +27,21 @@ struct Config {
   int n;
   int m;
 };
+
+const char* kBase = R"(name = fig6-convergence
+[topology]
+kind = geometric
+nodes = 50
+avg_degree = 6.0
+[channel]
+kind = gaussian
+channels = 5
+[solver]
+kind = distributed
+r = 2
+D = 10
+node_cap = 50000
+)";
 
 }  // namespace
 
@@ -38,6 +54,7 @@ int main() {
   const std::vector<Config> configs{{50, 5},  {100, 5},  {200, 5},
                                     {50, 10}, {100, 10}, {200, 10}};
   const int kMaxMiniRounds = 10;
+  const scenario::Scenario base = scenario::parse_scenario(kBase);
 
   std::vector<std::string> header{"mini-round"};
   for (const auto& c : configs)
@@ -49,41 +66,42 @@ int main() {
   std::vector<double> greedy_ref(configs.size(), 0.0);
   std::vector<double> ptas_ref(configs.size(), 0.0);
 
-  // Each config builds its own graph/model/engine; outputs land in disjoint
+  // Each cell builds its own runner/engine; outputs land in disjoint
   // per-config slots, so the sweep parallelizes cleanly.
   parallel_run(static_cast<int>(configs.size()), [&](int job) {
     const auto ci = static_cast<std::size_t>(job);
     const auto& c = configs[ci];
-    Rng rng(1000 + ci);
-    ConflictGraph cg = random_geometric_avg_degree(c.n, 6.0, rng);
-    ExtendedConflictGraph ecg(cg, c.m);
-    GaussianChannelModel model(c.n, c.m, rng);
-    const std::vector<double> w = model.mean_matrix();
+    scenario::Scenario s = base;
+    scenario::apply_override(s, "topology.nodes=" + std::to_string(c.n));
+    scenario::apply_override(s, "channel.channels=" + std::to_string(c.m));
+    scenario::apply_override(s, "run.seed=" + std::to_string(1000 + ci));
+    const scenario::ScenarioRunner runner(s);
+    const std::vector<double> w = runner.model().mean_matrix();
 
-    DistributedPtasConfig cfg;
-    cfg.r = 2;
-    cfg.max_mini_rounds = kMaxMiniRounds;
-    cfg.bnb_node_cap = 50'000;
-    DistributedRobustPtas engine(ecg.graph(), cfg);
+    DistributedRobustPtas engine(runner.extended_graph().graph(),
+                                 runner.engine_config());
     const DistributedPtasResult res = engine.run(w);
 
-    std::vector<double> s(kMaxMiniRounds, res.weight * kRateScaleKbps);
+    std::vector<double> sr(kMaxMiniRounds, res.weight * kRateScaleKbps);
     for (const auto& mr : res.mini_rounds)
       for (int i = mr.mini_round - 1; i < kMaxMiniRounds; ++i)
-        s[static_cast<std::size_t>(i)] = mr.cumulative_weight * kRateScaleKbps;
-    series[ci] = s;
+        sr[static_cast<std::size_t>(i)] = mr.cumulative_weight * kRateScaleKbps;
+    series[ci] = sr;
     converged_round[ci] = res.mini_rounds_used;
 
     GreedyMwisSolver greedy;
-    greedy_ref[ci] = greedy.solve_all(ecg.graph(), w).weight * kRateScaleKbps;
+    greedy_ref[ci] =
+        greedy.solve_all(runner.extended_graph().graph(), w).weight *
+        kRateScaleKbps;
     RobustPtasSolver ptas(1.0, 3, 50'000);
-    ptas_ref[ci] = ptas.solve_all(ecg.graph(), w).weight * kRateScaleKbps;
+    ptas_ref[ci] = ptas.solve_all(runner.extended_graph().graph(), w).weight *
+                   kRateScaleKbps;
   });
 
   for (int mr = 1; mr <= kMaxMiniRounds; ++mr) {
     std::vector<std::string> row{std::to_string(mr)};
-    for (const auto& s : series)
-      row.push_back(fixed(s[static_cast<std::size_t>(mr - 1)], 0));
+    for (const auto& sr : series)
+      row.push_back(fixed(sr[static_cast<std::size_t>(mr - 1)], 0));
     TablePrinter* t = &table;
     // TablePrinter::row is variadic; feed the prebuilt row via print path:
     t->row(row[0], row[1], row[2], row[3], row[4], row[5], row[6]);

@@ -9,61 +9,68 @@
 //     decision slot's throughput).
 //   * β-regret converges to a *negative* value for both policies
 //     (β = Theorem-2 ρ = sqrt(M (2r+1)^2) = sqrt(75) for M = 3, r = 2).
+//
+// The two curves are one Scenario override apart (policy.kind); both
+// runners share the seed, hence face the identical network and channels.
 #include <iostream>
 
-#include "bandit/policy.h"
-#include "channel/gaussian.h"
-#include "graph/extended_graph.h"
-#include "graph/generators.h"
+#include "channel/rates.h"
+#include "scenario/runner.h"
 #include "sim/export.h"
 #include "sim/metrics.h"
 #include "sim/optimum.h"
-#include "sim/simulator.h"
 #include "util/parallel.h"
-#include "util/rng.h"
 #include "util/table.h"
+
+namespace {
+
+const char* kBase = R"(name = fig7-regret
+[topology]
+kind = geometric
+nodes = 15
+avg_degree = 4.0
+[channel]
+kind = gaussian
+channels = 3
+[policy]
+kind = cab
+[run]
+slots = 1000
+seed = 20140707
+series_stride = 50
+)";
+
+}  // namespace
 
 int main() {
   using namespace mhca;
-  const int kUsers = 15;
-  const int kChannels = 3;
-  const std::int64_t kSlots = 1000;
-  const int kStride = 50;
+  const scenario::Scenario base = scenario::parse_scenario(kBase);
 
-  Rng rng(20140707);
-  ConflictGraph cg = random_geometric_avg_degree(kUsers, 4.0, rng);
-  ExtendedConflictGraph ecg(cg, kChannels);
-  GaussianChannelModel model(kUsers, kChannels, rng);
+  const scenario::ScenarioRunner cab_runner(base);
+  scenario::Scenario llr_scenario = base;
+  scenario::apply_override(llr_scenario, "policy.kind=llr");
+  const scenario::ScenarioRunner llr_runner(llr_scenario);
 
-  const OptimumInfo opt = compute_optimum(ecg, model);
+  const OptimumInfo opt =
+      compute_optimum(cab_runner.extended_graph(), cab_runner.model());
   const double r1_kbps = opt.weight * kRateScaleKbps;
-  const double beta = theorem2_rho(kChannels, 2);
+  const double beta = theorem2_rho(base.num_channels, base.solver.r);
 
   std::cout << "=== Fig. 7: practical regret / beta-regret vs time slot ===\n"
-            << "Network: " << kUsers << " users x " << kChannels
+            << "Network: " << cab_runner.network().num_nodes() << " users x "
+            << base.num_channels
             << " channels, exact optimum R1 = " << fixed(r1_kbps, 2)
             << " kbps (computed by brute-force BnB, exact="
             << (opt.exact ? "yes" : "no") << ")\n"
             << "theta = 0.5 (Table II timing), beta = rho = " << fixed(beta, 3)
             << "\n\n";
 
-  auto run = [&](PolicyKind kind) {
-    PolicyParams params;
-    params.llr_max_strategy_len = kUsers;
-    auto policy = make_policy(kind, params);
-    SimulationConfig cfg;
-    cfg.slots = kSlots;
-    cfg.series_stride = kStride;
-    Simulator sim(ecg, model, *policy, cfg);
-    return sim.run();
-  };
-
   SimulationResult cab, llr;
   parallel_run(2, [&](int i) {
     if (i == 0)
-      cab = run(PolicyKind::kCab);
+      cab = cab_runner.run();
     else
-      llr = run(PolicyKind::kLlr);
+      llr = llr_runner.run();
   });
 
   const auto pr_cab = practical_regret_series(cab, opt.weight);

@@ -9,58 +9,70 @@
 //     LLR's estimate stays heavily inflated.
 //   * CAB's actual throughput >= LLR's.
 //   * Unfrequent update barely hurts estimation accuracy.
+//
+// The 2x4 grid (policy x update period) is Scenario overrides on one base;
+// a shared seed keeps the network and channels identical across all cells.
 #include <iostream>
 
-#include "bandit/policy.h"
-#include "channel/gaussian.h"
-#include "graph/extended_graph.h"
-#include "graph/generators.h"
-#include "sim/simulator.h"
+#include "channel/rates.h"
+#include "scenario/runner.h"
 #include "sim/timing.h"
 #include "util/parallel.h"
-#include "util/rng.h"
 #include "util/table.h"
+
+namespace {
+
+const char* kBase = R"(name = fig8-periodic
+[topology]
+kind = geometric
+nodes = 100
+avg_degree = 6.0
+[channel]
+kind = gaussian
+channels = 10
+[policy]
+kind = cab
+[solver]
+node_cap = 20000
+[run]
+seed = 8881
+)";
+
+}  // namespace
 
 int main() {
   using namespace mhca;
-  const int kUsers = 100;
-  const int kChannels = 10;
   const int kPeriods = 1000;  // per case: 1000 weight updates (paper setup)
-
-  Rng rng(8881);
-  ConflictGraph cg = random_geometric_avg_degree(kUsers, 6.0, rng);
-  ExtendedConflictGraph ecg(cg, kChannels);
-  GaussianChannelModel model(kUsers, kChannels, rng);
+  const scenario::Scenario base = scenario::parse_scenario(kBase);
 
   std::cout << "=== Fig. 8: estimated vs actual avg effective throughput ===\n"
-            << "Network: " << kUsers << " users x " << kChannels
+            << "Network: " << base.topology.params.get_int("nodes", 0)
+            << " users x " << base.num_channels
             << " channels; each case runs 1000 weight updates.\n"
             << "All values kbps.\n";
 
-  auto run = [&](PolicyKind kind, int y) {
-    PolicyParams params;
-    params.llr_max_strategy_len = kUsers;
-    auto policy = make_policy(kind, params);
-    SimulationConfig cfg;
-    cfg.slots = static_cast<std::int64_t>(y) * kPeriods;
-    cfg.update_period = y;
-    cfg.series_stride = static_cast<int>(cfg.slots / 10);
-    cfg.bnb_node_cap = 20'000;  // anytime local solver for the big net
-    Simulator sim(ecg, model, *policy, cfg);
-    return sim.run();
+  auto run = [&](const std::string& policy, int y) {
+    const std::int64_t slots = static_cast<std::int64_t>(y) * kPeriods;
+    scenario::Scenario s = base;
+    scenario::apply_override(s, "policy.kind=" + policy);
+    scenario::apply_override(s, "run.update_period=" + std::to_string(y));
+    scenario::apply_override(s, "run.slots=" + std::to_string(slots));
+    scenario::apply_override(s,
+                             "run.series_stride=" + std::to_string(slots / 10));
+    return scenario::ScenarioRunner(s).run();
   };
 
-  // All (policy, y) sims are independent (stateless channel sampling, one
-  // simulator per job) — run them on all cores, then print in order.
+  // All (policy, y) cells are independent (stateless channel sampling, one
+  // runner per job) — run them on all cores, then print in order.
   const std::vector<int> ys{1, 5, 10, 20};
   std::vector<SimulationResult> cab_results(ys.size());
   std::vector<SimulationResult> llr_results(ys.size());
   parallel_run(static_cast<int>(ys.size()) * 2, [&](int i) {
     const auto yi = static_cast<std::size_t>(i / 2);
     if (i % 2 == 0)
-      cab_results[yi] = run(PolicyKind::kCab, ys[yi]);
+      cab_results[yi] = run("cab", ys[yi]);
     else
-      llr_results[yi] = run(PolicyKind::kLlr, ys[yi]);
+      llr_results[yi] = run("llr", ys[yi]);
   });
 
   RoundTiming timing;

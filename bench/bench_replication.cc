@@ -2,54 +2,53 @@
 // error bars: CAB vs LLR across independent channel realizations on a
 // fixed topology. Single-seed point estimates can flatter either policy;
 // this bench shows the ordering is stable.
+//
+// The grid is two Scenario overrides on one declarative base — same
+// topology seed, so both policies face the identical network — executed by
+// ScenarioRunner::replicate() (seed-order-deterministic thread pool).
 #include <iostream>
 #include <thread>
 
-#include "bandit/policy.h"
-#include "channel/gaussian.h"
-#include "graph/extended_graph.h"
-#include "graph/generators.h"
-#include "sim/replication.h"
-#include "sim/simulator.h"
-#include "util/rng.h"
+#include "channel/rates.h"
+#include "scenario/runner.h"
 #include "util/table.h"
 
 int main() {
   using namespace mhca;
-  const int kUsers = 25, kChannels = 4;
-  const std::int64_t kSlots = 1000;
-  const int kReps = 8;
 
-  Rng topo_rng(606);
-  ConflictGraph cg = random_geometric_avg_degree(kUsers, 5.0, topo_rng);
-  ExtendedConflictGraph ecg(cg, kChannels);
+  const char* kBase = R"(name = replicated-cab-vs-llr
+[topology]
+kind = geometric
+nodes = 25
+avg_degree = 5.0
+[channel]
+kind = gaussian
+channels = 4
+[policy]
+kind = cab
+[run]
+slots = 1000
+seed = 606
+[replication]
+replications = 8
+parallelism = 0
+)";
+  const scenario::Scenario base = scenario::parse_scenario(kBase);
 
-  std::cout << "=== Replicated CAB vs LLR (" << kUsers << "x" << kChannels
-            << ", " << kSlots << " slots, " << kReps
+  std::cout << "=== Replicated CAB vs LLR (25x4, " << base.run.slots
+            << " slots, " << base.replication.replications
             << " seeds; kbps, mean +/- std) ===\n"
             << "replication pool: up to "
             << std::max(1u, std::thread::hardware_concurrency())
             << " worker thread(s); results are seed-order deterministic\n\n";
 
-  auto experiment = [&](PolicyKind kind) {
-    return [&, kind](std::uint64_t seed) {
-      Rng rng(seed * 7919 + 11);
-      GaussianChannelModel model(kUsers, kChannels, rng);
-      PolicyParams params;
-      params.llr_max_strategy_len = kUsers;
-      auto policy = make_policy(kind, params);
-      SimulationConfig cfg;
-      cfg.slots = kSlots;
-      Simulator sim(ecg, model, *policy, cfg);
-      return sim.run();
-    };
+  auto report_for = [&](const std::string& policy) {
+    scenario::Scenario s = base;
+    scenario::apply_override(s, "policy.kind=" + policy);
+    return scenario::ScenarioRunner(s).replicate();
   };
-
-  ReplicationConfig rcfg;
-  rcfg.replications = kReps;
-  rcfg.parallelism = 0;  // one worker per hardware thread
-  const ReplicationReport cab = replicate(experiment(PolicyKind::kCab), rcfg);
-  const ReplicationReport llr = replicate(experiment(PolicyKind::kLlr), rcfg);
+  const ReplicationReport cab = report_for("cab");
+  const ReplicationReport llr = report_for("llr");
 
   auto cell = [](const Summary& s, double scale) {
     return fixed(s.mean * scale, 1) + " +/- " + fixed(s.stddev * scale, 1);

@@ -1,13 +1,15 @@
 // Quickstart: the public API in ~60 lines.
 //
-// Build a random multi-hop network, wrap it in a ChannelAccessScheme, and
-// (1) drive the scheme step by step against your own environment, then
-// (2) let the built-in simulator run the full Algorithm-2 pipeline.
+// The primary entry point is the declarative Scenario API: describe the
+// whole experiment (topology x channel x policy x solver x run) as data,
+// and let ScenarioRunner build and drive it. The step-by-step facade
+// (ChannelAccessScheme) remains for callers that own the radio environment.
 #include <iostream>
 
 #include "channel/gaussian.h"
 #include "core/channel_access.h"
 #include "graph/generators.h"
+#include "scenario/runner.h"
 #include "sim/optimum.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -15,33 +17,29 @@
 int main() {
   using namespace mhca;
 
-  // A 20-user network with unit-disk conflicts, 8 channels (paper rates).
-  Rng rng(7);
-  ConflictGraph network = random_geometric_avg_degree(20, 5.0, rng);
-  GaussianChannelModel environment(20, 8, rng);
+  // --- Scenario mode: the experiment as data (see src/scenario/README.md;
+  // the same text can live in a .ini file and run via `mhca_sim run`). ---
+  scenario::Scenario s = scenario::parse_scenario(R"(name = quickstart
+[topology]
+kind = geometric
+nodes = 20
+avg_degree = 5.0
+[channel]
+kind = gaussian
+channels = 8
+[policy]
+kind = cab
+[run]
+slots = 500
+seed = 7
+)");
+  // Any knob is one override away — no recompilation:
+  scenario::apply_override(s, "solver.D=4");
 
-  ChannelAccessConfig cfg;
-  cfg.num_channels = 8;          // M
-  cfg.r = 2;                     // robust-PTAS neighborhood radius
-  cfg.D = 4;                     // mini-rounds per strategy decision
-  ChannelAccessScheme scheme(network, cfg);
-
-  // --- Step-by-step mode: you own the radio environment. ---
-  for (std::int64_t t = 1; t <= 50; ++t) {
-    const Strategy& s = scheme.decide();
-    for (int node = 0; node < network.num_nodes(); ++node) {
-      const int chan = s.channel_of_node[static_cast<std::size_t>(node)];
-      if (chan == Strategy::kNoChannel) continue;  // node stays silent
-      // Transmit, then report the observed normalized data rate:
-      scheme.report(node, environment.sample(node, chan, t));
-    }
-  }
-  std::cout << "after 50 rounds the scheme tried "
-            << scheme.estimates().total_plays() << " (node, channel) plays\n";
-
-  // --- Batch mode: built-in simulator with the paper's timing model. ---
-  const SimulationResult res = scheme.run(environment, 500);
-  const OptimumInfo opt = compute_optimum(scheme.extended_graph(), environment);
+  scenario::ScenarioRunner runner(s);
+  const SimulationResult res = runner.run();
+  const OptimumInfo opt =
+      compute_optimum(runner.extended_graph(), runner.model());
 
   TablePrinter table({"metric", "value"});
   table.row("slots", res.total_slots);
@@ -54,5 +52,25 @@ int main() {
   table.row("expected/optimal ratio",
             fixed(res.total_expected / 500.0 / opt.weight, 3));
   table.print(std::cout);
+
+  // --- Step-by-step mode: you own the radio environment. ---
+  Rng rng(7);
+  ConflictGraph network = random_geometric_avg_degree(20, 5.0, rng);
+  GaussianChannelModel environment(20, 8, rng);
+
+  ChannelAccessConfig cfg;  // compatibility shim over scenario::SolverSpec
+  cfg.num_channels = 8;
+  ChannelAccessScheme scheme(network, cfg);
+  for (std::int64_t t = 1; t <= 50; ++t) {
+    const Strategy& st = scheme.decide();
+    for (int node = 0; node < network.num_nodes(); ++node) {
+      const int chan = st.channel_of_node[static_cast<std::size_t>(node)];
+      if (chan == Strategy::kNoChannel) continue;  // node stays silent
+      // Transmit, then report the observed normalized data rate:
+      scheme.report(node, environment.sample(node, chan, t));
+    }
+  }
+  std::cout << "after 50 step-mode rounds the scheme tried "
+            << scheme.estimates().total_plays() << " (node, channel) plays\n";
   return 0;
 }

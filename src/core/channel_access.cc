@@ -3,19 +3,45 @@
 #include "mwis/branch_and_bound.h"
 #include "mwis/greedy.h"
 #include "mwis/robust_ptas.h"
+#include "scenario/scenario.h"
+#include "sim/simulator.h"
 #include "util/assert.h"
 
 namespace mhca {
 namespace {
 
-DistributedPtasConfig engine_config(const ChannelAccessConfig& cfg) {
-  DistributedPtasConfig d;
-  d.r = cfg.r;
-  d.max_mini_rounds = cfg.D;
-  d.local_solver = cfg.local_solver;
-  d.bnb_node_cap = cfg.bnb_node_cap;
-  d.count_messages = cfg.count_messages;
-  return d;
+// ChannelAccessConfig is a compatibility shim over the declarative Scenario
+// API (src/scenario): the facade's knobs are one-to-one with a SolverSpec +
+// RunSpec, and batch runs execute the scenario-derived SimulationConfig over
+// the scheme's own graph/policy. The field-level mapping is tabulated in
+// src/scenario/README.md.
+scenario::SolverSpec solver_spec(const ChannelAccessConfig& cfg) {
+  scenario::SolverSpec spec;
+  spec.kind = cfg.solver;
+  spec.r = cfg.r;
+  spec.D = cfg.D;
+  spec.local_solver = cfg.local_solver;
+  spec.node_cap = cfg.bnb_node_cap;
+  spec.parallelism = cfg.local_solve_parallelism;
+  spec.memoized_covers = cfg.use_memoized_covers;
+  spec.epsilon = cfg.ptas_epsilon;
+  return spec;
+}
+
+// The facade keeps its own graph, model, and policy; only the solver/run/
+// timing knobs flow through the scenario layer (SolverSpec is the single
+// source of truth the Simulator config is derived from).
+SimulationConfig sim_config(const ChannelAccessConfig& cfg,
+                            std::int64_t slots) {
+  scenario::Scenario s;
+  s.solver = solver_spec(cfg);
+  s.run.slots = slots;
+  s.run.update_period = cfg.update_period;
+  s.run.seed = cfg.seed;
+  s.run.count_messages = cfg.count_messages;
+  s.run.series_stride = cfg.series_stride;
+  s.timing = cfg.timing;
+  return scenario::to_simulation_config(s);
 }
 
 std::unique_ptr<IndexPolicy> build_policy(const ChannelAccessConfig& cfg,
@@ -35,7 +61,8 @@ ChannelAccessScheme::ChannelAccessScheme(ConflictGraph network,
       ecg_(network_, cfg.num_channels),
       policy_(build_policy(cfg, network_.num_nodes())),
       est_(ecg_.num_vertices()),
-      engine_(ecg_.graph(), engine_config(cfg)),
+      engine_(ecg_.graph(),
+              solver_spec(cfg).engine_config(cfg.count_messages)),
       rng_(cfg.seed) {
   switch (cfg_.solver) {
     case SolverKind::kDistributedPtas:
@@ -81,26 +108,9 @@ void ChannelAccessScheme::report(int node, double reward) {
   est_.observe(ecg_.vertex_of(node, chan), reward);
 }
 
-SimulationConfig ChannelAccessScheme::to_sim_config(std::int64_t slots) const {
-  SimulationConfig s;
-  s.slots = slots;
-  s.update_period = cfg_.update_period;
-  s.solver = cfg_.solver;
-  s.r = cfg_.r;
-  s.D = cfg_.D;
-  s.local_solver = cfg_.local_solver;
-  s.bnb_node_cap = cfg_.bnb_node_cap;
-  s.ptas_epsilon = cfg_.ptas_epsilon;
-  s.timing = cfg_.timing;
-  s.seed = cfg_.seed;
-  s.count_messages = cfg_.count_messages;
-  s.series_stride = cfg_.series_stride;
-  return s;
-}
-
 SimulationResult ChannelAccessScheme::run(const ChannelModel& model,
                                           std::int64_t slots) const {
-  Simulator sim(ecg_, model, *policy_, to_sim_config(slots));
+  Simulator sim(ecg_, model, *policy_, sim_config(cfg_, slots));
   return sim.run();
 }
 

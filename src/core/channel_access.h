@@ -15,6 +15,13 @@
 //   // Or run the built-in simulator against a channel model:
 //   GaussianChannelModel model(20, 8, rng);
 //   SimulationResult res = scheme.run(model, 1000);
+//
+// ChannelAccessConfig is a compatibility shim over the declarative Scenario
+// API: batch runs derive their SimulationConfig from a scenario::SolverSpec/
+// RunSpec (the single source of truth) while reusing the scheme's own graph
+// and policy. New code should describe experiments as a scenario::Scenario
+// directly (see src/scenario/README.md for the old-field -> scenario-key
+// migration table).
 #pragma once
 
 #include <cstdint>
@@ -42,8 +49,15 @@ struct ChannelAccessConfig {
   int r = 2;
   int D = 4;
   LocalSolverKind local_solver = LocalSolverKind::kExact;
-  std::int64_t bnb_node_cap = 200'000;
+  std::int64_t bnb_node_cap = kDefaultBnbNodeCap;
   double ptas_epsilon = 1.0;
+  /// Threads for per-leader local solves within one decision (0 = one per
+  /// hardware thread, 1 = inline). Deterministic at any setting. Defaults
+  /// to inline like scenario::SolverSpec (static_assert-pinned); raise it
+  /// for big single-scheme deployments on idle cores.
+  int local_solve_parallelism = 1;
+  /// Reuse memoized per-ball clique covers (see src/mwis/README.md).
+  bool use_memoized_covers = false;
 
   RoundTiming timing{};
   int update_period = 1;
@@ -80,8 +94,6 @@ class ChannelAccessScheme {
   SimulationResult run(const ChannelModel& model, std::int64_t slots) const;
 
  private:
-  SimulationConfig to_sim_config(std::int64_t slots) const;
-
   ConflictGraph network_;
   ChannelAccessConfig cfg_;
   ExtendedConflictGraph ecg_;

@@ -68,7 +68,7 @@ struct DistributedPtasConfig {
   /// decision-weight loss vs unlimited at n=800, r=3), and per-slot
   /// decision latency stays bounded — the paper's robustness only needs a
   /// β-approximate local oracle. Raise for offline/optimum-quality runs.
-  std::int64_t bnb_node_cap = 2'000;
+  std::int64_t bnb_node_cap = kDefaultBnbNodeCap;
   bool count_messages = false;          ///< Track flood sizes (costs BFS).
   /// Precompute ball structure once and reuse solver scratch across local
   /// solves. False = per-decision re-derivation exactly as the seed

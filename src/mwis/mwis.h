@@ -16,6 +16,16 @@
 
 namespace mhca {
 
+/// Default per-solve branch-and-bound effort cap shared by every decision
+/// path (lockstep engine, message-level runtime, simulator, facade). This is
+/// the ONLY place the default lives: DistributedPtasConfig, SimulationConfig,
+/// net::NetConfig, ChannelAccessConfig and scenario::SolverSpec all
+/// initialize from it, and scenario.cc static_asserts they stay in sync —
+/// the PR-2 drift (facade still at 200'000 while the solver moved to 2'000)
+/// cannot recur. Tuned for the enhanced search; see
+/// DistributedPtasConfig::bnb_node_cap for the rationale.
+inline constexpr std::int64_t kDefaultBnbNodeCap = 2'000;
+
 /// Result of one MWIS solve.
 struct MwisResult {
   std::vector<int> vertices;       ///< The independent set (sorted by id).

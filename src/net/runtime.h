@@ -40,7 +40,7 @@ struct NetConfig {
   LocalSolverKind local_solver = LocalSolverKind::kExact;
   /// Per-solve effort cap; mirrors DistributedPtasConfig::bnb_node_cap so
   /// runtime and lockstep engine take identical decisions.
-  std::int64_t bnb_node_cap = 2'000;
+  std::int64_t bnb_node_cap = kDefaultBnbNodeCap;
   /// Solve over each agent's memoized r-ball clique cover (mirrors
   /// DistributedPtasConfig::use_memoized_covers; see src/mwis/README.md).
   bool use_memoized_covers = false;

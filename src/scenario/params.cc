@@ -1,0 +1,126 @@
+#include "scenario/params.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+namespace mhca::scenario {
+
+void ParamMap::set(const std::string& key, std::string value) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(key, std::move(value));
+}
+
+const std::string* ParamMap::find(const std::string& key) const {
+  for (const auto& [k, v] : entries_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+bool ParamMap::has(const std::string& key) const {
+  return find(key) != nullptr;
+}
+
+std::string ParamMap::get_string(const std::string& key,
+                                 const std::string& def) const {
+  const std::string* v = find(key);
+  return v ? *v : def;
+}
+
+std::int64_t ParamMap::get_int(const std::string& key,
+                               std::int64_t def) const {
+  const std::string* v = find(key);
+  return v ? parse_int_value(*v, key) : def;
+}
+
+std::uint64_t ParamMap::get_uint(const std::string& key,
+                                 std::uint64_t def) const {
+  const std::string* v = find(key);
+  return v ? parse_uint_value(*v, key) : def;
+}
+
+double ParamMap::get_double(const std::string& key, double def) const {
+  const std::string* v = find(key);
+  return v ? parse_double_value(*v, key) : def;
+}
+
+bool ParamMap::get_bool(const std::string& key, bool def) const {
+  const std::string* v = find(key);
+  return v ? parse_bool_value(*v, key) : def;
+}
+
+std::vector<std::string> ParamMap::keys() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, v] : entries_) out.push_back(k);
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void bad_value(const std::string& value, const std::string& where,
+                            const char* expected) {
+  throw ScenarioError("bad value '" + value + "' for '" + where +
+                      "': expected " + expected);
+}
+
+}  // namespace
+
+std::int64_t parse_int_value(const std::string& value,
+                             const std::string& where) {
+  char* end = nullptr;
+  errno = 0;
+  const long long x = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size() || errno == ERANGE)
+    bad_value(value, where, "an integer (in 64-bit range)");
+  return static_cast<std::int64_t>(x);
+}
+
+std::uint64_t parse_uint_value(const std::string& value,
+                               const std::string& where) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long x = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size() ||
+      errno == ERANGE || value.front() == '-')
+    bad_value(value, where, "a non-negative integer (in 64-bit range)");
+  return static_cast<std::uint64_t>(x);
+}
+
+int checked_int32(std::int64_t v, const std::string& where) {
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max())
+    throw ScenarioError("value " + std::to_string(v) + " for '" + where +
+                        "' is out of 32-bit range");
+  return static_cast<int>(v);
+}
+
+double parse_double_value(const std::string& value, const std::string& where) {
+  char* end = nullptr;
+  const double x = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size())
+    bad_value(value, where, "a number");
+  return x;
+}
+
+bool parse_bool_value(const std::string& value, const std::string& where) {
+  if (value == "true" || value == "yes" || value == "1") return true;
+  if (value == "false" || value == "no" || value == "0") return false;
+  bad_value(value, where, "a boolean (true/false)");
+}
+
+std::string join_keys(const std::vector<std::string>& keys) {
+  std::string out;
+  for (const auto& k : keys) {
+    if (!out.empty()) out += ", ";
+    out += k;
+  }
+  return out;
+}
+
+}  // namespace mhca::scenario

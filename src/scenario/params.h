@@ -1,0 +1,73 @@
+// String-keyed parameter bag for declarative scenario specs.
+//
+// Component factories (channel models, policies, topology generators) read
+// their construction parameters from a ParamMap instead of a positional C++
+// signature, so a scenario file — or a `--override` on the command line —
+// can reach any knob by name. Values are stored as the raw strings from the
+// scenario text; typed accessors parse on demand and raise ScenarioError
+// with the offending key and value on malformed input.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mhca::scenario {
+
+/// All scenario-layer failures (parse errors, unknown keys/names, malformed
+/// values) throw this; the message always names the offending token and, for
+/// lookups, lists the valid alternatives.
+class ScenarioError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Insertion-ordered string->string map. Order is preserved so
+/// serialize(parse(text)) keeps the author's key order.
+class ParamMap {
+ public:
+  /// Insert or overwrite (overwrite keeps the original position).
+  void set(const std::string& key, std::string value);
+
+  bool has(const std::string& key) const;
+  bool empty() const { return entries_.empty(); }
+
+  /// Typed accessors: return `def` when the key is absent; throw
+  /// ScenarioError when the stored value does not parse as the target type.
+  std::string get_string(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  std::uint64_t get_uint(const std::string& key, std::uint64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  std::vector<std::string> keys() const;
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+  bool operator==(const ParamMap&) const = default;
+
+ private:
+  const std::string* find(const std::string& key) const;
+
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+// Value-parsing helpers shared with the fixed-schema scenario sections.
+// `where` names the key (and section) for the error message.
+std::int64_t parse_int_value(const std::string& value, const std::string& where);
+std::uint64_t parse_uint_value(const std::string& value,
+                               const std::string& where);
+double parse_double_value(const std::string& value, const std::string& where);
+bool parse_bool_value(const std::string& value, const std::string& where);
+
+/// Narrow to int, throwing ScenarioError (naming `where`) when out of range
+/// — so an overflowing override fails instead of silently truncating.
+int checked_int32(std::int64_t v, const std::string& where);
+
+/// "a, b, c" — used to list valid alternatives in error messages.
+std::string join_keys(const std::vector<std::string>& keys);
+
+}  // namespace mhca::scenario

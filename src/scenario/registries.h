@@ -1,0 +1,52 @@
+// The three component registries behind the Scenario API.
+//
+// Every ChannelModel, IndexPolicy, and topology generator in the library is
+// constructible by string key through these registries — that is what lets
+// one scenario file (or one `--override`) select any combination without a
+// new C++ call site. Built-ins self-register on first access (one block per
+// subsystem in registries.cc); extension code adds its own components with
+// `registry.add(...)` at startup — see src/scenario/README.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "bandit/policy.h"
+#include "channel/channel_model.h"
+#include "graph/conflict_graph.h"
+#include "scenario/registry.h"
+#include "util/rng.h"
+
+namespace mhca::scenario {
+
+/// Fixed build arguments a channel-model factory receives next to its
+/// ParamMap. `horizon` is the scenario's slot count (time-varying models —
+/// adversarial ramps/swaps — schedule against it).
+struct ChannelBuildContext {
+  int num_nodes = 0;
+  int num_channels = 0;
+  std::int64_t horizon = 0;
+};
+
+/// Fixed build arguments for policy factories (LLR's L defaults to N).
+struct PolicyBuildContext {
+  int num_nodes = 0;
+};
+
+using TopologyRegistry = Registry<ConflictGraph(Rng&)>;
+using ChannelRegistry =
+    Registry<std::unique_ptr<ChannelModel>(const ChannelBuildContext&, Rng&)>;
+using PolicyRegistry =
+    Registry<std::unique_ptr<IndexPolicy>(const PolicyBuildContext&)>;
+
+/// Process-wide registries, built-ins registered on first access.
+TopologyRegistry& topology_registry();
+ChannelRegistry& channel_registry();
+PolicyRegistry& policy_registry();
+
+/// The one mapping from policy ParamMap keys (L, epsilon, seed) to
+/// PolicyParams — shared by the built-in policy factories and by
+/// to_net_config, so the net runtime can never drift from the registry.
+PolicyParams builtin_policy_params(const ParamMap& params, int num_nodes);
+
+}  // namespace mhca::scenario

@@ -1,0 +1,133 @@
+// Generic string-keyed component registry.
+//
+// A Registry<R(Args...)> maps a component name to a factory taking a
+// ParamMap (the component's scenario parameters) plus fixed build arguments
+// (e.g. an Rng, a build context). Each entry declares the parameter keys it
+// accepts, so `create` can reject a typo with an actionable message *before*
+// the factory runs: the error names the bad key and lists the valid ones.
+//
+// Registries are how "scenario diversity becomes data": a new channel model,
+// learning policy, or topology generator registers itself once under a
+// string key and is immediately reachable from every scenario file, CLI
+// override, and benchmark grid with no new call sites. Built-ins register in
+// scenario/registries.cc; downstream code extends a registry at startup via
+// `add` (see src/scenario/README.md).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/params.h"
+
+namespace mhca::scenario {
+
+/// Entry key list wildcard: a factory that validates (or forwards) its own
+/// parameters registers with kOpenKeys among its accepted keys.
+inline const char* const kOpenKeys = "*";
+
+template <typename Signature>
+class Registry;
+
+template <typename R, typename... Args>
+class Registry<R(Args...)> {
+ public:
+  using Factory = std::function<R(const ParamMap&, Args...)>;
+
+  /// `what` names the component family in error messages ("channel model").
+  explicit Registry(std::string what) : what_(std::move(what)) {}
+
+  /// Register `name`. `accepted_keys` are the parameter keys the factory
+  /// understands; include kOpenKeys ("*") to skip unknown-key validation
+  /// (for factories that forward parameters, e.g. the trace recorder).
+  /// `required_keys` must be present — checked by validate(), so a missing
+  /// key fails at validation time, not only when the factory runs.
+  void add(const std::string& name, std::vector<std::string> accepted_keys,
+           Factory factory, std::vector<std::string> required_keys = {}) {
+    if (contains(name))
+      throw ScenarioError("duplicate " + what_ + " '" + name + "'");
+    entries_.push_back(Entry{name, std::move(accepted_keys),
+                             std::move(required_keys), std::move(factory)});
+  }
+
+  bool contains(const std::string& name) const {
+    return find(name) != nullptr;
+  }
+
+  /// Registered names, in registration order.
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) out.push_back(e.name);
+    return out;
+  }
+
+  const std::vector<std::string>& accepted_keys(const std::string& name) const {
+    return require(name).keys;
+  }
+
+  /// Check that `name` exists, `params` only uses accepted keys, and every
+  /// required key is present — the validation half of `create`, usable
+  /// without building the component.
+  void validate(const std::string& name, const ParamMap& params) const {
+    const Entry& e = require(name);
+    for (const auto& k : e.required)
+      if (!params.has(k))
+        throw ScenarioError("missing required key '" + k + "' for " + what_ +
+                            " '" + name + "'");
+    bool open = false;
+    for (const auto& k : e.keys) open = open || k == kOpenKeys;
+    if (open) return;
+    for (const auto& key : params.keys()) {
+      bool ok = false;
+      for (const auto& k : e.keys) ok = ok || k == key;
+      if (!ok)
+        throw ScenarioError("unknown key '" + key + "' for " + what_ + " '" +
+                            name + "'; accepted keys: " +
+                            (e.keys.empty() ? "(none)" : join_keys(e.keys)));
+    }
+  }
+
+  R create(const std::string& name, const ParamMap& params,
+           Args... args) const {
+    validate(name, params);
+    try {
+      return require(name).factory(params, std::forward<Args>(args)...);
+    } catch (const ScenarioError&) {
+      throw;
+    } catch (const std::logic_error& e) {
+      // Component preconditions (MHCA_ASSERT) name file/line, not the
+      // scenario; wrap them so the user learns which component rejected
+      // its parameters.
+      throw ScenarioError("cannot build " + what_ + " '" + name +
+                          "' from the given parameters: " + e.what());
+    }
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::vector<std::string> keys;
+    std::vector<std::string> required;
+    Factory factory;
+  };
+
+  const Entry* find(const std::string& name) const {
+    for (const auto& e : entries_)
+      if (e.name == name) return &e;
+    return nullptr;
+  }
+
+  const Entry& require(const std::string& name) const {
+    const Entry* e = find(name);
+    if (!e)
+      throw ScenarioError("unknown " + what_ + " '" + name +
+                          "'; registered: " + join_keys(names()));
+    return *e;
+  }
+
+  std::string what_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace mhca::scenario

@@ -1,0 +1,148 @@
+#include "scenario/runner.h"
+
+#include <utility>
+
+#include "scenario/registries.h"
+#include "util/assert.h"
+
+namespace mhca::scenario {
+
+namespace {
+
+std::unique_ptr<ChannelModel> build_channel(const Scenario& s, int num_nodes,
+                                            Rng& rng) {
+  const ChannelBuildContext ctx{num_nodes, s.num_channels, s.run.slots};
+  return channel_registry().create(s.channel.kind, s.channel.params, ctx, rng);
+}
+
+}  // namespace
+
+net::NetConfig to_net_config(const Scenario& s, int num_nodes) {
+  net::NetConfig cfg;
+  cfg.r = s.solver.r;
+  cfg.D = s.solver.D;
+  cfg.policy = policy_kind_from_string(s.policy.kind);
+  cfg.policy_params = builtin_policy_params(s.policy.params, num_nodes);
+  cfg.local_solver = s.solver.local_solver;
+  cfg.bnb_node_cap = s.solver.node_cap;
+  cfg.use_memoized_covers = s.solver.memoized_covers;
+  return cfg;
+}
+
+struct ScenarioRunner::Parts {
+  Scenario s;
+  ConflictGraph network;
+  std::unique_ptr<ChannelModel> model;
+};
+
+// The build order fixes the Rng discipline of a scenario: one master
+// Rng(run.seed) first generates the topology, then the channel model — the
+// exact sequence hand-written experiments in this repo follow, which is what
+// makes scenario-vs-legacy results byte-identical (tests/scenario_test.cc).
+ScenarioRunner::Parts ScenarioRunner::make_parts(Scenario s) {
+  validate_fields(s);
+  Rng rng(s.run.seed);
+  ConflictGraph network =
+      topology_registry().create(s.topology.kind, s.topology.params, rng);
+  std::unique_ptr<ChannelModel> model;
+  if (!s.channel.kind.empty())
+    model = build_channel(s, network.num_nodes(), rng);
+  return Parts{std::move(s), std::move(network), std::move(model)};
+}
+
+ScenarioRunner::Parts ScenarioRunner::make_parts(Scenario s,
+                                                 ConflictGraph network) {
+  validate_fields(s);
+  std::unique_ptr<ChannelModel> model;
+  if (!s.channel.kind.empty()) {
+    Rng rng(s.run.seed);
+    model = build_channel(s, network.num_nodes(), rng);
+  }
+  return Parts{std::move(s), std::move(network), std::move(model)};
+}
+
+ScenarioRunner::ScenarioRunner(Parts parts)
+    : s_(std::move(parts.s)),
+      network_(std::move(parts.network)),
+      ecg_(network_, s_.num_channels),
+      model_(std::move(parts.model)),
+      policy_(policy_registry().create(s_.policy.kind, s_.policy.params,
+                                       PolicyBuildContext{
+                                           network_.num_nodes()})) {}
+
+ScenarioRunner::ScenarioRunner(Scenario s)
+    : ScenarioRunner(make_parts(std::move(s))) {}
+
+ScenarioRunner::ScenarioRunner(Scenario s, ConflictGraph network)
+    : ScenarioRunner(make_parts(std::move(s), std::move(network))) {}
+
+const ChannelModel& ScenarioRunner::model() const {
+  MHCA_ASSERT(model_ != nullptr,
+              "scenario has no built channel model ([channel] kind is empty)");
+  return *model_;
+}
+
+SimulationResult ScenarioRunner::run() const {
+  if (!model_)
+    throw ScenarioError(
+        "scenario has no channel model; run_with() an external one");
+  return run_with(*model_);
+}
+
+SimulationResult ScenarioRunner::run_with(const ChannelModel& model) const {
+  Simulator sim(ecg_, model, *policy_, to_simulation_config(s_));
+  return sim.run();
+}
+
+ReplicationReport ScenarioRunner::replicate() const {
+  if (s_.replication.replications < 1)
+    throw ScenarioError(
+        "replicate() needs replication.replications >= 1 (got " +
+        std::to_string(s_.replication.replications) + ")");
+  if (s_.channel.kind.empty())
+    throw ScenarioError("replicate() needs a scenario channel model");
+  const Scenario& s = s_;
+  const ExtendedConflictGraph& ecg = ecg_;
+  const IndexPolicy& policy = *policy_;
+  // Fixed topology, fresh channel realization per seed (the repo's
+  // replication convention). Policies are stateless, so one instance is
+  // safely shared across the replication pool.
+  const auto experiment = [&s, &ecg, &policy](std::uint64_t seed) {
+    Rng rng(seed * 7919 + 11);
+    const std::unique_ptr<ChannelModel> model =
+        build_channel(s, ecg.num_nodes(), rng);
+    SimulationConfig cfg = to_simulation_config(s);
+    cfg.seed = seed;
+    Simulator sim(ecg, *model, policy, cfg);
+    return sim.run();
+  };
+  ReplicationConfig rcfg;
+  rcfg.replications = s_.replication.replications;
+  rcfg.seed0 = s_.replication.seed0;
+  rcfg.parallelism = s_.replication.parallelism;
+  return mhca::replicate(experiment, rcfg);
+}
+
+NetRunSummary ScenarioRunner::run_net() const {
+  if (!model_)
+    throw ScenarioError("run_net() needs a scenario channel model");
+  if (s_.run.update_period != 1)
+    throw ScenarioError(
+        "run_net() decides every round and does not implement "
+        "run.update_period = " + std::to_string(s_.run.update_period) +
+        "; set run.update_period=1 for the message-level runtime");
+  net::DistributedRuntime runtime(ecg_, *model_,
+                                  to_net_config(s_, network_.num_nodes()));
+  NetRunSummary out;
+  for (std::int64_t t = 0; t < s_.run.slots; ++t) {
+    net::NetRoundResult round = runtime.step();
+    out.total_observed += round.observed_sum;
+    if (round.conflict) ++out.conflicts;
+    out.last_strategy = std::move(round.strategy);
+  }
+  out.rounds = runtime.rounds_run();
+  out.max_table_size = runtime.max_table_size();
+  return out;
+}
+
+}  // namespace mhca::scenario

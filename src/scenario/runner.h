@@ -1,0 +1,105 @@
+// ScenarioRunner — the single engine entry point behind the Scenario API.
+//
+// Construction resolves the scenario's registry keys into live components:
+// master Rng(run.seed) -> topology generator -> extended conflict graph ->
+// channel model -> policy. One runner then drives any of the repo's four
+// execution engines over those components:
+//
+//   run()        lockstep Simulator (Algorithm 2, the benchmarks' engine)
+//   run_with(m)  same, against an externally owned ChannelModel (the facade
+//                runs its batch mode through the identical scenario-derived
+//                SimulationConfig over its own graph/policy)
+//   replicate()  multi-seed replication harness (fresh channel realization
+//                per seed, seed-order-deterministic thread pool)
+//   run_net()    message-level protocol runtime (src/net), one Algorithm-2
+//                round per slot
+//
+// All four read their knobs from the same Scenario (one SolverSpec), so a
+// decision taken by run() and run_net() on the same scenario is identical —
+// asserted by tests/scenario_test.cc.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bandit/policy.h"
+#include "channel/channel_model.h"
+#include "graph/conflict_graph.h"
+#include "graph/extended_graph.h"
+#include "net/runtime.h"
+#include "scenario/scenario.h"
+#include "sim/replication.h"
+#include "sim/simulator.h"
+
+namespace mhca::scenario {
+
+/// Aggregate of a message-level protocol run (run_net()).
+struct NetRunSummary {
+  std::int64_t rounds = 0;
+  double total_observed = 0.0;     ///< Summed realized throughput.
+  std::vector<int> last_strategy;  ///< Winner vertices of the final round.
+  std::size_t max_table_size = 0;  ///< Per-vertex space bound O(m).
+  int conflicts = 0;               ///< Rounds whose strategy conflicted.
+};
+
+/// The net::NetConfig a scenario denotes (policy must be a built-in kind;
+/// `num_nodes` backs LLR's L-defaults-to-N rule). The runtime implements the
+/// distributed protocol, so solver.kind is not consulted.
+net::NetConfig to_net_config(const Scenario& s, int num_nodes);
+
+class ScenarioRunner {
+ public:
+  /// Build every component from the registries. Throws ScenarioError with
+  /// the offending key/name on any unknown kind or parameter.
+  explicit ScenarioRunner(Scenario s);
+
+  /// Use an externally built network instead of the topology spec (for
+  /// callers that own their graph). The channel spec may be empty, in which
+  /// case only run_with() is available.
+  ScenarioRunner(Scenario s, ConflictGraph network);
+
+  const Scenario& scenario() const { return s_; }
+  const ConflictGraph& network() const { return network_; }
+  const ExtendedConflictGraph& extended_graph() const { return ecg_; }
+  bool has_model() const { return model_ != nullptr; }
+  const ChannelModel& model() const;
+  const IndexPolicy& policy() const { return *policy_; }
+
+  /// The configs this scenario denotes, for callers that drive an engine
+  /// directly (benchmark grids use engine_config()).
+  SimulationConfig simulation_config() const {
+    return to_simulation_config(s_);
+  }
+  DistributedPtasConfig engine_config() const {
+    return s_.solver.engine_config(s_.run.count_messages);
+  }
+
+  /// One full simulation of the scenario (its channel model, its seed).
+  SimulationResult run() const;
+
+  /// One full simulation against an external channel model.
+  SimulationResult run_with(const ChannelModel& model) const;
+
+  /// Replicate the scenario across replication.replications seeds: each
+  /// seed gets a fresh channel realization on the fixed topology. Requires
+  /// replications >= 1.
+  ReplicationReport replicate() const;
+
+  /// Drive the message-level runtime for run.slots rounds.
+  NetRunSummary run_net() const;
+
+ private:
+  struct Parts;  // built graph + model, carried into the delegate ctor
+  explicit ScenarioRunner(Parts parts);
+  static Parts make_parts(Scenario s);
+  static Parts make_parts(Scenario s, ConflictGraph network);
+
+  Scenario s_;
+  ConflictGraph network_;
+  ExtendedConflictGraph ecg_;
+  std::unique_ptr<ChannelModel> model_;
+  std::unique_ptr<IndexPolicy> policy_;
+};
+
+}  // namespace mhca::scenario

@@ -1,0 +1,508 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "core/channel_access.h"
+#include "net/runtime.h"
+#include "scenario/registries.h"
+
+namespace mhca::scenario {
+
+// The drift guard: every config struct that carries a B&B node cap defaults
+// it from the one constant in mwis/mwis.h, and the high-level specs agree on
+// the shared solver knobs. A default edited in one place and not the others
+// now fails to compile instead of silently diverging (as
+// ChannelAccessConfig did after PR 2).
+static_assert(SolverSpec{}.node_cap == kDefaultBnbNodeCap);
+static_assert(DistributedPtasConfig{}.bnb_node_cap == kDefaultBnbNodeCap);
+static_assert(SimulationConfig{}.bnb_node_cap == kDefaultBnbNodeCap);
+static_assert(net::NetConfig{}.bnb_node_cap == kDefaultBnbNodeCap);
+static_assert(ChannelAccessConfig{}.bnb_node_cap == kDefaultBnbNodeCap);
+static_assert(SolverSpec{}.r == SimulationConfig{}.r &&
+              SolverSpec{}.r == ChannelAccessConfig{}.r &&
+              SolverSpec{}.r == net::NetConfig{}.r &&
+              SolverSpec{}.r == DistributedPtasConfig{}.r);
+static_assert(SolverSpec{}.D == SimulationConfig{}.D &&
+              SolverSpec{}.D == ChannelAccessConfig{}.D &&
+              SolverSpec{}.D == net::NetConfig{}.D);
+static_assert(SolverSpec{}.parallelism ==
+                  SimulationConfig{}.local_solve_parallelism &&
+              SolverSpec{}.parallelism ==
+                  ChannelAccessConfig{}.local_solve_parallelism);
+static_assert(SolverSpec{}.memoized_covers ==
+                  SimulationConfig{}.use_memoized_covers &&
+              SolverSpec{}.memoized_covers ==
+                  net::NetConfig{}.use_memoized_covers &&
+              SolverSpec{}.memoized_covers ==
+                  ChannelAccessConfig{}.use_memoized_covers);
+
+namespace {
+
+const std::vector<std::string> kSections{
+    "topology", "channel", "policy", "solver", "run", "replication", "timing"};
+
+/// One fixed-schema field: the key plus its parse-and-assign action.
+/// Routing and the valid-keys error message both come from this table, so
+/// the two cannot drift.
+struct FieldDef {
+  const char* key;
+  std::function<void(Scenario&, const std::string& value,
+                     const std::string& where)>
+      set;
+};
+
+int int32_field(const std::string& value, const std::string& where) {
+  return checked_int32(parse_int_value(value, where), where);
+}
+
+const std::vector<FieldDef>& solver_fields() {
+  static const std::vector<FieldDef> fields{
+      {"kind", [](Scenario& s, const std::string& v, const std::string&) {
+         s.solver.kind = solver_kind_from_string(v);
+       }},
+      {"r", [](Scenario& s, const std::string& v, const std::string& w) {
+         s.solver.r = int32_field(v, w);
+       }},
+      {"D", [](Scenario& s, const std::string& v, const std::string& w) {
+         s.solver.D = int32_field(v, w);
+       }},
+      {"local_solver",
+       [](Scenario& s, const std::string& v, const std::string&) {
+         s.solver.local_solver = local_solver_from_string(v);
+       }},
+      {"node_cap", [](Scenario& s, const std::string& v, const std::string& w) {
+         s.solver.node_cap = parse_int_value(v, w);
+       }},
+      {"parallelism",
+       [](Scenario& s, const std::string& v, const std::string& w) {
+         s.solver.parallelism = int32_field(v, w);
+       }},
+      {"memoized_covers",
+       [](Scenario& s, const std::string& v, const std::string& w) {
+         s.solver.memoized_covers = parse_bool_value(v, w);
+       }},
+      {"epsilon", [](Scenario& s, const std::string& v, const std::string& w) {
+         s.solver.epsilon = parse_double_value(v, w);
+       }},
+  };
+  return fields;
+}
+
+const std::vector<FieldDef>& run_fields() {
+  static const std::vector<FieldDef> fields{
+      {"slots", [](Scenario& s, const std::string& v, const std::string& w) {
+         s.run.slots = parse_int_value(v, w);
+       }},
+      {"update_period",
+       [](Scenario& s, const std::string& v, const std::string& w) {
+         s.run.update_period = int32_field(v, w);
+       }},
+      {"seed", [](Scenario& s, const std::string& v, const std::string& w) {
+         s.run.seed = parse_uint_value(v, w);
+       }},
+      {"series_stride",
+       [](Scenario& s, const std::string& v, const std::string& w) {
+         s.run.series_stride = int32_field(v, w);
+       }},
+      {"count_messages",
+       [](Scenario& s, const std::string& v, const std::string& w) {
+         s.run.count_messages = parse_bool_value(v, w);
+       }},
+  };
+  return fields;
+}
+
+const std::vector<FieldDef>& replication_fields() {
+  static const std::vector<FieldDef> fields{
+      {"replications",
+       [](Scenario& s, const std::string& v, const std::string& w) {
+         s.replication.replications = int32_field(v, w);
+       }},
+      {"seed0", [](Scenario& s, const std::string& v, const std::string& w) {
+         s.replication.seed0 = parse_uint_value(v, w);
+       }},
+      {"parallelism",
+       [](Scenario& s, const std::string& v, const std::string& w) {
+         s.replication.parallelism = int32_field(v, w);
+       }},
+  };
+  return fields;
+}
+
+const std::vector<FieldDef>& timing_fields() {
+  static const std::vector<FieldDef> fields{
+      {"ta_ms", [](Scenario& s, const std::string& v, const std::string& w) {
+         s.timing.ta_ms = parse_double_value(v, w);
+       }},
+      {"td_ms", [](Scenario& s, const std::string& v, const std::string& w) {
+         s.timing.td_ms = parse_double_value(v, w);
+       }},
+      {"tb_ms", [](Scenario& s, const std::string& v, const std::string& w) {
+         s.timing.tb_ms = parse_double_value(v, w);
+       }},
+      {"tl_ms", [](Scenario& s, const std::string& v, const std::string& w) {
+         s.timing.tl_ms = parse_double_value(v, w);
+       }},
+      {"decision_mini_rounds",
+       [](Scenario& s, const std::string& v, const std::string& w) {
+         s.timing.decision_mini_rounds = int32_field(v, w);
+       }},
+  };
+  return fields;
+}
+
+/// nullptr for the component sections (topology/channel/policy), which mix
+/// reserved keys with free-form factory params and are routed by hand.
+const std::vector<FieldDef>* fixed_section(const std::string& section) {
+  if (section == "solver") return &solver_fields();
+  if (section == "run") return &run_fields();
+  if (section == "replication") return &replication_fields();
+  if (section == "timing") return &timing_fields();
+  return nullptr;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Route one `section.key = value` assignment into the Scenario. Shared by
+/// the file parser and apply_override, so both produce identical routing
+/// and identical error messages.
+void set_field(Scenario& s, const std::string& section, const std::string& key,
+               const std::string& value) {
+  const std::string where = section.empty() ? key : section + "." + key;
+  if (section.empty()) {
+    if (key == "name") {
+      s.name = value;
+      return;
+    }
+    throw ScenarioError("unknown top-level key '" + key +
+                        "'; only 'name' may appear before the first "
+                        "[section]");
+  }
+  if (section == "topology") {
+    if (key == "kind")
+      s.topology.kind = value;
+    else
+      s.topology.params.set(key, value);
+    return;
+  }
+  if (section == "channel") {
+    if (key == "kind")
+      s.channel.kind = value;
+    else if (key == "channels")
+      s.num_channels = checked_int32(parse_int_value(value, where), where);
+    else
+      s.channel.params.set(key, value);
+    return;
+  }
+  if (section == "policy") {
+    if (key == "kind")
+      s.policy.kind = value;
+    else
+      s.policy.params.set(key, value);
+    return;
+  }
+  if (const std::vector<FieldDef>* fields = fixed_section(section)) {
+    for (const FieldDef& f : *fields) {
+      if (key == f.key) {
+        f.set(s, value, where);
+        return;
+      }
+    }
+    std::vector<std::string> valid;
+    for (const FieldDef& f : *fields) valid.emplace_back(f.key);
+    throw ScenarioError("unknown key '" + key + "' in [" + section +
+                        "]; valid keys: " + join_keys(valid));
+  }
+  throw ScenarioError("unknown section [" + section +
+                      "]; valid sections: " + join_keys(kSections));
+}
+
+/// Shortest decimal form that parses back to exactly the same double.
+std::string format_double(double v) {
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::ostringstream os;
+    os.precision(precision);
+    os << v;
+    if (std::stod(os.str()) == v) return os.str();
+  }
+  return std::to_string(v);
+}
+
+void emit_params(std::ostringstream& os, const ParamMap& params) {
+  for (const auto& [k, v] : params.entries()) os << k << " = " << v << "\n";
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- parsing
+
+Scenario parse_scenario(const std::string& text) {
+  Scenario s;
+  std::istringstream in(text);
+  std::string line;
+  std::string section;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#' || t[0] == ';') continue;
+    try {
+      if (t.front() == '[') {
+        if (t.back() != ']')
+          throw ScenarioError("malformed section header '" + t + "'");
+        section = trim(t.substr(1, t.size() - 2));
+        bool known = false;
+        for (const auto& k : kSections) known = known || k == section;
+        if (!known)
+          throw ScenarioError("unknown section [" + section +
+                              "]; valid sections: " + join_keys(kSections));
+        continue;
+      }
+      const std::size_t eq = t.find('=');
+      if (eq == std::string::npos)
+        throw ScenarioError("expected 'key = value', got '" + t + "'");
+      const std::string key = trim(t.substr(0, eq));
+      const std::string value = trim(t.substr(eq + 1));
+      if (key.empty()) throw ScenarioError("empty key in '" + t + "'");
+      set_field(s, section, key, value);
+    } catch (const ScenarioError& e) {
+      throw ScenarioError("line " + std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  return s;
+}
+
+Scenario parse_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ScenarioError("cannot read scenario file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse_scenario(buf.str());
+  } catch (const ScenarioError& e) {
+    throw ScenarioError(path + ": " + e.what());
+  }
+}
+
+std::string serialize_scenario(const Scenario& s) {
+  std::ostringstream os;
+  os << "name = " << s.name << "\n";
+  os << "\n[topology]\nkind = " << s.topology.kind << "\n";
+  emit_params(os, s.topology.params);
+  os << "\n[channel]\nkind = " << s.channel.kind << "\n"
+     << "channels = " << s.num_channels << "\n";
+  emit_params(os, s.channel.params);
+  os << "\n[policy]\nkind = " << s.policy.kind << "\n";
+  emit_params(os, s.policy.params);
+  os << "\n[solver]\n"
+     << "kind = " << solver_kind_key(s.solver.kind) << "\n"
+     << "r = " << s.solver.r << "\n"
+     << "D = " << s.solver.D << "\n"
+     << "local_solver = " << local_solver_key(s.solver.local_solver) << "\n"
+     << "node_cap = " << s.solver.node_cap << "\n"
+     << "parallelism = " << s.solver.parallelism << "\n"
+     << "memoized_covers = " << (s.solver.memoized_covers ? "true" : "false")
+     << "\n"
+     << "epsilon = " << format_double(s.solver.epsilon) << "\n";
+  os << "\n[run]\n"
+     << "slots = " << s.run.slots << "\n"
+     << "update_period = " << s.run.update_period << "\n"
+     << "seed = " << s.run.seed << "\n"
+     << "series_stride = " << s.run.series_stride << "\n"
+     << "count_messages = " << (s.run.count_messages ? "true" : "false")
+     << "\n";
+  os << "\n[replication]\n"
+     << "replications = " << s.replication.replications << "\n"
+     << "seed0 = " << s.replication.seed0 << "\n"
+     << "parallelism = " << s.replication.parallelism << "\n";
+  os << "\n[timing]\n"
+     << "ta_ms = " << format_double(s.timing.ta_ms) << "\n"
+     << "td_ms = " << format_double(s.timing.td_ms) << "\n"
+     << "tb_ms = " << format_double(s.timing.tb_ms) << "\n"
+     << "tl_ms = " << format_double(s.timing.tl_ms) << "\n"
+     << "decision_mini_rounds = " << s.timing.decision_mini_rounds << "\n";
+  return os.str();
+}
+
+void apply_override(Scenario& s, const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos)
+    throw ScenarioError("override '" + spec +
+                        "' must look like section.key=value");
+  const std::string path = trim(spec.substr(0, eq));
+  const std::string value = trim(spec.substr(eq + 1));
+  const std::size_t dot = path.find('.');
+  try {
+    if (dot == std::string::npos) {
+      set_field(s, "", path, value);
+    } else {
+      set_field(s, path.substr(0, dot), path.substr(dot + 1), value);
+    }
+  } catch (const ScenarioError& e) {
+    throw ScenarioError("override '" + spec + "': " + e.what());
+  }
+}
+
+void validate_fields(const Scenario& s) {
+  if (s.num_channels < 1)
+    throw ScenarioError("channel.channels must be >= 1");
+  if (s.run.slots < 1) throw ScenarioError("run.slots must be >= 1");
+  if (s.run.update_period < 1)
+    throw ScenarioError("run.update_period must be >= 1");
+  if (s.run.series_stride < 0)
+    throw ScenarioError("run.series_stride must be >= 0 (0 = auto)");
+  if (s.solver.r < 1) throw ScenarioError("solver.r must be >= 1");
+  if (s.solver.D < 0) throw ScenarioError("solver.D must be >= 0");
+  if (s.solver.node_cap < 1)
+    throw ScenarioError("solver.node_cap must be >= 1");
+  if (s.solver.parallelism < 0)
+    throw ScenarioError("solver.parallelism must be >= 0");
+  if (s.replication.replications < 0)
+    throw ScenarioError("replication.replications must be >= 0");
+  if (s.replication.parallelism < 0)
+    throw ScenarioError("replication.parallelism must be >= 0");
+}
+
+void validate(const Scenario& s) {
+  validate_fields(s);
+  topology_registry().validate(s.topology.kind, s.topology.params);
+  if (s.channel.kind.empty())
+    throw ScenarioError(
+        "scenario has no channel model ([channel] kind is empty)");
+  channel_registry().validate(s.channel.kind, s.channel.params);
+  policy_registry().validate(s.policy.kind, s.policy.params);
+}
+
+// ----------------------------------------------------------- conversions
+
+DistributedPtasConfig SolverSpec::engine_config(bool count_messages) const {
+  DistributedPtasConfig cfg;
+  cfg.r = r;
+  cfg.max_mini_rounds = D;
+  cfg.local_solver = local_solver;
+  cfg.bnb_node_cap = node_cap;
+  cfg.count_messages = count_messages;
+  cfg.local_solve_parallelism = parallelism;
+  cfg.use_memoized_covers = memoized_covers;
+  return cfg;
+}
+
+SimulationConfig to_simulation_config(const Scenario& s) {
+  SimulationConfig cfg;
+  cfg.slots = s.run.slots;
+  cfg.update_period = s.run.update_period;
+  cfg.solver = s.solver.kind;
+  cfg.r = s.solver.r;
+  cfg.D = s.solver.D;
+  cfg.local_solver = s.solver.local_solver;
+  cfg.bnb_node_cap = s.solver.node_cap;
+  cfg.local_solve_parallelism = s.solver.parallelism;
+  cfg.use_memoized_covers = s.solver.memoized_covers;
+  cfg.ptas_epsilon = s.solver.epsilon;
+  cfg.timing = s.timing;
+  cfg.seed = s.run.seed;
+  cfg.count_messages = s.run.count_messages;
+  cfg.series_stride =
+      s.run.series_stride > 0
+          ? s.run.series_stride
+          : static_cast<int>(std::max<std::int64_t>(1, s.run.slots / 100));
+  return cfg;
+}
+
+// ------------------------------------------------------- enum <-> string
+
+// One table per enum: from_string, _key, and _keys all derive from it, so
+// adding a kind updates parsing, serialization, error messages, and the
+// CLI's `list` output together.
+namespace {
+
+constexpr std::pair<const char*, SolverKind> kSolverKinds[] = {
+    {"distributed", SolverKind::kDistributedPtas},
+    {"centralized", SolverKind::kCentralizedPtas},
+    {"greedy", SolverKind::kGreedy},
+    {"exact", SolverKind::kExact},
+};
+
+constexpr std::pair<const char*, LocalSolverKind> kLocalSolvers[] = {
+    {"exact", LocalSolverKind::kExact},
+    {"greedy", LocalSolverKind::kGreedy},
+};
+
+template <typename Table>
+std::vector<std::string> table_keys(const Table& table) {
+  std::vector<std::string> out;
+  for (const auto& [key, kind] : table) out.emplace_back(key);
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& solver_kind_keys() {
+  static const std::vector<std::string> keys = table_keys(kSolverKinds);
+  return keys;
+}
+
+const std::vector<std::string>& local_solver_keys() {
+  static const std::vector<std::string> keys = table_keys(kLocalSolvers);
+  return keys;
+}
+
+SolverKind solver_kind_from_string(const std::string& s) {
+  for (const auto& [key, kind] : kSolverKinds)
+    if (s == key) return kind;
+  throw ScenarioError("unknown solver kind '" + s +
+                      "'; valid: " + join_keys(solver_kind_keys()));
+}
+
+const char* solver_kind_key(SolverKind kind) {
+  for (const auto& [key, k] : kSolverKinds)
+    if (kind == k) return key;
+  return "?";
+}
+
+LocalSolverKind local_solver_from_string(const std::string& s) {
+  for (const auto& [key, kind] : kLocalSolvers)
+    if (s == key) return kind;
+  throw ScenarioError("unknown local solver '" + s +
+                      "'; valid: " + join_keys(local_solver_keys()));
+}
+
+const char* local_solver_key(LocalSolverKind kind) {
+  for (const auto& [key, k] : kLocalSolvers)
+    if (kind == k) return key;
+  return "?";
+}
+
+PolicyKind policy_kind_from_string(const std::string& s) {
+  if (s == "cab") return PolicyKind::kCab;
+  if (s == "llr") return PolicyKind::kLlr;
+  if (s == "ucb1") return PolicyKind::kUcb1;
+  if (s == "greedy") return PolicyKind::kGreedy;
+  if (s == "eps") return PolicyKind::kEpsGreedy;
+  if (s == "thompson") return PolicyKind::kThompson;
+  throw ScenarioError("policy '" + s +
+                      "' has no built-in PolicyKind; built-ins: cab, llr, "
+                      "ucb1, greedy, eps, thompson");
+}
+
+const char* policy_kind_key(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kCab: return "cab";
+    case PolicyKind::kLlr: return "llr";
+    case PolicyKind::kUcb1: return "ucb1";
+    case PolicyKind::kGreedy: return "greedy";
+    case PolicyKind::kEpsGreedy: return "eps";
+    case PolicyKind::kThompson: return "thompson";
+  }
+  return "?";
+}
+
+}  // namespace mhca::scenario

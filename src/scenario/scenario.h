@@ -1,0 +1,144 @@
+// Scenario — one declarative value describing an experiment end to end.
+//
+// A Scenario names a topology (generator + params), a channel model, a
+// learning policy, a solver spec (oracle, r, D, local solver, node cap,
+// parallelism), timing/replication/seed settings. Components are referenced
+// by registry string keys (scenario/registries.h), so the full evaluation
+// grid of the paper — channels x policies x topologies x r/D ablations — is
+// data, not code: ScenarioRunner (scenario/runner.h) turns any Scenario into
+// a running experiment, and every engine in the repo (facade, simulator,
+// replication harness, message-level net runtime) is expressed through it.
+//
+// Scenarios round-trip through a flat `key = value` text format with
+// [section]s (no external deps); see src/scenario/README.md for the spec.
+// `apply_override` mutates one dotted key ("policy.kind=thompson"), which is
+// how the CLI and the benchmark grids derive cells from a base scenario.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bandit/policy.h"
+#include "mwis/distributed_ptas.h"
+#include "mwis/mwis.h"
+#include "scenario/params.h"
+#include "sim/config.h"
+#include "sim/timing.h"
+
+namespace mhca::scenario {
+
+/// A registry-resolved component: which factory, and its parameters.
+struct ComponentSpec {
+  std::string kind;
+  ParamMap params;
+
+  bool operator==(const ComponentSpec&) const = default;
+};
+
+/// The strategy-decision oracle, fully specified. Single source of truth
+/// for solver knobs across every decision path: conversions below stamp it
+/// into SimulationConfig / DistributedPtasConfig / net::NetConfig, and
+/// scenario.cc static_asserts that all default values agree with
+/// kDefaultBnbNodeCap and with each other (the PR-2 drift guard).
+struct SolverSpec {
+  SolverKind kind = SolverKind::kDistributedPtas;
+  int r = 2;                ///< Local-neighborhood radius.
+  int D = 4;                ///< Mini-round budget (0 = until all marked).
+  LocalSolverKind local_solver = LocalSolverKind::kExact;
+  std::int64_t node_cap = kDefaultBnbNodeCap;  ///< Per-solve B&B effort cap.
+  /// Threads for per-leader local solves within one decision (0 = one per
+  /// hardware thread, 1 = inline). Deterministic at any setting.
+  int parallelism = 1;
+  bool memoized_covers = false;  ///< See src/mwis/README.md.
+  double epsilon = 1.0;          ///< ε for the centralized robust PTAS.
+
+  /// The lockstep-engine configuration this spec denotes.
+  DistributedPtasConfig engine_config(bool count_messages = false) const;
+
+  bool operator==(const SolverSpec&) const = default;
+};
+
+/// Horizon / bookkeeping of a single run.
+struct RunSpec {
+  std::int64_t slots = 1000;
+  int update_period = 1;  ///< y: strategy refresh every y slots.
+  std::uint64_t seed = 1;
+  /// Record every k-th slot in the series; 0 (the default) = auto,
+  /// max(1, slots/100) — so long horizons don't record millions of points.
+  int series_stride = 0;
+  bool count_messages = false;
+
+  bool operator==(const RunSpec&) const = default;
+};
+
+/// Multi-seed replication. replications = 0 means a plain single run.
+struct ReplicationSpec {
+  int replications = 0;
+  std::uint64_t seed0 = 1;
+  /// Worker threads across replications (0 = one per hardware thread).
+  int parallelism = 0;
+
+  bool operator==(const ReplicationSpec&) const = default;
+};
+
+struct Scenario {
+  std::string name = "scenario";
+  ComponentSpec topology{"geometric", {}};
+  ComponentSpec channel{"gaussian", {}};
+  int num_channels = 8;  ///< M ([channel] key `channels`).
+  ComponentSpec policy{"cab", {}};
+  SolverSpec solver;
+  RunSpec run;
+  ReplicationSpec replication;
+  RoundTiming timing;
+
+  bool operator==(const Scenario&) const = default;
+};
+
+// ------------------------------------------------------------- text format
+
+/// Parse the scenario text format. Throws ScenarioError naming the offending
+/// line/section/key and listing the valid alternatives.
+Scenario parse_scenario(const std::string& text);
+
+/// Parse a scenario file (throws ScenarioError if unreadable).
+Scenario parse_scenario_file(const std::string& path);
+
+/// Canonical text form; parse(serialize(s)) == s.
+std::string serialize_scenario(const Scenario& s);
+
+/// Apply one "section.key=value" override (top-level: "name=value").
+void apply_override(Scenario& s, const std::string& spec);
+
+/// Range-check the fixed numeric fields (slots, r, strides, ...) without
+/// touching the registries. ScenarioRunner calls this at construction, so
+/// out-of-range fields fail with an actionable ScenarioError naming the
+/// scenario key instead of a deep MHCA_ASSERT later.
+void validate_fields(const Scenario& s);
+
+/// Full validation without building anything: validate_fields + component
+/// kinds exist and their params use accepted keys.
+void validate(const Scenario& s);
+
+// -------------------------------------------------------------- conversions
+
+/// The SimulationConfig this scenario denotes (solver + run + timing).
+SimulationConfig to_simulation_config(const Scenario& s);
+
+// ------------------------------------------------------- enum <-> string
+
+SolverKind solver_kind_from_string(const std::string& s);
+const char* solver_kind_key(SolverKind kind);
+LocalSolverKind local_solver_from_string(const std::string& s);
+const char* local_solver_key(LocalSolverKind kind);
+/// All valid keys, from the same tables as the mappings above (what
+/// `mhca_sim list` prints).
+const std::vector<std::string>& solver_kind_keys();
+const std::vector<std::string>& local_solver_keys();
+/// Maps the built-in policy registry keys to the PolicyKind enum (used by
+/// compatibility shims and the message-level runtime config). Throws for
+/// registry keys without an enum value (user-registered policies).
+PolicyKind policy_kind_from_string(const std::string& s);
+const char* policy_kind_key(PolicyKind kind);
+
+}  // namespace mhca::scenario

@@ -29,7 +29,7 @@ struct SimulationConfig {
   LocalSolverKind local_solver = LocalSolverKind::kExact;
   /// Per-solve effort cap (distributed local solves and centralized
   /// oracles alike); see DistributedPtasConfig::bnb_node_cap.
-  std::int64_t bnb_node_cap = 2'000;
+  std::int64_t bnb_node_cap = kDefaultBnbNodeCap;
   /// Threads for per-leader local solves within one decision (0 = one per
   /// hardware thread). Deterministic at any setting. Defaults to 1 here —
   /// simulations usually already fan out across replications

@@ -35,6 +35,8 @@ struct RoundTiming {
     return (td_ms + static_cast<double>(y - 1) * ta_ms) /
            (static_cast<double>(y) * ta_ms);
   }
+
+  bool operator==(const RoundTiming&) const = default;
 };
 
 }  // namespace mhca

@@ -1,192 +1,235 @@
-// mhca_sim — command-line driver for the channel-access simulator.
+// mhca_sim — scenario-file-driven CLI for the channel-access system.
 //
-// Run the full Algorithm-2 pipeline on a synthetic network from the shell:
+//   mhca_sim run <scenario.ini> [--override SEC.KEY=VAL]... [--csv PATH] [--net]
+//   mhca_sim print <scenario.ini> [--override SEC.KEY=VAL]...
+//   mhca_sim list
 //
-//   mhca_sim --users 50 --channels 8 --slots 2000 --policy cab
-//            --period 10 --solver distributed --csv out.csv
+// Every experiment is a declarative Scenario (src/scenario/README.md):
+// topology x channel model x policy x solver knobs are selected by registry
+// string keys, so any cell of the paper's evaluation grid runs with no
+// recompilation:
 //
-// Options (all optional; defaults in brackets):
-//   --users N        number of secondary users [30]
-//   --channels M     number of channels [8]
-//   --degree D       target average conflict degree [6]
-//   --slots T        time horizon [1000]
-//   --period Y       weight-update period y [1]
-//   --policy P       cab | llr | ucb1 | greedy | eps | thompson [cab]
-//   --solver S       distributed | centralized | greedy | exact [distributed]
-//   --r R            PTAS neighborhood radius [2]
-//   --mini-rounds D  mini-round budget per decision, 0 = unbounded [4]
-//   --model M        gaussian | bernoulli | markov [gaussian]
-//   --seed S         master seed [1]
-//   --csv PATH       export the recorded series as CSV
-//   --messages       count control-plane messages
-#include <cstring>
+//   mhca_sim run examples/scenarios/quickstart.ini \
+//       --override policy.kind=thompson --override solver.r=3
+//
+// `run` executes the scenario: a single simulation by default, a multi-seed
+// replication when [replication] replications >= 1, or the message-level
+// protocol runtime with --net. `print` parses + validates and emits the
+// canonical serialized form (what a round-trip preserves). `list` shows
+// every registered topology / channel model / policy with its accepted keys.
+#include <exception>
 #include <iostream>
-#include <memory>
 #include <string>
+#include <vector>
 
-#include "bandit/policy.h"
-#include "channel/bernoulli.h"
-#include "channel/gaussian.h"
-#include "channel/markov.h"
-#include "graph/extended_graph.h"
-#include "graph/generators.h"
+#include "scenario/registries.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
 #include "sim/export.h"
 #include "sim/optimum.h"
-#include "sim/simulator.h"
-#include "util/rng.h"
 #include "util/table.h"
 
 namespace {
 
 using namespace mhca;
 
-struct Options {
-  int users = 30;
-  int channels = 8;
-  double degree = 6.0;
-  std::int64_t slots = 1000;
-  int period = 1;
-  std::string policy = "cab";
-  std::string solver = "distributed";
-  int r = 2;
-  int mini_rounds = 4;
-  std::string model = "gaussian";
-  std::uint64_t seed = 1;
-  std::string csv;
-  bool messages = false;
-};
-
-[[noreturn]] void usage(const char* msg) {
-  std::cerr << "mhca_sim: " << msg
-            << "\nsee the header of tools/mhca_sim.cc for options\n";
+[[noreturn]] void usage(const std::string& msg) {
+  if (!msg.empty()) std::cerr << "mhca_sim: " << msg << "\n";
+  std::cerr << "usage:\n"
+            << "  mhca_sim run <scenario.ini> [--override SEC.KEY=VAL]..."
+               " [--csv PATH] [--net]\n"
+            << "  mhca_sim print <scenario.ini> [--override SEC.KEY=VAL]...\n"
+            << "  mhca_sim list\n";
   std::exit(2);
 }
 
-Options parse(int argc, char** argv) {
+struct Options {
+  std::string command;
+  std::string scenario_path;
+  std::vector<std::string> overrides;
+  std::string csv;
+  bool net = false;
+};
+
+Options parse_args(int argc, char** argv) {
+  if (argc < 2) usage("missing command");
   Options o;
-  auto next = [&](int& i) -> const char* {
-    if (i + 1 >= argc) usage("missing value after flag");
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--users") o.users = std::atoi(next(i));
-    else if (a == "--channels") o.channels = std::atoi(next(i));
-    else if (a == "--degree") o.degree = std::atof(next(i));
-    else if (a == "--slots") o.slots = std::atoll(next(i));
-    else if (a == "--period") o.period = std::atoi(next(i));
-    else if (a == "--policy") o.policy = next(i);
-    else if (a == "--solver") o.solver = next(i);
-    else if (a == "--r") o.r = std::atoi(next(i));
-    else if (a == "--mini-rounds") o.mini_rounds = std::atoi(next(i));
-    else if (a == "--model") o.model = next(i);
-    else if (a == "--seed") o.seed = static_cast<std::uint64_t>(std::atoll(next(i)));
-    else if (a == "--csv") o.csv = next(i);
-    else if (a == "--messages") o.messages = true;
-    else usage(("unknown flag: " + a).c_str());
+  o.command = argv[1];
+  int i = 2;
+  if (o.command == "run" || o.command == "print") {
+    if (i >= argc) usage("missing scenario file");
+    o.scenario_path = argv[i++];
+  } else if (o.command != "list") {
+    usage("unknown command '" + o.command + "'");
   }
-  if (o.users < 1 || o.channels < 1 || o.slots < 1 || o.period < 1)
-    usage("users/channels/slots/period must be positive");
+  for (; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value after " + a);
+      return argv[++i];
+    };
+    if (a == "--override" || a == "-O") o.overrides.push_back(next());
+    else if (a == "--csv") o.csv = next();
+    else if (a == "--net") o.net = true;
+    else usage("unknown flag '" + a + "'");
+  }
+  // Reject flags the command would silently ignore.
+  if (o.command != "run" && (!o.csv.empty() || o.net))
+    usage("--csv/--net only apply to 'run'");
+  if (o.command == "list" && !o.overrides.empty())
+    usage("--override does not apply to 'list'");
   return o;
 }
 
-PolicyKind parse_policy(const std::string& s) {
-  if (s == "cab") return PolicyKind::kCab;
-  if (s == "llr") return PolicyKind::kLlr;
-  if (s == "ucb1") return PolicyKind::kUcb1;
-  if (s == "greedy") return PolicyKind::kGreedy;
-  if (s == "eps") return PolicyKind::kEpsGreedy;
-  if (s == "thompson") return PolicyKind::kThompson;
-  usage("unknown policy");
+scenario::Scenario load(const Options& o) {
+  scenario::Scenario s = scenario::parse_scenario_file(o.scenario_path);
+  for (const auto& ov : o.overrides) scenario::apply_override(s, ov);
+  scenario::validate(s);
+  return s;
 }
 
-SolverKind parse_solver(const std::string& s) {
-  if (s == "distributed") return SolverKind::kDistributedPtas;
-  if (s == "centralized") return SolverKind::kCentralizedPtas;
-  if (s == "greedy") return SolverKind::kGreedy;
-  if (s == "exact") return SolverKind::kExact;
-  usage("unknown solver");
+void print_registry_table(const std::string& title,
+                          const std::vector<std::string>& names,
+                          const std::vector<std::string>& keys) {
+  TablePrinter table({title, "accepted keys"});
+  for (std::size_t i = 0; i < names.size(); ++i)
+    table.row(names[i], keys[i].empty() ? "(none)" : keys[i]);
+  table.print(std::cout);
+  std::cout << "\n";
 }
 
-std::unique_ptr<ChannelModel> parse_model(const Options& o, Rng& rng) {
-  if (o.model == "gaussian")
-    return std::make_unique<GaussianChannelModel>(o.users, o.channels, rng);
-  if (o.model == "bernoulli")
-    return std::make_unique<BernoulliChannelModel>(o.users, o.channels, rng);
-  if (o.model == "markov")
-    return std::make_unique<GilbertElliottChannelModel>(o.users, o.channels,
-                                                        rng);
-  usage("unknown channel model");
+int cmd_list() {
+  auto keys_of = [](const auto& reg) {
+    std::vector<std::string> out;
+    for (const auto& name : reg.names())
+      out.push_back(scenario::join_keys(reg.accepted_keys(name)));
+    return out;
+  };
+  print_registry_table("topology", scenario::topology_registry().names(),
+                       keys_of(scenario::topology_registry()));
+  print_registry_table("channel model", scenario::channel_registry().names(),
+                       keys_of(scenario::channel_registry()));
+  print_registry_table("policy", scenario::policy_registry().names(),
+                       keys_of(scenario::policy_registry()));
+  std::cout << "solver kinds: "
+            << scenario::join_keys(scenario::solver_kind_keys()) << "\n"
+            << "local solvers: "
+            << scenario::join_keys(scenario::local_solver_keys()) << "\n"
+            << "fixed sections/keys: see src/scenario/README.md\n";
+  return 0;
+}
+
+int cmd_print(const Options& o) {
+  std::cout << scenario::serialize_scenario(load(o));
+  return 0;
+}
+
+void print_simulation(const scenario::ScenarioRunner& runner,
+                      const SimulationResult& res, const std::string& csv) {
+  const scenario::Scenario& s = runner.scenario();
+  const double scale = runner.model().rate_scale_kbps();
+  const auto slots = static_cast<double>(res.total_slots);
+  TablePrinter table({"metric", "value"});
+  table.row("scenario", s.name);
+  table.row("network", std::to_string(runner.network().num_nodes()) +
+                           " users x " + std::to_string(s.num_channels) +
+                           " channels (K=" +
+                           std::to_string(runner.extended_graph().num_vertices()) +
+                           ", topology=" + s.topology.kind + ")");
+  table.row("channel / policy / solver",
+            s.channel.kind + " / " + s.policy.kind + " / " +
+                scenario::solver_kind_key(s.solver.kind));
+  table.row("slots / decisions", std::to_string(res.total_slots) + " / " +
+                                     std::to_string(res.decisions));
+  table.row("avg transmitters per slot", fixed(res.avg_strategy_size, 2));
+  table.row("avg observed throughput (kbps)",
+            fixed(res.total_observed / slots * scale, 1));
+  table.row("avg effective throughput (kbps)",
+            fixed(res.total_effective / slots * scale, 1));
+  table.row("realized fraction",
+            fixed(res.total_effective / std::max(res.total_observed, 1e-12),
+                  3));
+  table.row("decision wall time (ms)", fixed(res.decision_seconds * 1e3, 1));
+  if (s.run.count_messages) {
+    table.row("control messages", res.total_messages);
+    table.row("mini-timeslots", res.total_mini_timeslots);
+  }
+  // The exact optimum is only tractable on small instances.
+  if (runner.extended_graph().num_vertices() <= 80) {
+    const OptimumInfo opt =
+        compute_optimum(runner.extended_graph(), runner.model());
+    if (opt.exact)
+      table.row("expected/optimal ratio",
+                fixed(res.total_expected / slots / opt.weight, 3));
+  }
+  table.print(std::cout);
+
+  if (!csv.empty()) {
+    if (export_series_csv(res, csv, scale))
+      std::cout << "series written to " << csv << "\n";
+    else
+      std::cerr << "failed to write " << csv << "\n";
+  }
+}
+
+void print_replication(const scenario::Scenario& s,
+                       const ReplicationReport& report) {
+  std::cout << "scenario '" << s.name << "': " << report.replications
+            << " replications (seed0 = " << s.replication.seed0
+            << "), mean +/- std\n";
+  TablePrinter table({"metric", "mean", "std", "min", "max"});
+  for (const auto& m : report.metrics)
+    table.row(m.name, fixed(m.summary.mean, 4), fixed(m.summary.stddev, 4),
+              fixed(m.summary.min, 4), fixed(m.summary.max, 4));
+  table.print(std::cout);
+}
+
+void print_net(const scenario::Scenario& s, const scenario::NetRunSummary& n,
+               double rate_scale_kbps) {
+  TablePrinter table({"metric", "value"});
+  table.row("scenario", s.name + " (message-level runtime)");
+  table.row("rounds", n.rounds);
+  table.row("avg observed throughput (kbps)",
+            fixed(n.total_observed / static_cast<double>(n.rounds) *
+                      rate_scale_kbps,
+                  1));
+  table.row("final strategy size", n.last_strategy.size());
+  table.row("max agent table size", n.max_table_size);
+  table.row("conflicting rounds", n.conflicts);
+  table.print(std::cout);
+}
+
+int cmd_run(const Options& o) {
+  const scenario::Scenario s = load(o);
+  const scenario::ScenarioRunner runner(s);
+  if (o.net) {
+    if (!o.csv.empty())
+      usage("--csv applies to single-simulation runs, not --net");
+    if (s.replication.replications >= 1)
+      usage("--net runs a single protocol pass; this scenario replicates "
+            "(set --override replication.replications=0)");
+    print_net(s, runner.run_net(), runner.model().rate_scale_kbps());
+  } else if (s.replication.replications >= 1) {
+    if (!o.csv.empty())
+      usage("--csv applies to single-simulation runs; this scenario "
+            "replicates (set --override replication.replications=0)");
+    print_replication(s, runner.replicate());
+  } else {
+    print_simulation(runner, runner.run(), o.csv);
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options o = parse(argc, argv);
-  Rng rng(o.seed);
-  ConflictGraph network = random_geometric_avg_degree(o.users, o.degree, rng,
-                                                      /*force_connected=*/false);
-  ExtendedConflictGraph ecg(network, o.channels);
-  const std::unique_ptr<ChannelModel> model = parse_model(o, rng);
-
-  PolicyParams params;
-  params.llr_max_strategy_len = o.users;
-  const auto policy = make_policy(parse_policy(o.policy), params);
-
-  SimulationConfig cfg;
-  cfg.slots = o.slots;
-  cfg.update_period = o.period;
-  cfg.solver = parse_solver(o.solver);
-  cfg.r = o.r;
-  cfg.D = o.mini_rounds;
-  cfg.bnb_node_cap = 20'000;
-  cfg.seed = o.seed;
-  cfg.count_messages = o.messages;
-  cfg.series_stride = static_cast<int>(std::max<std::int64_t>(1, o.slots / 100));
-
-  Simulator sim(ecg, *model, *policy, cfg);
-  const SimulationResult res = sim.run();
-
-  TablePrinter table({"metric", "value"});
-  table.row("network", std::to_string(o.users) + " users x " +
-                           std::to_string(o.channels) + " channels (K=" +
-                           std::to_string(ecg.num_vertices()) + ")");
-  table.row("policy / solver", o.policy + " / " + o.solver);
-  table.row("slots / decisions", std::to_string(res.total_slots) + " / " +
-                                     std::to_string(res.decisions));
-  table.row("avg transmitters per slot", fixed(res.avg_strategy_size, 2));
-  table.row("avg observed throughput (kbps)",
-            fixed(res.total_observed / static_cast<double>(res.total_slots) *
-                      model->rate_scale_kbps(),
-                  1));
-  table.row("avg effective throughput (kbps)",
-            fixed(res.total_effective / static_cast<double>(res.total_slots) *
-                      model->rate_scale_kbps(),
-                  1));
-  table.row("realized fraction", fixed(res.total_effective /
-                                           std::max(res.total_observed, 1e-12),
-                                       3));
-  table.row("decision wall time (ms)", fixed(res.decision_seconds * 1e3, 1));
-  if (o.messages) {
-    table.row("control messages", res.total_messages);
-    table.row("mini-timeslots", res.total_mini_timeslots);
+  const Options o = parse_args(argc, argv);
+  try {
+    if (o.command == "list") return cmd_list();
+    if (o.command == "print") return cmd_print(o);
+    return cmd_run(o);
+  } catch (const std::exception& e) {
+    std::cerr << "mhca_sim: " << e.what() << "\n";
+    return 1;
   }
-  // The exact optimum is only tractable on small instances.
-  if (ecg.num_vertices() <= 80) {
-    const OptimumInfo opt = compute_optimum(ecg, *model);
-    if (opt.exact)
-      table.row("expected/optimal ratio",
-                fixed(res.total_expected /
-                          static_cast<double>(res.total_slots) / opt.weight,
-                      3));
-  }
-  table.print(std::cout);
-
-  if (!o.csv.empty()) {
-    if (export_series_csv(res, o.csv, model->rate_scale_kbps()))
-      std::cout << "series written to " << o.csv << "\n";
-    else
-      std::cerr << "failed to write " << o.csv << "\n";
-  }
-  return 0;
 }
