@@ -1,0 +1,40 @@
+// GraphDelta — one slot's worth of conflict-graph change (src/dynamics).
+//
+// Deltas are expressed at the *node* level over a fixed vertex universe
+// 0..N-1: nodes never appear or disappear, they toggle between active and
+// inactive (the fixed universe is what keeps every per-vertex structure —
+// NeighborhoodCache, agent tables, weight vectors — size-stable while the
+// topology moves underneath). A node that leaves is left isolated: the
+// emitting model includes all of its incident edges in `removed_edges`, and
+// the activity mask keeps it out of every strategy until it rejoins.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace mhca::dynamics {
+
+/// Edge and activity changes to apply between two slots. Edges are
+/// canonical (u < v) and exact: every added edge must be absent and every
+/// removed edge present (Graph::apply_delta asserts this), so a delta and
+/// its inverse round-trip.
+struct GraphDelta {
+  std::vector<std::pair<int, int>> added_edges;
+  std::vector<std::pair<int, int>> removed_edges;
+  std::vector<int> deactivated;  ///< Nodes going offline this slot.
+  std::vector<int> activated;    ///< Nodes coming back online.
+
+  bool empty() const {
+    return added_edges.empty() && removed_edges.empty() &&
+           deactivated.empty() && activated.empty();
+  }
+
+  void clear() {
+    added_edges.clear();
+    removed_edges.clear();
+    deactivated.clear();
+    activated.clear();
+  }
+};
+
+}  // namespace mhca::dynamics

@@ -1,0 +1,112 @@
+#include "dynamics/dynamic_network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace mhca::dynamics {
+
+DynamicNetwork::DynamicNetwork(ConflictGraph base, int num_channels)
+    : DynamicNetwork(std::move(base), num_channels, nullptr) {}
+
+DynamicNetwork::DynamicNetwork(ConflictGraph base, int num_channels,
+                               std::unique_ptr<DynamicsModel> model,
+                               bool incremental)
+    : cg_(std::move(base)),
+      ecg_(cg_, num_channels),
+      model_(std::move(model)),
+      incremental_(incremental),
+      active_nodes_(static_cast<std::size_t>(cg_.num_nodes()), 1),
+      active_vertices_(static_cast<std::size_t>(ecg_.num_vertices()), 1),
+      active_count_(cg_.num_nodes()) {}
+
+const SlotChange& DynamicNetwork::advance(std::int64_t t) {
+  MHCA_ASSERT(t == last_slot_ + 1,
+              "advance() must be called once per slot, in order");
+  last_slot_ = t;
+  change_.changed = false;
+  change_.delta.clear();
+  change_.touched_vertices.clear();
+  if (!model_) return change_;
+
+  const GraphDelta& d = model_->step(t);
+  if (d.empty()) return change_;
+  change_.changed = true;
+  change_.delta = d;
+  ++slots_changed_;
+  edges_added_ += static_cast<std::int64_t>(d.added_edges.size());
+  edges_removed_ += static_cast<std::int64_t>(d.removed_edges.size());
+
+  // Activity masks first (pure bookkeeping, independent of the mode).
+  const int m = ecg_.num_channels();
+  const auto set_node = [&](int i, char up) {
+    MHCA_ASSERT(i >= 0 && i < cg_.num_nodes(), "node out of range");
+    MHCA_ASSERT(active_nodes_[static_cast<std::size_t>(i)] != up,
+                "activity toggle does not change state");
+    active_nodes_[static_cast<std::size_t>(i)] = up;
+    for (int j = 0; j < m; ++j)
+      active_vertices_[static_cast<std::size_t>(ecg_.vertex_of(i, j))] = up;
+    active_count_ += up ? 1 : -1;
+  };
+  for (int i : change_.delta.deactivated) set_node(i, 0);
+  for (int i : change_.delta.activated) set_node(i, 1);
+
+  // Touched H vertices: every virtual vertex of a node incident to a
+  // changed G edge (same-channel lifts touch all M copies of both ends).
+  std::vector<int> touched_nodes;
+  for (const auto& [u, v] : change_.delta.added_edges) {
+    touched_nodes.push_back(u);
+    touched_nodes.push_back(v);
+  }
+  for (const auto& [u, v] : change_.delta.removed_edges) {
+    touched_nodes.push_back(u);
+    touched_nodes.push_back(v);
+  }
+  std::sort(touched_nodes.begin(), touched_nodes.end());
+  touched_nodes.erase(std::unique(touched_nodes.begin(), touched_nodes.end()),
+                      touched_nodes.end());
+  for (int i : touched_nodes)
+    for (int j = 0; j < m; ++j)
+      change_.touched_vertices.push_back(ecg_.vertex_of(i, j));
+
+  if (incremental_)
+    apply_incremental(change_.delta);
+  else
+    apply_full_rebuild(change_.delta);
+
+  // A node that left must now be isolated in G (the model's contract: its
+  // incident edges travel in the same delta).
+  for (int i : change_.delta.deactivated)
+    MHCA_ASSERT(cg_.graph().degree(i) == 0,
+                "deactivated node still has conflict edges");
+  return change_;
+}
+
+void DynamicNetwork::apply_incremental(const GraphDelta& d) {
+  cg_.apply_edge_delta(d.added_edges, d.removed_edges);
+  ecg_.apply_conflict_delta(d.added_edges, d.removed_edges);
+}
+
+void DynamicNetwork::apply_full_rebuild(const GraphDelta& d) {
+  // Reference path: re-derive the new edge set and rebuild G and H exactly
+  // as a cold start would. Positions are not carried over — the engines are
+  // location-free, and the mode exists for equivalence proof and baseline
+  // timing only.
+  std::vector<std::pair<int, int>> edges;
+  const Graph& g = cg_.graph();
+  for (int v = 0; v < g.size(); ++v)
+    for (int u : g.neighbors(v))
+      if (u > v) edges.emplace_back(v, u);  // sorted lexicographically
+  std::vector<std::pair<int, int>> kept;
+  kept.reserve(edges.size() + d.added_edges.size());
+  std::set_difference(edges.begin(), edges.end(), d.removed_edges.begin(),
+                      d.removed_edges.end(), std::back_inserter(kept));
+  MHCA_ASSERT(kept.size() == edges.size() - d.removed_edges.size(),
+              "removed edge not present in the current graph");
+  kept.insert(kept.end(), d.added_edges.begin(), d.added_edges.end());
+  cg_ = ConflictGraph::from_edges(cg_.num_nodes(), kept);
+  ecg_ = ExtendedConflictGraph(cg_, ecg_.num_channels());
+}
+
+}  // namespace mhca::dynamics

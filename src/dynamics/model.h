@@ -1,0 +1,48 @@
+// DynamicsModel — the seeded, deterministic source of per-slot GraphDeltas.
+//
+// A model is built once per run from the *base* conflict graph (the slot-1
+// topology the scenario's topology generator produced) and an Rng, and is
+// then stepped through slots 2, 3, ... in order. Determinism contract: the
+// entire delta sequence is a pure function of (base graph, params, seed) —
+// models draw all randomness from the construction-time Rng in a fixed
+// per-slot order and keep no hidden state, so two models built alike emit
+// byte-identical sequences (this is what makes the incremental-vs-rebuild
+// differential test meaningful, and dynamic scenarios replicable).
+//
+// Built-ins (registered by string key in registries.cc, like topologies /
+// channels / policies): "static" (no change), "churn" (per-slot node
+// leave/join over the base adjacency), "waypoint" (random-waypoint mobility
+// re-deriving the unit-disk edge set from moving positions), and
+// "primary_user" (on/off primary-user regions silencing the nodes they
+// cover). See src/dynamics/README.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamics/delta.h"
+#include "graph/geometry.h"
+
+namespace mhca::dynamics {
+
+class DynamicsModel {
+ public:
+  virtual ~DynamicsModel() = default;
+
+  virtual const char* name() const = 0;
+
+  /// The delta transforming the slot t-1 topology into the slot t topology.
+  /// Called exactly once per slot, for t = 2, 3, ... in order (asserted by
+  /// DynamicNetwork); the returned reference is valid until the next call.
+  virtual const GraphDelta& step(std::int64_t t) = 0;
+
+  /// Current node positions for models that move them (mobility); empty for
+  /// adjacency-only models. Introspection/testing only — the engine is
+  /// location-free.
+  virtual const std::vector<Point>& positions() const {
+    static const std::vector<Point> kNone;
+    return kNone;
+  }
+};
+
+}  // namespace mhca::dynamics

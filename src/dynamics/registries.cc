@@ -1,0 +1,413 @@
+#include "dynamics/registries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace mhca::dynamics {
+
+namespace {
+
+using scenario::ParamMap;
+using scenario::ScenarioError;
+
+/// Bounding box of a position set (the arena mobility / regions live in).
+struct Box {
+  double x0 = 0.0, y0 = 0.0, x1 = 0.0, y1 = 0.0;
+  double width() const { return x1 - x0; }
+  double height() const { return y1 - y0; }
+};
+
+Box bounding_box(const std::vector<Point>& pts) {
+  Box b;
+  if (pts.empty()) return b;
+  b.x0 = b.x1 = pts[0].x;
+  b.y0 = b.y1 = pts[0].y;
+  for (const Point& p : pts) {
+    b.x0 = std::min(b.x0, p.x);
+    b.x1 = std::max(b.x1, p.x);
+    b.y0 = std::min(b.y0, p.y);
+    b.y1 = std::max(b.y1, p.y);
+  }
+  return b;
+}
+
+std::vector<std::vector<int>> copy_adjacency(const Graph& g) {
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(g.size()));
+  for (int v = 0; v < g.size(); ++v) {
+    const auto nb = g.neighbors(v);
+    adj[static_cast<std::size_t>(v)].assign(nb.begin(), nb.end());
+  }
+  return adj;
+}
+
+void sort_unique(std::vector<std::pair<int, int>>& edges) {
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+}
+
+std::pair<int, int> canonical(int u, int v) {
+  return u < v ? std::pair{u, v} : std::pair{v, u};
+}
+
+/// Shared membership-transition machinery for mask-over-base-adjacency
+/// models (churn, primary_user): given who leaves and who joins this slot,
+/// emit the exact edge delta that keeps "edge present ⟺ both endpoints
+/// active and base-adjacent" invariant, update the mask, and fill `out`.
+void apply_mask_transition(const std::vector<std::vector<int>>& base_adj,
+                           std::vector<char>& active,
+                           const std::vector<int>& leavers,
+                           const std::vector<int>& joiners, GraphDelta& out) {
+  out.clear();
+  std::vector<char> next = active;
+  for (int i : leavers) {
+    MHCA_ASSERT(active[static_cast<std::size_t>(i)], "leaver already down");
+    next[static_cast<std::size_t>(i)] = 0;
+  }
+  for (int i : joiners) {
+    MHCA_ASSERT(!active[static_cast<std::size_t>(i)], "joiner already up");
+    next[static_cast<std::size_t>(i)] = 1;
+  }
+  // A leaver sheds every edge it currently has (both endpoints active now);
+  // a joiner gains the base edges to endpoints active *after* this slot.
+  // Both-endpoint events emit the pair twice — sort_unique collapses them.
+  for (int i : leavers)
+    for (int u : base_adj[static_cast<std::size_t>(i)])
+      if (active[static_cast<std::size_t>(u)])
+        out.removed_edges.push_back(canonical(i, u));
+  for (int i : joiners)
+    for (int u : base_adj[static_cast<std::size_t>(i)])
+      if (next[static_cast<std::size_t>(u)])
+        out.added_edges.push_back(canonical(i, u));
+  sort_unique(out.removed_edges);
+  sort_unique(out.added_edges);
+  out.deactivated = leavers;
+  out.activated = joiners;
+  active = std::move(next);
+}
+
+// ------------------------------------------------------------------ static
+
+class StaticModel final : public DynamicsModel {
+ public:
+  const char* name() const override { return "static"; }
+  const GraphDelta& step(std::int64_t) override { return delta_; }
+
+ private:
+  GraphDelta delta_;
+};
+
+// ------------------------------------------------------------------- churn
+
+/// Per-slot node churn over the base adjacency: every active node leaves
+/// with `leave_prob` (never dropping below `min_active` live nodes), every
+/// inactive node rejoins with `join_prob`. A rejoining node reconnects to
+/// its base neighbors that are up.
+class ChurnModel final : public DynamicsModel {
+ public:
+  ChurnModel(const ConflictGraph& base, double leave_prob, double join_prob,
+             int min_active, Rng rng)
+      : base_adj_(copy_adjacency(base.graph())),
+        active_(static_cast<std::size_t>(base.num_nodes()), 1),
+        active_count_(base.num_nodes()),
+        leave_prob_(leave_prob),
+        join_prob_(join_prob),
+        min_active_(min_active),
+        rng_(std::move(rng)) {}
+
+  const char* name() const override { return "churn"; }
+
+  const GraphDelta& step(std::int64_t) override {
+    const int n = static_cast<int>(active_.size());
+    std::vector<int> leavers, joiners;
+    int live = active_count_;
+    // Fates drawn in id order — the whole sequence is a pure function of
+    // the construction seed.
+    for (int i = 0; i < n; ++i) {
+      if (active_[static_cast<std::size_t>(i)]) {
+        if (live > min_active_ && rng_.bernoulli(leave_prob_)) {
+          leavers.push_back(i);
+          --live;
+        }
+      } else if (rng_.bernoulli(join_prob_)) {
+        joiners.push_back(i);
+        ++live;
+      }
+    }
+    apply_mask_transition(base_adj_, active_, leavers, joiners, delta_);
+    active_count_ = live;
+    return delta_;
+  }
+
+ private:
+  std::vector<std::vector<int>> base_adj_;
+  std::vector<char> active_;
+  int active_count_;
+  double leave_prob_;
+  double join_prob_;
+  int min_active_;
+  Rng rng_;
+  GraphDelta delta_;
+};
+
+// ---------------------------------------------------------------- waypoint
+
+/// Random-waypoint mobility over the base topology's bounding box: each
+/// node moves `speed` units per slot toward a private waypoint, pauses
+/// `pause` slots on arrival, then draws the next waypoint. The unit-disk
+/// edge set is re-derived from the moved positions each slot and diffed
+/// against the previous slot's — nodes never deactivate, the conflict
+/// structure just flows.
+class WaypointModel final : public DynamicsModel {
+ public:
+  WaypointModel(const ConflictGraph& base, double speed, int pause, Rng rng)
+      : positions_(base.positions()),
+        radius_(base.radius()),
+        box_(bounding_box(positions_)),
+        speed_(speed),
+        pause_(pause),
+        rng_(std::move(rng)) {
+    const auto n = positions_.size();
+    targets_.resize(n);
+    pause_left_.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) targets_[i] = draw_waypoint();
+    edges_ = edge_set();
+  }
+
+  const char* name() const override { return "waypoint"; }
+
+  const GraphDelta& step(std::int64_t) override {
+    for (std::size_t i = 0; i < positions_.size(); ++i) {
+      if (pause_left_[i] > 0) {
+        --pause_left_[i];
+        continue;
+      }
+      Point& p = positions_[i];
+      const Point t = targets_[i];
+      const double d = distance(p, t);
+      if (d <= speed_) {
+        p = t;
+        targets_[i] = draw_waypoint();
+        pause_left_[i] = pause_;
+      } else {
+        p.x += (t.x - p.x) / d * speed_;
+        p.y += (t.y - p.y) / d * speed_;
+      }
+    }
+    std::vector<std::pair<int, int>> now = edge_set();
+    delta_.clear();
+    std::set_difference(edges_.begin(), edges_.end(), now.begin(), now.end(),
+                        std::back_inserter(delta_.removed_edges));
+    std::set_difference(now.begin(), now.end(), edges_.begin(), edges_.end(),
+                        std::back_inserter(delta_.added_edges));
+    edges_ = std::move(now);
+    return delta_;
+  }
+
+  const std::vector<Point>& positions() const override { return positions_; }
+
+ private:
+  Point draw_waypoint() {
+    return Point{rng_.uniform(box_.x0, box_.x1),
+                 rng_.uniform(box_.y0, box_.y1)};
+  }
+
+  std::vector<std::pair<int, int>> edge_set() const {
+    std::vector<std::pair<int, int>> out;
+    const double r2 = radius_ * radius_;
+    const int n = static_cast<int>(positions_.size());
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j)
+        if (squared_distance(positions_[static_cast<std::size_t>(i)],
+                             positions_[static_cast<std::size_t>(j)]) <= r2)
+          out.emplace_back(i, j);
+    return out;  // (i, j) ascending — already sorted.
+  }
+
+  std::vector<Point> positions_;
+  double radius_;
+  Box box_;
+  double speed_;
+  int pause_;
+  Rng rng_;
+  std::vector<Point> targets_;
+  std::vector<int> pause_left_;
+  std::vector<std::pair<int, int>> edges_;  ///< Current edge set, sorted.
+  GraphDelta delta_;
+};
+
+// ------------------------------------------------------------ primary_user
+
+/// On/off primary-user regions: fixed disk regions (centers drawn once at
+/// construction) flip on/off per slot as independent two-state Markov
+/// chains; while a region is on, every secondary user inside it must stay
+/// silent — modeled as those nodes leaving the network (mask + incident
+/// edges), exactly like churn but spatially correlated.
+class PrimaryUserModel final : public DynamicsModel {
+ public:
+  PrimaryUserModel(const ConflictGraph& base, int regions,
+                   double region_radius, double on_prob, double off_prob,
+                   Rng rng)
+      : base_adj_(copy_adjacency(base.graph())),
+        positions_(base.positions()),
+        active_(static_cast<std::size_t>(base.num_nodes()), 1),
+        on_prob_(on_prob),
+        off_prob_(off_prob),
+        rng_(std::move(rng)) {
+    const Box box = bounding_box(positions_);
+    radius_ = region_radius > 0.0
+                  ? region_radius
+                  : 0.25 * std::max(box.width(), box.height());
+    centers_.reserve(static_cast<std::size_t>(regions));
+    for (int k = 0; k < regions; ++k)
+      centers_.push_back(Point{rng_.uniform(box.x0, box.x1),
+                               rng_.uniform(box.y0, box.y1)});
+    on_.assign(static_cast<std::size_t>(regions), 0);
+  }
+
+  const char* name() const override { return "primary_user"; }
+
+  const GraphDelta& step(std::int64_t) override {
+    for (std::size_t k = 0; k < on_.size(); ++k) {
+      if (on_[k]) {
+        if (rng_.bernoulli(off_prob_)) on_[k] = 0;
+      } else if (rng_.bernoulli(on_prob_)) {
+        on_[k] = 1;
+      }
+    }
+    const double r2 = radius_ * radius_;
+    std::vector<int> leavers, joiners;
+    for (std::size_t i = 0; i < positions_.size(); ++i) {
+      bool covered = false;
+      for (std::size_t k = 0; k < centers_.size(); ++k)
+        if (on_[k] && squared_distance(positions_[i], centers_[k]) <= r2) {
+          covered = true;
+          break;
+        }
+      const bool up = !covered;
+      if (active_[i] && !up) leavers.push_back(static_cast<int>(i));
+      if (!active_[i] && up) joiners.push_back(static_cast<int>(i));
+    }
+    apply_mask_transition(base_adj_, active_, leavers, joiners, delta_);
+    return delta_;
+  }
+
+ private:
+  std::vector<std::vector<int>> base_adj_;
+  std::vector<Point> positions_;
+  std::vector<char> active_;
+  std::vector<Point> centers_;
+  std::vector<char> on_;
+  double radius_ = 0.0;
+  double on_prob_;
+  double off_prob_;
+  Rng rng_;
+  GraphDelta delta_;
+};
+
+// ------------------------------------------------------------ registration
+
+const ConflictGraph& require_base(const DynamicsBuildContext& ctx,
+                                  const char* kind) {
+  if (ctx.base == nullptr)
+    throw ScenarioError(std::string("dynamics model '") + kind +
+                        "' needs a base topology in its build context");
+  return *ctx.base;
+}
+
+const ConflictGraph& require_positions(const DynamicsBuildContext& ctx,
+                                       const char* kind) {
+  const ConflictGraph& base = require_base(ctx, kind);
+  if (!base.has_positions())
+    throw ScenarioError(std::string("dynamics model '") + kind +
+                        "' needs a topology with node positions "
+                        "(geometric, linear, grid)");
+  return base;
+}
+
+double require_prob(const ParamMap& p, const std::string& key, double def,
+                    const std::string& component) {
+  const double v = p.get_double(key, def);
+  if (v < 0.0 || v > 1.0)
+    throw ScenarioError("bad value " + std::to_string(v) + " for '" + key +
+                        "' of " + component + ": must be in [0, 1]");
+  return v;
+}
+
+void register_builtin_models(DynamicsRegistry& reg) {
+  reg.add(kStaticDynamicsKind, {},
+          [](const ParamMap&, const DynamicsBuildContext&, Rng&) {
+            return std::unique_ptr<DynamicsModel>(
+                std::make_unique<StaticModel>());
+          });
+  reg.add("churn", {"leave_prob", "join_prob", "min_active"},
+          [](const ParamMap& p, const DynamicsBuildContext& ctx, Rng& rng) {
+            const ConflictGraph& base = require_base(ctx, "churn");
+            const int min_active = scenario::checked_int32(
+                p.get_int("min_active", 1), "min_active");
+            if (min_active < 0 || min_active > base.num_nodes())
+              throw ScenarioError(
+                  "bad value " + std::to_string(min_active) +
+                  " for 'min_active' of dynamics model 'churn': must be in "
+                  "[0, nodes]");
+            return std::unique_ptr<DynamicsModel>(std::make_unique<ChurnModel>(
+                base,
+                require_prob(p, "leave_prob", 0.01, "dynamics model 'churn'"),
+                require_prob(p, "join_prob", 0.2, "dynamics model 'churn'"),
+                min_active, rng.split()));
+          });
+  reg.add("waypoint", {"speed", "pause"},
+          [](const ParamMap& p, const DynamicsBuildContext& ctx, Rng& rng) {
+            const ConflictGraph& base = require_positions(ctx, "waypoint");
+            const double speed = p.get_double("speed", 0.05);
+            if (speed <= 0.0)
+              throw ScenarioError(
+                  "bad value " + std::to_string(speed) +
+                  " for 'speed' of dynamics model 'waypoint': must be > 0");
+            const int pause =
+                scenario::checked_int32(p.get_int("pause", 0), "pause");
+            if (pause < 0)
+              throw ScenarioError(
+                  "bad value " + std::to_string(pause) +
+                  " for 'pause' of dynamics model 'waypoint': must be >= 0");
+            return std::unique_ptr<DynamicsModel>(
+                std::make_unique<WaypointModel>(base, speed, pause,
+                                                rng.split()));
+          });
+  reg.add("primary_user", {"regions", "region_radius", "on_prob", "off_prob"},
+          [](const ParamMap& p, const DynamicsBuildContext& ctx, Rng& rng) {
+            const ConflictGraph& base = require_positions(ctx, "primary_user");
+            const int regions = scenario::checked_int32(
+                p.get_int("regions", 2), "regions");
+            if (regions < 1)
+              throw ScenarioError(
+                  "bad value " + std::to_string(regions) +
+                  " for 'regions' of dynamics model 'primary_user': must be "
+                  ">= 1");
+            return std::unique_ptr<DynamicsModel>(
+                std::make_unique<PrimaryUserModel>(
+                    base, regions, p.get_double("region_radius", 0.0),
+                    require_prob(p, "on_prob", 0.05,
+                                 "dynamics model 'primary_user'"),
+                    require_prob(p, "off_prob", 0.2,
+                                 "dynamics model 'primary_user'"),
+                    rng.split()));
+          });
+}
+
+}  // namespace
+
+DynamicsRegistry& dynamics_registry() {
+  static DynamicsRegistry* reg = [] {
+    auto* r = new DynamicsRegistry("dynamics model");
+    register_builtin_models(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+}  // namespace mhca::dynamics

@@ -1,0 +1,41 @@
+// The dynamics-model registry — fourth component registry of the Scenario
+// API (next to topologies, channel models, and policies).
+//
+// Every DynamicsModel is constructible by string key: built-ins
+// self-register on first access (registries.cc), extension code adds its
+// own with `dynamics_registry().add(...)` at startup and is immediately
+// reachable from every scenario file's [dynamics] section, CLI override,
+// and `mhca_sim list`. Unknown kinds/keys fail with the same actionable
+// errors as the other registries (bad name + the valid list).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "dynamics/model.h"
+#include "graph/conflict_graph.h"
+#include "scenario/registry.h"
+#include "util/rng.h"
+
+namespace mhca::dynamics {
+
+/// Fixed build arguments a dynamics-model factory receives next to its
+/// ParamMap. `base` is the slot-1 topology (borrowed only during
+/// construction — models copy what they need); `horizon` is the scenario's
+/// slot count.
+struct DynamicsBuildContext {
+  const ConflictGraph* base = nullptr;
+  std::int64_t horizon = 0;
+};
+
+using DynamicsRegistry = scenario::Registry<std::unique_ptr<DynamicsModel>(
+    const DynamicsBuildContext&, Rng&)>;
+
+/// Process-wide registry, built-ins registered on first access.
+DynamicsRegistry& dynamics_registry();
+
+/// The registry key of the no-op model — scenarios default to it, and
+/// `kind = static` is what "this scenario is not dynamic" looks like.
+inline const char* const kStaticDynamicsKind = "static";
+
+}  // namespace mhca::dynamics

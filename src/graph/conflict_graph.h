@@ -5,6 +5,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -30,6 +31,14 @@ class ConflictGraph {
 
   int num_nodes() const { return graph_.size(); }
   const Graph& graph() const { return graph_; }
+
+  /// Incrementally patch the conflict structure (node churn / mobility; see
+  /// src/dynamics/README.md). Positions, if any, are left untouched — the
+  /// library's algorithms are location-free and read only the adjacency.
+  void apply_edge_delta(std::span<const std::pair<int, int>> added,
+                        std::span<const std::pair<int, int>> removed) {
+    graph_.apply_delta(added, removed);
+  }
 
   bool has_positions() const { return !positions_.empty(); }
   const std::vector<Point>& positions() const { return positions_; }

@@ -67,6 +67,22 @@ std::vector<int> ExtendedConflictGraph::to_vertices(const Strategy& s) const {
   return out;
 }
 
+void ExtendedConflictGraph::apply_conflict_delta(
+    std::span<const std::pair<int, int>> added,
+    std::span<const std::pair<int, int>> removed) {
+  const auto lift = [this](std::span<const std::pair<int, int>> g_edges) {
+    std::vector<std::pair<int, int>> h_edges;
+    h_edges.reserve(g_edges.size() * static_cast<std::size_t>(num_channels_));
+    for (const auto& [u, p] : g_edges)
+      for (int j = 0; j < num_channels_; ++j)
+        h_edges.emplace_back(vertex_of(u, j), vertex_of(p, j));
+    return h_edges;
+  };
+  const std::vector<std::pair<int, int>> h_added = lift(added);
+  const std::vector<std::pair<int, int>> h_removed = lift(removed);
+  graph_.apply_delta(h_added, h_removed);
+}
+
 bool ExtendedConflictGraph::is_feasible(const Strategy& s) const {
   const std::vector<int> vs = to_vertices(s);
   return graph_.is_independent_set(vs);

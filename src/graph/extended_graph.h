@@ -9,6 +9,7 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/conflict_graph.h"
@@ -48,6 +49,13 @@ class ExtendedConflictGraph {
 
   /// A strategy is feasible iff no two conflicting nodes share a channel.
   bool is_feasible(const Strategy& s) const;
+
+  /// Lift a conflict-graph edge delta onto H: each changed G edge {u, p}
+  /// becomes the M same-channel edges {(u, j), (p, j)}. Per-master cliques
+  /// are structural (one channel per node) and never change. Patches the
+  /// internal graph incrementally via Graph::apply_delta.
+  void apply_conflict_delta(std::span<const std::pair<int, int>> added,
+                            std::span<const std::pair<int, int>> removed);
 
  private:
   int num_nodes_ = 0;

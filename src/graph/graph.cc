@@ -48,6 +48,95 @@ void Graph::finalize() {
   adj_.shrink_to_fit();
 }
 
+void Graph::apply_delta(std::span<const std::pair<int, int>> added,
+                        std::span<const std::pair<int, int>> removed) {
+  MHCA_ASSERT(finalized(), "apply_delta requires a finalized graph");
+  if (added.empty() && removed.empty()) return;
+
+  // Expand each undirected change into its two directed half-edges and sort
+  // them, so the per-row merge below consumes both lists in one sweep.
+  std::vector<std::pair<int, int>> add2, rem2;
+  add2.reserve(added.size() * 2);
+  rem2.reserve(removed.size() * 2);
+  for (const auto& [u, v] : added) {
+    MHCA_ASSERT(u >= 0 && u < size() && v >= 0 && v < size(),
+                "edge endpoint out of range");
+    MHCA_ASSERT(u != v, "self-loops are not allowed");
+    MHCA_ASSERT(!has_edge(u, v), "apply_delta: added edge already present");
+    add2.emplace_back(u, v);
+    add2.emplace_back(v, u);
+  }
+  for (const auto& [u, v] : removed) {
+    MHCA_ASSERT(u >= 0 && u < size() && v >= 0 && v < size(),
+                "edge endpoint out of range");
+    MHCA_ASSERT(has_edge(u, v), "apply_delta: removed edge not present");
+    rem2.emplace_back(u, v);
+    rem2.emplace_back(v, u);
+  }
+  std::sort(add2.begin(), add2.end());
+  std::sort(rem2.begin(), rem2.end());
+  for (std::size_t i = 1; i < add2.size(); ++i)
+    MHCA_ASSERT(add2[i] != add2[i - 1], "apply_delta: duplicate added edge");
+  for (std::size_t i = 1; i < rem2.size(); ++i)
+    MHCA_ASSERT(rem2[i] != rem2[i - 1], "apply_delta: duplicate removed edge");
+
+  const auto n = static_cast<std::size_t>(n_);
+  std::vector<int> new_edges;
+  new_edges.reserve(edges_.size() + add2.size() - rem2.size());
+  std::vector<std::int64_t> new_offsets(n + 1, 0);
+  std::size_t ai = 0, ri = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    new_offsets[v] = static_cast<std::int64_t>(new_edges.size());
+    const auto row = neighbors(static_cast<int>(v));
+    std::size_t i = 0;
+    // Merge the sorted old row with this row's sorted additions, skipping
+    // this row's removals. Rows without changes reduce to one bulk append.
+    while (ai < add2.size() && add2[ai].first == static_cast<int>(v)) {
+      const int u = add2[ai].second;
+      while (i < row.size() && row[i] < u) {
+        if (ri < rem2.size() && rem2[ri].first == static_cast<int>(v) &&
+            rem2[ri].second == row[i]) {
+          ++ri;
+        } else {
+          new_edges.push_back(row[i]);
+        }
+        ++i;
+      }
+      new_edges.push_back(u);
+      ++ai;
+    }
+    while (i < row.size()) {
+      if (ri < rem2.size() && rem2[ri].first == static_cast<int>(v) &&
+          rem2[ri].second == row[i]) {
+        ++ri;
+      } else {
+        new_edges.push_back(row[i]);
+      }
+      ++i;
+    }
+  }
+  new_offsets[n] = static_cast<std::int64_t>(new_edges.size());
+  MHCA_ASSERT(ai == add2.size() && ri == rem2.size(),
+              "apply_delta: unconsumed edge changes");
+  offsets_ = std::move(new_offsets);
+  edges_ = std::move(new_edges);
+
+  if (has_adjacency_matrix()) {
+    const auto set_bit = [&](int a, int b, bool on) {
+      const auto bi = static_cast<std::size_t>(b);
+      std::uint64_t& word =
+          bits_[static_cast<std::size_t>(a) * row_blocks_ + bi / 64];
+      const std::uint64_t mask = std::uint64_t{1} << (bi % 64);
+      if (on)
+        word |= mask;
+      else
+        word &= ~mask;
+    };
+    for (const auto& [a, b] : add2) set_bit(a, b, true);
+    for (const auto& [a, b] : rem2) set_bit(a, b, false);
+  }
+}
+
 void Graph::definalize() {
   adj_.assign(static_cast<std::size_t>(n_), {});
   for (int v = 0; v < n_; ++v) {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace mhca {
@@ -47,6 +48,19 @@ class Graph {
   /// Pack the adjacency into CSR (and, for small n, the bitset matrix) and
   /// release the build-phase vectors. Idempotent; O(V + E).
   void finalize();
+
+  /// Incrementally patch a *finalized* graph: insert `added` edges and
+  /// delete `removed` edges without reopening the build phase. The bitset
+  /// matrix is patched bit by bit (O(1) per edge); the CSR arrays are
+  /// rewritten in one merge pass over the old rows (O(V + E + Δ log Δ) with
+  /// memcpy-level constants — far below a definalize()/finalize() cycle,
+  /// which re-materializes every per-vertex adjacency vector). Every added
+  /// edge must be absent and every removed edge present (asserted), so a
+  /// delta and its inverse round-trip exactly; the result is byte-identical
+  /// to rebuilding the graph from the new edge set (see
+  /// tests/dynamics_differential_test.cc).
+  void apply_delta(std::span<const std::pair<int, int>> added,
+                   std::span<const std::pair<int, int>> removed);
 
   bool finalized() const { return !offsets_.empty(); }
 

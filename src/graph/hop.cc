@@ -62,6 +62,40 @@ void BfsScratch::two_radius_neighborhood(const Graph& g, int v, int k_inner,
     if (dist_[static_cast<std::size_t>(u)] <= k_inner) inner.push_back(u);
 }
 
+void BfsScratch::multi_source_k_hop(const Graph& g,
+                                    std::span<const int> sources, int k,
+                                    std::vector<int>& out) {
+  MHCA_ASSERT(k >= 0, "hop count must be non-negative");
+  if (static_cast<int>(stamp_.size()) != g.size()) resize(g.size());
+  ++epoch_;
+  out.clear();
+  queue_.clear();
+  for (int v : sources) {
+    MHCA_ASSERT(v >= 0 && v < g.size(), "vertex out of range");
+    const auto vi = static_cast<std::size_t>(v);
+    if (stamp_[vi] == epoch_) continue;
+    stamp_[vi] = epoch_;
+    dist_[vi] = 0;
+    queue_.push_back(v);
+  }
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    const int x = queue_[head++];
+    out.push_back(x);
+    const int dx = dist_[static_cast<std::size_t>(x)];
+    if (dx == k) continue;
+    for (int u : g.neighbors(x)) {
+      auto ui = static_cast<std::size_t>(u);
+      if (stamp_[ui] != epoch_) {
+        stamp_[ui] = epoch_;
+        dist_[ui] = dx + 1;
+        queue_.push_back(u);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
 int BfsScratch::hop_distance(const Graph& g, int u, int v, int cap) {
   MHCA_ASSERT(u >= 0 && u < g.size() && v >= 0 && v < g.size(),
               "vertex out of range");

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -32,6 +33,14 @@ class BfsScratch {
   void two_radius_neighborhood(const Graph& g, int v, int k_inner,
                                int k_outer, std::vector<int>& inner,
                                std::vector<int>& outer);
+
+  /// Collect all vertices within k hops of *any* source (sources included;
+  /// duplicates among sources are fine), sorted ascending. This is the
+  /// blast-radius primitive of incremental maintenance: vertices within
+  /// 2r+1 hops of an edge change are exactly the ones whose cached balls
+  /// can differ (see NeighborhoodCache::apply_delta).
+  void multi_source_k_hop(const Graph& g, std::span<const int> sources, int k,
+                          std::vector<int>& out);
 
   /// Hop distance between u and v, or `unreachable()` if no path within
   /// `cap` hops exists.

@@ -38,6 +38,75 @@ NeighborhoodCache::NeighborhoodCache(const Graph& g, int r, bool build_covers)
   }
 }
 
+void NeighborhoodCache::apply_delta(const Graph& g,
+                                    std::span<const int> touched) {
+  MHCA_ASSERT(built(), "apply_delta on an unbuilt cache");
+  MHCA_ASSERT(g.size() == size_, "graph size changed under the cache");
+  if (touched.empty()) {
+    last_invalidated_ = 0;
+    return;
+  }
+
+  // Affected = within 2r+1 hops of a touched vertex, before OR after the
+  // change. "Before" reads the stored election balls of the touched
+  // vertices (d(u,v) = d(v,u), so v ∈ old-ball(t) ⟺ t ∈ old-ball(v));
+  // "after" is one multi-source BFS on the already-patched graph.
+  std::vector<char> affected(static_cast<std::size_t>(size_), 0);
+  for (int t : touched) {
+    MHCA_ASSERT(t >= 0 && t < size_, "touched vertex out of range");
+    for (int v : election_ball(t)) affected[static_cast<std::size_t>(v)] = 1;
+  }
+  BfsScratch scratch(size_);
+  std::vector<int> reach;
+  scratch.multi_source_k_hop(g, touched, 2 * r_ + 1, reach);
+  for (int v : reach) affected[static_cast<std::size_t>(v)] = 1;
+
+  const auto n = static_cast<std::size_t>(size_);
+  const bool covers = has_covers();
+  std::vector<std::int64_t> new_r_off(n + 1, 0), new_e_off(n + 1, 0);
+  std::vector<int> new_r_data, new_e_data, new_cover_data;
+  new_r_data.reserve(r_data_.size());
+  new_e_data.reserve(e_data_.size());
+  if (covers) new_cover_data.reserve(cover_data_.size());
+
+  std::vector<int> r_ball_buf, e_ball_buf, clique_of;
+  int invalidated = 0;
+  for (int v = 0; v < size_; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (affected[vi]) {
+      ++invalidated;
+      scratch.two_radius_neighborhood(g, v, r_, 2 * r_ + 1, r_ball_buf,
+                                      e_ball_buf);
+      new_r_data.insert(new_r_data.end(), r_ball_buf.begin(),
+                        r_ball_buf.end());
+      new_e_data.insert(new_e_data.end(), e_ball_buf.begin(),
+                        e_ball_buf.end());
+      if (covers) {
+        cover_counts_[vi] = build_ball_cover(g, r_ball_buf, clique_of);
+        new_cover_data.insert(new_cover_data.end(), clique_of.begin(),
+                              clique_of.end());
+      }
+    } else {
+      const auto rb = r_ball(v);
+      const auto eb = election_ball(v);
+      new_r_data.insert(new_r_data.end(), rb.begin(), rb.end());
+      new_e_data.insert(new_e_data.end(), eb.begin(), eb.end());
+      if (covers) {
+        const auto cv = r_ball_cover(v);
+        new_cover_data.insert(new_cover_data.end(), cv.begin(), cv.end());
+      }
+    }
+    new_r_off[vi + 1] = static_cast<std::int64_t>(new_r_data.size());
+    new_e_off[vi + 1] = static_cast<std::int64_t>(new_e_data.size());
+  }
+  r_offsets_ = std::move(new_r_off);
+  r_data_ = std::move(new_r_data);
+  e_offsets_ = std::move(new_e_off);
+  e_data_ = std::move(new_e_data);
+  if (covers) cover_data_ = std::move(new_cover_data);
+  last_invalidated_ = invalidated;
+}
+
 int NeighborhoodCache::build_ball_cover(const Graph& g,
                                         std::span<const int> ball,
                                         std::vector<int>& clique_of) {

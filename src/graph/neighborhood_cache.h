@@ -19,7 +19,10 @@
 // cover construction, not tree search, dominates.
 //
 // Reuse contract: the cache borrows the graph; the graph must be finalized
-// first and must not change afterwards (see src/graph/README.md).
+// first. When the graph *does* change (dynamics, src/dynamics/README.md),
+// `apply_delta` re-synchronizes the cache by recomputing only the balls
+// that can have moved — vertices within 2r+1 hops of a touched vertex in
+// the old or new graph — instead of re-running one BFS per vertex.
 #pragma once
 
 #include <cstdint>
@@ -77,6 +80,22 @@ class NeighborhoodCache {
                                      cover_data_.size());
   }
 
+  /// Re-synchronize with a graph that just changed. `touched` are the
+  /// vertices incident to an added/removed edge (the graph must already be
+  /// patched). A vertex's k-ball can only change if it lies within k hops
+  /// of a touched vertex either before or after the change, so the affected
+  /// set is the union of (a) the *stored* election balls of the touched
+  /// vertices — hop distance is symmetric, so "t was within 2r+1 of v" is
+  /// read off t's old ball — and (b) one multi-source BFS to 2r+1 hops from
+  /// `touched` on the new graph. Only affected vertices re-run BFS (and
+  /// cover construction); every other span is copied over. The result is
+  /// byte-identical to a from-scratch rebuild
+  /// (tests/dynamics_differential_test.cc fuzzes this claim).
+  void apply_delta(const Graph& g, std::span<const int> touched);
+
+  /// Affected vertices of the last apply_delta (introspection for benches).
+  int last_invalidated() const { return last_invalidated_; }
+
   /// Greedy clique cover of `ball` (sorted vertex ids of g) in id-ascending
   /// order: each vertex joins the first clique it is fully adjacent to, else
   /// opens a new one. Writes the clique id of ball[i] to clique_of[i]
@@ -104,6 +123,7 @@ class NeighborhoodCache {
   std::vector<int> e_data_;
   std::vector<int> cover_data_;          ///< Aligned with r_data_ when built.
   std::vector<int> cover_counts_;        ///< Cliques per r-ball when built.
+  int last_invalidated_ = 0;
 };
 
 }  // namespace mhca

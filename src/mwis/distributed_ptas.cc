@@ -224,10 +224,17 @@ void DistributedRobustPtas::solve_local_instances(
       workers);
 }
 
+void DistributedRobustPtas::on_graph_delta(std::span<const int> touched) {
+  ball_size_cache_.clear();
+  if (cache_.built()) cache_.apply_delta(h_, touched);
+}
+
 DistributedPtasResult DistributedRobustPtas::run(
-    std::span<const double> weights) {
+    std::span<const double> weights, std::span<const char> active) {
   const int n = h_.size();
   MHCA_ASSERT(static_cast<int>(weights.size()) == n, "weight vector mismatch");
+  MHCA_ASSERT(active.empty() || static_cast<int>(active.size()) == n,
+              "activity mask mismatch");
   const int r = cfg_.r;
   const int election_hops = 2 * r + 1;
   const bool timed = cfg_.collect_stage_times;
@@ -235,6 +242,14 @@ DistributedPtasResult DistributedRobustPtas::run(
   std::vector<VertexStatus> status(static_cast<std::size_t>(n),
                                    VertexStatus::kCandidate);
   int candidates = n;
+  if (!active.empty()) {
+    for (int v = 0; v < n; ++v) {
+      if (!active[static_cast<std::size_t>(v)]) {
+        status[static_cast<std::size_t>(v)] = VertexStatus::kLoser;
+        --candidates;
+      }
+    }
+  }
 
   DistributedPtasResult res;
   std::vector<int> leaders;

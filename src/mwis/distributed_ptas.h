@@ -134,7 +134,20 @@ class DistributedRobustPtas {
   const NeighborhoodCache& neighborhood_cache() const { return cache_; }
 
   /// Run one full strategy decision over the given vertex weights.
-  DistributedPtasResult run(std::span<const double> weights);
+  /// `active` is a per-vertex activity mask (dynamics; empty = all active):
+  /// inactive vertices start the decision as Losers — they never become
+  /// candidates, leaders, or winners, exactly as a node that is off the air
+  /// cannot participate in the protocol.
+  DistributedPtasResult run(std::span<const double> weights,
+                            std::span<const char> active = {});
+
+  /// The graph this engine reads just changed (src/dynamics): `touched` are
+  /// the H vertices incident to an added/removed edge. Re-synchronizes the
+  /// NeighborhoodCache by scoped invalidation (balls within 2r+1 hops of a
+  /// touched vertex, old or new graph) and drops the lazily computed flood
+  /// ball sizes. Decisions after this call are byte-identical to a freshly
+  /// constructed engine (fuzzed by tests/dynamics_differential_test.cc).
+  void on_graph_delta(std::span<const int> touched);
 
   /// Messages the Weight-Broadcast step of Algorithm 2 costs: each vertex of
   /// the previous strategy floods its new estimate within 2r+1 hops.

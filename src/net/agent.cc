@@ -16,7 +16,14 @@ VertexAgent::VertexAgent(int id, int r, bool memoize_cover)
 
 void VertexAgent::on_hello(const Message& msg) {
   MHCA_ASSERT(!discovered_, "hello after discovery finalized");
-  hello_lists_[msg.origin] = msg.neighbor_list;
+  hello_lists_[msg.origin] = Hello{msg.neighbor_list, msg.mean, msg.count};
+}
+
+void VertexAgent::reset_discovery() {
+  MHCA_ASSERT(discovered_, "reset_discovery before initial discovery");
+  discovered_ = false;
+  hello_lists_.clear();
+  own_neighbors_.clear();
 }
 
 void VertexAgent::set_own_neighbors(std::vector<int> neighbors) {
@@ -43,9 +50,9 @@ void VertexAgent::finalize_discovery() {
     }
   };
   add_edges_of(id_, own_neighbors_);
-  for (const auto& [origin, nbs] : hello_lists_) add_edges_of(origin, nbs);
+  for (const auto& [origin, hello] : hello_lists_)
+    add_edges_of(origin, hello.neighbors);
   local_graph_.finalize();
-  hello_lists_.clear();
 
   // Memoize the r-ball (computed on the *local* subgraph — identical to
   // global r-hop distance because every shortest path of length <= r stays
@@ -60,8 +67,18 @@ void VertexAgent::finalize_discovery() {
   }
 
   table_.clear();
-  for (int m : members_)
-    if (m != id_) table_.emplace(m, Entry{});
+  for (int m : members_) {
+    if (m == id_) continue;
+    // Seed the entry from the hello's carried statistics: zeros at initial
+    // discovery (nothing learned yet), the sender's live (µ̃, m) when a
+    // topology change brought it into this agent's horizon mid-run.
+    const Hello& hello = hello_lists_.at(m);
+    Entry e;
+    e.mean = hello.mean;
+    e.count = hello.count;
+    table_.emplace(m, e);
+  }
+  hello_lists_.clear();
   discovered_ = true;
 }
 
@@ -81,7 +98,10 @@ void VertexAgent::observe(double reward) {
 void VertexAgent::begin_round(const IndexPolicy& policy, std::int64_t t,
                               int num_arms) {
   MHCA_ASSERT(discovered_, "begin_round before discovery");
-  status_ = VertexStatus::kCandidate;
+  // An off-air node never contends: it enters every round pre-marked. Its
+  // vertices are isolated by then (dynamics removed their edges), so no
+  // live agent's table still lists them as competition.
+  status_ = active_ ? VertexStatus::kCandidate : VertexStatus::kLoser;
   own_index_ = policy.index_from(mean_, count_, id_, t, num_arms);
   for (auto& [v, e] : table_) {
     e.status = VertexStatus::kCandidate;

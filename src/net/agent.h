@@ -28,14 +28,32 @@ class VertexAgent {
   int id() const { return id_; }
   VertexStatus status() const { return status_; }
 
-  // ---- Discovery (one-time) ----
-  /// Record another vertex's hello (its id + direct neighbor list).
+  /// Whether this vertex's node is on the air (dynamics: a node that left
+  /// keeps its agent — and its learned statistics — but sits out every
+  /// round as a Loser until it rejoins).
+  bool active() const { return active_; }
+  void set_active(bool active) { active_ = active; }
+
+  // ---- Discovery (initial, and scoped re-discovery after churn) ----
+  /// Record another vertex's hello (its id, direct neighbor list, and
+  /// current sufficient statistics — the paper's first WB round collects
+  /// ids *and* weights of the local neighborhood).
   void on_hello(const Message& msg);
   /// Own direct neighbors (an agent knows who it can hear).
   void set_own_neighbors(std::vector<int> neighbors);
   /// Build the local subgraph from the collected hellos. Must be called
   /// once after all hellos have been delivered.
   void finalize_discovery();
+  /// Re-open discovery after the local topology changed (the runtime calls
+  /// this for every agent within the change's blast radius, then re-floods
+  /// hellos and finalizes again). Learning state is untouched; the member
+  /// table is rebuilt from the fresh hellos, whose carried statistics keep
+  /// every index consistent network-wide.
+  void reset_discovery();
+
+  /// Members of this agent's (2r+1)-hop table (sorted, including self) —
+  /// the "old ball" side of the runtime's blast-radius computation.
+  const std::vector<int>& members() const { return members_; }
 
   // ---- Learning state (vertex-local) ----
   /// Incorporate an observed data rate after transmitting (eqs. 5-6).
@@ -83,13 +101,19 @@ class VertexAgent {
   int r_;
   bool memoize_cover_;
   VertexStatus status_ = VertexStatus::kCandidate;
+  bool active_ = true;
 
   double mean_ = 0.0;
   std::int64_t count_ = 0;
 
   // Discovery state.
+  struct Hello {
+    std::vector<int> neighbors;
+    double mean = 0.0;
+    std::int64_t count = 0;
+  };
   std::vector<int> own_neighbors_;
-  std::unordered_map<int, std::vector<int>> hello_lists_;
+  std::unordered_map<int, Hello> hello_lists_;
   bool discovered_ = false;
 
   // Local view: sorted member ids (== J_{2r+1}(id) incl. self), local graph

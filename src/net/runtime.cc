@@ -29,6 +29,20 @@ DistributedRuntime::DistributedRuntime(const ExtendedConflictGraph& ecg,
   discover();
 }
 
+Message DistributedRuntime::make_hello(int v) const {
+  const auto nb = ecg_.graph().neighbors(v);
+  Message hello;
+  hello.type = MsgType::kHello;
+  hello.origin = v;
+  hello.neighbor_list.assign(nb.begin(), nb.end());
+  // Hellos carry the sender's live statistics (the paper's first WB round
+  // collects ids *and* weights): zeros at initial discovery, and whatever
+  // the sender has learned by the time churn triggers a re-flood.
+  hello.mean = agents_[static_cast<std::size_t>(v)].own_mean();
+  hello.count = agents_[static_cast<std::size_t>(v)].own_count();
+  return hello;
+}
+
 void DistributedRuntime::discover() {
   const Graph& h = ecg_.graph();
   const int horizon = 2 * cfg_.r + 1;
@@ -38,16 +52,70 @@ void DistributedRuntime::discover() {
         std::vector<int>(nb.begin(), nb.end()));
   }
   for (int v = 0; v < h.size(); ++v) {
-    const auto nb = h.neighbors(v);
-    Message hello;
-    hello.type = MsgType::kHello;
-    hello.origin = v;
-    hello.neighbor_list.assign(nb.begin(), nb.end());
+    const Message hello = make_hello(v);
     channel_.flood(hello, horizon, [this](int to, const Message& m) {
       agents_[static_cast<std::size_t>(to)].on_hello(m);
     });
   }
   for (auto& a : agents_) a.finalize_discovery();
+}
+
+void DistributedRuntime::on_topology_change(
+    std::span<const int> touched, const std::vector<char>& active_vertices) {
+  const Graph& h = ecg_.graph();
+  const int horizon = 2 * cfg_.r + 1;
+  MHCA_ASSERT(static_cast<int>(active_vertices.size()) == h.size(),
+              "activity mask mismatch");
+  for (std::size_t v = 0; v < agents_.size(); ++v)
+    agents_[v].set_active(active_vertices[v] != 0);
+  // A vertex that just went off the air cannot flood its weight update.
+  std::erase_if(prev_strategy_, [&](int v) {
+    return active_vertices[static_cast<std::size_t>(v)] == 0;
+  });
+  if (touched.empty()) return;
+
+  // Agents whose (2r+1)-hop view can have changed: members of a touched
+  // agent's old table (hop distance is symmetric, so "t saw v" means "v saw
+  // t"), plus everything within `horizon` new-graph hops of a touched
+  // vertex.
+  std::vector<char> affected(agents_.size(), 0);
+  for (int t : touched)
+    for (int m : agents_[static_cast<std::size_t>(t)].members())
+      affected[static_cast<std::size_t>(m)] = 1;
+  BfsScratch scratch(h.size());
+  std::vector<int> reach;
+  scratch.multi_source_k_hop(h, touched, horizon, reach);
+  for (int v : reach) affected[static_cast<std::size_t>(v)] = 1;
+
+  std::vector<int> affected_list;
+  for (std::size_t v = 0; v < affected.size(); ++v)
+    if (affected[v]) affected_list.push_back(static_cast<int>(v));
+  for (int v : affected_list) {
+    agents_[static_cast<std::size_t>(v)].reset_discovery();
+    const auto nb = h.neighbors(v);
+    agents_[static_cast<std::size_t>(v)].set_own_neighbors(
+        std::vector<int>(nb.begin(), nb.end()));
+  }
+
+  // Every vertex within `horizon` hops of an affected agent re-floods its
+  // hello — by symmetry the flood reaches exactly the reopened agents whose
+  // new tables must list the sender. Hellos carry the sender's current
+  // statistics, so a vertex entering someone's horizon arrives with a
+  // consistent index (this is what keeps the runtime's decisions identical
+  // to the lockstep engine across topology changes).
+  std::vector<int> senders;
+  scratch.multi_source_k_hop(h, affected_list, horizon, senders);
+  for (int w : senders) {
+    const Message hello = make_hello(w);
+    channel_.flood(hello, horizon,
+                   [this, &affected](int to, const Message& m) {
+                     if (affected[static_cast<std::size_t>(to)])
+                       agents_[static_cast<std::size_t>(to)].on_hello(m);
+                   });
+  }
+  channel_.charge_timeslots(horizon);
+  for (int v : affected_list)
+    agents_[static_cast<std::size_t>(v)].finalize_discovery();
 }
 
 std::size_t DistributedRuntime::max_table_size() const {

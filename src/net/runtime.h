@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "bandit/policy.h"
@@ -72,6 +73,18 @@ class DistributedRuntime {
   /// Execute one full round of Algorithm 2.
   NetRoundResult step();
 
+  /// The extended graph just changed (src/dynamics; apply between rounds).
+  /// `touched` are the H vertices incident to an added/removed edge,
+  /// `active_vertices` the new per-vertex activity mask. Agents whose
+  /// (2r+1)-hop view can have changed — members of a touched agent's old
+  /// table, or within 2r+1 new-graph hops of a touched vertex — re-run
+  /// discovery: every vertex of the affected neighborhoods re-floods a
+  /// hello (billed on the control channel like any flood) carrying its
+  /// neighbor list *and* current statistics, so rebuilt tables stay
+  /// index-consistent and the decisions keep matching the lockstep engine.
+  void on_topology_change(std::span<const int> touched,
+                          const std::vector<char>& active_vertices);
+
   std::int64_t rounds_run() const { return t_; }
   const ChannelStats& channel_stats() const { return channel_.stats(); }
   const VertexAgent& agent(int v) const {
@@ -84,6 +97,9 @@ class DistributedRuntime {
 
  private:
   void discover();
+  /// One vertex's hello: id, direct neighbors, current (µ̃, m) — shared by
+  /// initial discovery and scoped churn rediscovery so the two can't drift.
+  Message make_hello(int v) const;
 
   const ExtendedConflictGraph& ecg_;
   const ChannelModel& model_;

@@ -2,8 +2,11 @@
 
 #include <utility>
 
+#include "dynamics/dynamic_network.h"
+#include "dynamics/registries.h"
 #include "scenario/registries.h"
 #include "util/assert.h"
+#include "util/hash.h"
 
 namespace mhca::scenario {
 
@@ -26,7 +29,37 @@ net::NetConfig to_net_config(const Scenario& s, int num_nodes) {
   cfg.local_solver = s.solver.local_solver;
   cfg.bnb_node_cap = s.solver.node_cap;
   cfg.use_memoized_covers = s.solver.memoized_covers;
+  cfg.drop_prob = s.net.drop_prob;
+  cfg.drop_seed = s.net.drop_seed;
   return cfg;
+}
+
+ChannelAccessConfig to_channel_access_config(const Scenario& s,
+                                             int num_nodes) {
+  ChannelAccessConfig cfg;
+  cfg.num_channels = s.num_channels;
+  cfg.policy = policy_kind_from_string(s.policy.kind);
+  cfg.policy_params = builtin_policy_params(s.policy.params, num_nodes);
+  cfg.solver = s.solver.kind;
+  cfg.r = s.solver.r;
+  cfg.D = s.solver.D;
+  cfg.local_solver = s.solver.local_solver;
+  cfg.bnb_node_cap = s.solver.node_cap;
+  cfg.ptas_epsilon = s.solver.epsilon;
+  cfg.local_solve_parallelism = s.solver.parallelism;
+  cfg.use_memoized_covers = s.solver.memoized_covers;
+  cfg.timing = s.timing;
+  cfg.update_period = s.run.update_period;
+  cfg.seed = s.run.seed;
+  cfg.count_messages = s.run.count_messages;
+  cfg.series_stride = to_simulation_config(s).series_stride;
+  return cfg;
+}
+
+std::uint64_t dynamics_seed_of(const Scenario& s, std::uint64_t base_seed) {
+  if (s.dynamics.seed != 0) return s.dynamics.seed;
+  // Mixed so nearby run seeds don't produce correlated churn streams.
+  return splitmix64(base_seed);
 }
 
 struct ScenarioRunner::Parts {
@@ -89,7 +122,36 @@ SimulationResult ScenarioRunner::run() const {
   return run_with(*model_);
 }
 
+dynamics::DynamicNetwork ScenarioRunner::make_dynamic_network(
+    std::uint64_t base_seed) const {
+  MHCA_ASSERT(is_dynamic(s_), "make_dynamic_network on a static scenario");
+  Rng rng(dynamics_seed_of(s_, base_seed));
+  const dynamics::DynamicsBuildContext ctx{&network_, s_.run.slots};
+  std::unique_ptr<dynamics::DynamicsModel> model =
+      dynamics::dynamics_registry().create(s_.dynamics.model.kind,
+                                           s_.dynamics.model.params, ctx, rng);
+  return dynamics::DynamicNetwork(network_, s_.num_channels, std::move(model),
+                                  s_.dynamics.incremental);
+}
+
+ChannelAccessScheme ScenarioRunner::make_scheme() const {
+  if (is_dynamic(s_))
+    throw ScenarioError(
+        "make_scheme() drives the static step API; dynamic scenarios run "
+        "through run()/run_net() (set dynamics.kind=static to step by hand)");
+  return ChannelAccessScheme(
+      network_, to_channel_access_config(s_, network_.num_nodes()));
+}
+
 SimulationResult ScenarioRunner::run_with(const ChannelModel& model) const {
+  if (is_dynamic(s_)) {
+    // Each run gets a fresh topology trajectory from slot 1: the dynamic
+    // network copies this runner's base graph, so repeated runs (and the
+    // runner's own components) never see a half-evolved topology.
+    dynamics::DynamicNetwork dyn = make_dynamic_network(s_.run.seed);
+    Simulator sim(dyn.ecg(), model, *policy_, to_simulation_config(s_), &dyn);
+    return sim.run();
+  }
   Simulator sim(ecg_, model, *policy_, to_simulation_config(s_));
   return sim.run();
 }
@@ -103,16 +165,25 @@ ReplicationReport ScenarioRunner::replicate() const {
     throw ScenarioError("replicate() needs a scenario channel model");
   const Scenario& s = s_;
   const ExtendedConflictGraph& ecg = ecg_;
+  const ConflictGraph& network = network_;
   const IndexPolicy& policy = *policy_;
-  // Fixed topology, fresh channel realization per seed (the repo's
-  // replication convention). Policies are stateless, so one instance is
-  // safely shared across the replication pool.
-  const auto experiment = [&s, &ecg, &policy](std::uint64_t seed) {
+  const ScenarioRunner& self = *this;
+  // Fixed base topology, fresh channel realization per seed (the repo's
+  // replication convention) — and, for dynamic scenarios, a fresh topology
+  // trajectory per seed unless dynamics.seed pins one. Policies are
+  // stateless, so one instance is safely shared across the pool.
+  const auto experiment = [&s, &ecg, &network, &policy,
+                           &self](std::uint64_t seed) {
     Rng rng(seed * 7919 + 11);
     const std::unique_ptr<ChannelModel> model =
-        build_channel(s, ecg.num_nodes(), rng);
+        build_channel(s, network.num_nodes(), rng);
     SimulationConfig cfg = to_simulation_config(s);
     cfg.seed = seed;
+    if (is_dynamic(s)) {
+      dynamics::DynamicNetwork dyn = self.make_dynamic_network(seed);
+      Simulator sim(dyn.ecg(), *model, policy, cfg, &dyn);
+      return sim.run();
+    }
     Simulator sim(ecg, *model, policy, cfg);
     return sim.run();
   };
@@ -131,17 +202,33 @@ NetRunSummary ScenarioRunner::run_net() const {
         "run_net() decides every round and does not implement "
         "run.update_period = " + std::to_string(s_.run.update_period) +
         "; set run.update_period=1 for the message-level runtime");
-  net::DistributedRuntime runtime(ecg_, *model_,
-                                  to_net_config(s_, network_.num_nodes()));
+  const net::NetConfig net_cfg = to_net_config(s_, network_.num_nodes());
   NetRunSummary out;
-  for (std::int64_t t = 0; t < s_.run.slots; ++t) {
-    net::NetRoundResult round = runtime.step();
-    out.total_observed += round.observed_sum;
-    if (round.conflict) ++out.conflicts;
-    out.last_strategy = std::move(round.strategy);
+  const auto drive = [&](net::DistributedRuntime& runtime,
+                         dynamics::DynamicNetwork* dyn) {
+    for (std::int64_t round = 1; round <= s_.run.slots; ++round) {
+      if (dyn != nullptr && round > 1) {
+        const dynamics::SlotChange& ch = dyn->advance(round);
+        if (ch.changed)
+          runtime.on_topology_change(ch.touched_vertices,
+                                     dyn->active_vertices());
+      }
+      net::NetRoundResult res = runtime.step();
+      out.total_observed += res.observed_sum;
+      if (res.conflict) ++out.conflicts;
+      out.last_strategy = std::move(res.strategy);
+    }
+    out.rounds = runtime.rounds_run();
+    out.max_table_size = runtime.max_table_size();
+  };
+  if (is_dynamic(s_)) {
+    dynamics::DynamicNetwork dyn = make_dynamic_network(s_.run.seed);
+    net::DistributedRuntime runtime(dyn.ecg(), *model_, net_cfg);
+    drive(runtime, &dyn);
+  } else {
+    net::DistributedRuntime runtime(ecg_, *model_, net_cfg);
+    drive(runtime, nullptr);
   }
-  out.rounds = runtime.rounds_run();
-  out.max_table_size = runtime.max_table_size();
   return out;
 }
 

@@ -25,12 +25,17 @@
 
 #include "bandit/policy.h"
 #include "channel/channel_model.h"
+#include "core/channel_access.h"
 #include "graph/conflict_graph.h"
 #include "graph/extended_graph.h"
 #include "net/runtime.h"
 #include "scenario/scenario.h"
 #include "sim/replication.h"
 #include "sim/simulator.h"
+
+namespace mhca::dynamics {
+class DynamicNetwork;
+}
 
 namespace mhca::scenario {
 
@@ -45,8 +50,21 @@ struct NetRunSummary {
 
 /// The net::NetConfig a scenario denotes (policy must be a built-in kind;
 /// `num_nodes` backs LLR's L-defaults-to-N rule). The runtime implements the
-/// distributed protocol, so solver.kind is not consulted.
+/// distributed protocol, so solver.kind is not consulted. [net] drop_prob /
+/// drop_seed ride along, so message-loss runs are declarative.
 net::NetConfig to_net_config(const Scenario& s, int num_nodes);
+
+/// The ChannelAccessConfig a scenario denotes — the compat-shim face of the
+/// same SolverSpec/RunSpec single source of truth, for callers on the
+/// facade's step API (decide()/report() against a user-owned radio
+/// environment). The policy must be a built-in kind.
+ChannelAccessConfig to_channel_access_config(const Scenario& s,
+                                             int num_nodes);
+
+/// The dynamics seed a run derives from `base_seed` (the run seed, or one
+/// replication's seed): dynamics.seed when pinned, else a fixed mix of
+/// base_seed — so churn replicates exactly like the channel realization.
+std::uint64_t dynamics_seed_of(const Scenario& s, std::uint64_t base_seed);
 
 class ScenarioRunner {
  public:
@@ -86,8 +104,22 @@ class ScenarioRunner {
   /// replications >= 1.
   ReplicationReport replicate() const;
 
-  /// Drive the message-level runtime for run.slots rounds.
+  /// Drive the message-level runtime for run.slots rounds. Dynamic
+  /// scenarios apply each slot's GraphDelta between protocol rounds: agents
+  /// within the blast radius re-discover their neighborhoods, and nodes
+  /// the model took offline stop participating until they rejoin.
   NetRunSummary run_net() const;
+
+  /// The step-API handle this scenario denotes: a ChannelAccessScheme over
+  /// this runner's network, configured from the same SolverSpec — for
+  /// user-owned radio environments that call decide()/report() themselves
+  /// while describing everything else declaratively. Static scenarios only.
+  ChannelAccessScheme make_scheme() const;
+
+  /// Build this scenario's dynamic topology driver seeded from `base_seed`
+  /// (see dynamics_seed_of). One driver per run; requires is_dynamic().
+  dynamics::DynamicNetwork make_dynamic_network(
+      std::uint64_t base_seed) const;
 
  private:
   struct Parts;  // built graph + model, carried into the delegate ctor

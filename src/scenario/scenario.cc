@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/channel_access.h"
+#include "dynamics/registries.h"
 #include "net/runtime.h"
 #include "scenario/registries.h"
 
@@ -38,11 +39,14 @@ static_assert(SolverSpec{}.memoized_covers ==
                   net::NetConfig{}.use_memoized_covers &&
               SolverSpec{}.memoized_covers ==
                   ChannelAccessConfig{}.use_memoized_covers);
+static_assert(NetSpec{}.drop_prob == net::NetConfig{}.drop_prob &&
+              NetSpec{}.drop_seed == net::NetConfig{}.drop_seed);
 
 namespace {
 
 const std::vector<std::string> kSections{
-    "topology", "channel", "policy", "solver", "run", "replication", "timing"};
+    "topology", "channel", "policy",      "dynamics", "solver",
+    "run",      "net",     "replication", "timing"};
 
 /// One fixed-schema field: the key plus its parse-and-assign action.
 /// Routing and the valid-keys error message both come from this table, so
@@ -115,6 +119,18 @@ const std::vector<FieldDef>& run_fields() {
   return fields;
 }
 
+const std::vector<FieldDef>& net_fields() {
+  static const std::vector<FieldDef> fields{
+      {"drop_prob", [](Scenario& s, const std::string& v, const std::string& w) {
+         s.net.drop_prob = parse_double_value(v, w);
+       }},
+      {"drop_seed", [](Scenario& s, const std::string& v, const std::string& w) {
+         s.net.drop_seed = parse_uint_value(v, w);
+       }},
+  };
+  return fields;
+}
+
 const std::vector<FieldDef>& replication_fields() {
   static const std::vector<FieldDef> fields{
       {"replications",
@@ -159,6 +175,7 @@ const std::vector<FieldDef>& timing_fields() {
 const std::vector<FieldDef>* fixed_section(const std::string& section) {
   if (section == "solver") return &solver_fields();
   if (section == "run") return &run_fields();
+  if (section == "net") return &net_fields();
   if (section == "replication") return &replication_fields();
   if (section == "timing") return &timing_fields();
   return nullptr;
@@ -207,6 +224,19 @@ void set_field(Scenario& s, const std::string& section, const std::string& key,
       s.policy.kind = value;
     else
       s.policy.params.set(key, value);
+    return;
+  }
+  if (section == "dynamics") {
+    // Like the other component sections, but with two reserved fixed keys
+    // next to the free-form model parameters.
+    if (key == "kind")
+      s.dynamics.model.kind = value;
+    else if (key == "incremental")
+      s.dynamics.incremental = parse_bool_value(value, where);
+    else if (key == "seed")
+      s.dynamics.seed = parse_uint_value(value, where);
+    else
+      s.dynamics.model.params.set(key, value);
     return;
   }
   if (const std::vector<FieldDef>* fields = fixed_section(section)) {
@@ -302,6 +332,11 @@ std::string serialize_scenario(const Scenario& s) {
   emit_params(os, s.channel.params);
   os << "\n[policy]\nkind = " << s.policy.kind << "\n";
   emit_params(os, s.policy.params);
+  os << "\n[dynamics]\nkind = " << s.dynamics.model.kind << "\n"
+     << "incremental = " << (s.dynamics.incremental ? "true" : "false")
+     << "\n"
+     << "seed = " << s.dynamics.seed << "\n";
+  emit_params(os, s.dynamics.model.params);
   os << "\n[solver]\n"
      << "kind = " << solver_kind_key(s.solver.kind) << "\n"
      << "r = " << s.solver.r << "\n"
@@ -319,6 +354,9 @@ std::string serialize_scenario(const Scenario& s) {
      << "series_stride = " << s.run.series_stride << "\n"
      << "count_messages = " << (s.run.count_messages ? "true" : "false")
      << "\n";
+  os << "\n[net]\n"
+     << "drop_prob = " << format_double(s.net.drop_prob) << "\n"
+     << "drop_seed = " << s.net.drop_seed << "\n";
   os << "\n[replication]\n"
      << "replications = " << s.replication.replications << "\n"
      << "seed0 = " << s.replication.seed0 << "\n"
@@ -369,6 +407,11 @@ void validate_fields(const Scenario& s) {
     throw ScenarioError("replication.replications must be >= 0");
   if (s.replication.parallelism < 0)
     throw ScenarioError("replication.parallelism must be >= 0");
+  // ControlChannel requires drop_prob < 1 (a channel that drops everything
+  // can never complete discovery), so reject 1.0 here with the key name
+  // instead of letting the assert fire later.
+  if (s.net.drop_prob < 0.0 || s.net.drop_prob >= 1.0)
+    throw ScenarioError("net.drop_prob must be in [0, 1)");
 }
 
 void validate(const Scenario& s) {
@@ -379,6 +422,12 @@ void validate(const Scenario& s) {
         "scenario has no channel model ([channel] kind is empty)");
   channel_registry().validate(s.channel.kind, s.channel.params);
   policy_registry().validate(s.policy.kind, s.policy.params);
+  dynamics::dynamics_registry().validate(s.dynamics.model.kind,
+                                         s.dynamics.model.params);
+}
+
+bool is_dynamic(const Scenario& s) {
+  return s.dynamics.model.kind != dynamics::kStaticDynamicsKind;
 }
 
 // ----------------------------------------------------------- conversions

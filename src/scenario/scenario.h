@@ -71,6 +71,33 @@ struct RunSpec {
   bool operator==(const RunSpec&) const = default;
 };
 
+/// Topology dynamics over the run ([dynamics] section; src/dynamics). The
+/// model is a registry component like topologies/channels/policies —
+/// `kind = static` (the default) means the graph is frozen at slot 0 and
+/// every engine takes its original fast path.
+struct DynamicsSpec {
+  ComponentSpec model{"static", {}};
+  /// Maintain graph + neighborhood cache incrementally (scoped
+  /// invalidation); false = rebuild everything from scratch on every change
+  /// (the reference mode — byte-identical results, bench baseline).
+  bool incremental = true;
+  /// Seed of the dynamics randomness; 0 (default) derives it from the run
+  /// seed (and, under replication, from each replication's seed), so churn
+  /// is replicated like the channel realization is.
+  std::uint64_t seed = 0;
+
+  bool operator==(const DynamicsSpec&) const = default;
+};
+
+/// Message-level runtime knobs ([net] section): control-channel failure
+/// injection, declarative at last (the ROADMAP's drop-prob lever).
+struct NetSpec {
+  double drop_prob = 0.0;     ///< Per-flood reception failure probability.
+  std::uint64_t drop_seed = 0;
+
+  bool operator==(const NetSpec&) const = default;
+};
+
 /// Multi-seed replication. replications = 0 means a plain single run.
 struct ReplicationSpec {
   int replications = 0;
@@ -87,6 +114,8 @@ struct Scenario {
   ComponentSpec channel{"gaussian", {}};
   int num_channels = 8;  ///< M ([channel] key `channels`).
   ComponentSpec policy{"cab", {}};
+  DynamicsSpec dynamics;
+  NetSpec net;
   SolverSpec solver;
   RunSpec run;
   ReplicationSpec replication;
@@ -94,6 +123,10 @@ struct Scenario {
 
   bool operator==(const Scenario&) const = default;
 };
+
+/// True iff the scenario's topology changes over time (its [dynamics]
+/// model is anything but the built-in "static" no-op).
+bool is_dynamic(const Scenario& s);
 
 // ------------------------------------------------------------- text format
 

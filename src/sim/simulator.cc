@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "dynamics/dynamic_network.h"
 #include "mwis/branch_and_bound.h"
 #include "mwis/distributed_ptas.h"
 #include "mwis/greedy.h"
@@ -23,14 +24,16 @@ const char* to_string(SolverKind kind) {
 
 Simulator::Simulator(const ExtendedConflictGraph& ecg,
                      const ChannelModel& model, const IndexPolicy& policy,
-                     SimulationConfig cfg)
-    : ecg_(ecg), model_(model), policy_(policy), cfg_(cfg) {
+                     SimulationConfig cfg, dynamics::DynamicNetwork* dyn)
+    : ecg_(ecg), model_(model), policy_(policy), cfg_(cfg), dyn_(dyn) {
   MHCA_ASSERT(ecg.num_nodes() == model.num_nodes() &&
                   ecg.num_channels() == model.num_channels(),
               "graph/model dimension mismatch");
   MHCA_ASSERT(cfg_.slots >= 1, "need at least one slot");
   MHCA_ASSERT(cfg_.update_period >= 1, "update period must be positive");
   MHCA_ASSERT(cfg_.series_stride >= 1, "series stride must be positive");
+  MHCA_ASSERT(dyn_ == nullptr || &dyn_->ecg() == &ecg_,
+              "dynamic simulation must run over the DynamicNetwork's graph");
 }
 
 SimulationResult Simulator::run() {
@@ -45,9 +48,9 @@ SimulationResult Simulator::run() {
   // NeighborhoodCache at construction, so only build it when selected.
   std::unique_ptr<DistributedRobustPtas> engine;
   std::unique_ptr<MwisSolver> central;
+  DistributedPtasConfig dcfg;  // kept: dynamic full-rebuild re-uses it
   switch (cfg_.solver) {
     case SolverKind::kDistributedPtas: {
-      DistributedPtasConfig dcfg;
       dcfg.r = cfg_.r;
       dcfg.max_mini_rounds = cfg_.D;
       dcfg.local_solver = cfg_.local_solver;
@@ -75,11 +78,44 @@ SimulationResult Simulator::run() {
 
   std::vector<double> weights;
   std::vector<int> strategy;
+  std::vector<int> active_list;  // central-solver candidates when masked
   double estimated_sum = 0.0;  // index-sum W_x of the current strategy
   double sum_observed = 0.0, sum_effective = 0.0, sum_estimated = 0.0;
   double sum_expected = 0.0, sum_strategy_size = 0.0;
+  const bool is_dynamic = dyn_ != nullptr && dyn_->dynamic();
 
   for (std::int64_t t = 1; t <= cfg_.slots; ++t) {
+    if (is_dynamic && t > 1) {
+      const dynamics::SlotChange& ch = dyn_->advance(t);
+      if (ch.changed) {
+        if (engine) {
+          if (dyn_->incremental())
+            engine->on_graph_delta(ch.touched_vertices);
+          else
+            engine = std::make_unique<DistributedRobustPtas>(h, dcfg);
+        }
+        // A strategy carried across non-decision slots must stay feasible
+        // on the new graph: drop members that went inactive, then members
+        // that now conflict with an earlier (lower-id) kept member. Purely
+        // deterministic, so both maintenance modes prune identically.
+        if (!strategy.empty()) {
+          const std::span<const char> mask = dyn_->active_vertex_mask();
+          std::vector<int> kept;
+          kept.reserve(strategy.size());
+          for (int v : strategy) {
+            bool ok =
+                mask.empty() || mask[static_cast<std::size_t>(v)] != 0;
+            for (std::size_t i = 0; ok && i < kept.size(); ++i)
+              ok = !h.has_edge(v, kept[i]);
+            if (ok)
+              kept.push_back(v);
+            else
+              estimated_sum -= weights[static_cast<std::size_t>(v)];
+          }
+          strategy = std::move(kept);
+        }
+      }
+    }
     const bool decision_slot = ((t - 1) % cfg_.update_period) == 0;
     if (decision_slot) {
       const auto t0 = Clock::now();
@@ -89,15 +125,23 @@ SimulationResult Simulator::run() {
       } else {
         policy_.compute_indices(est, t, weights);
       }
+      const std::span<const char> mask =
+          is_dynamic ? dyn_->active_vertex_mask() : std::span<const char>{};
       if (cfg_.solver == SolverKind::kDistributedPtas) {
         if (cfg_.count_messages && !strategy.empty())
           out.total_messages += engine->weight_broadcast_messages(strategy);
-        DistributedPtasResult dres = engine->run(weights);
+        DistributedPtasResult dres = engine->run(weights, mask);
         strategy = std::move(dres.winners);
         out.total_messages += dres.total_messages;
         out.total_mini_timeslots += dres.total_mini_timeslots;
-      } else {
+      } else if (mask.empty()) {
         strategy = central->solve_all(h, weights).vertices;
+      } else {
+        // Centralized oracles see only the live part of H.
+        active_list.clear();
+        for (int v = 0; v < k_arms; ++v)
+          if (mask[static_cast<std::size_t>(v)]) active_list.push_back(v);
+        strategy = central->solve(h, weights, active_list).vertices;
       }
       estimated_sum = 0.0;
       for (int v : strategy)

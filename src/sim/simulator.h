@@ -18,6 +18,10 @@
 #include "graph/extended_graph.h"
 #include "sim/config.h"
 
+namespace mhca::dynamics {
+class DynamicNetwork;
+}
+
 namespace mhca {
 
 struct SimulationResult {
@@ -50,9 +54,16 @@ struct SimulationResult {
 
 class Simulator {
  public:
-  /// All references must outlive the simulator.
+  /// All references must outlive the simulator. `dyn`, when given, owns the
+  /// (mutable) topology behind `ecg` — it must be the same object `ecg`
+  /// refers to — and is advanced between slots: the engine's neighborhood
+  /// cache follows the graph by scoped invalidation (or full rebuild when
+  /// dyn->incremental() is off), inactive vertices are masked out of every
+  /// decision, and a strategy carried across non-decision slots is pruned
+  /// of members the change made inactive or conflicting.
   Simulator(const ExtendedConflictGraph& ecg, const ChannelModel& model,
-            const IndexPolicy& policy, SimulationConfig cfg);
+            const IndexPolicy& policy, SimulationConfig cfg,
+            dynamics::DynamicNetwork* dyn = nullptr);
 
   SimulationResult run();
 
@@ -63,6 +74,7 @@ class Simulator {
   const ChannelModel& model_;
   const IndexPolicy& policy_;
   SimulationConfig cfg_;
+  dynamics::DynamicNetwork* dyn_ = nullptr;
 };
 
 }  // namespace mhca

@@ -45,6 +45,16 @@ std_frac = 0.1
 kind = llr
 L = 9
 
+[dynamics]
+kind = churn
+incremental = false
+seed = 21
+leave_prob = 0.05
+
+[net]
+drop_prob = 0.1
+drop_seed = 3
+
 [solver]
 kind = distributed
 r = 3
@@ -85,6 +95,12 @@ TEST(ScenarioFormat, ParseReadsEveryField) {
   EXPECT_DOUBLE_EQ(s.channel.params.get_double("std_frac", 0.0), 0.1);
   EXPECT_EQ(s.policy.kind, "llr");
   EXPECT_EQ(s.policy.params.get_int("L", 0), 9);
+  EXPECT_EQ(s.dynamics.model.kind, "churn");
+  EXPECT_FALSE(s.dynamics.incremental);
+  EXPECT_EQ(s.dynamics.seed, 21u);
+  EXPECT_DOUBLE_EQ(s.dynamics.model.params.get_double("leave_prob", 0), 0.05);
+  EXPECT_DOUBLE_EQ(s.net.drop_prob, 0.1);
+  EXPECT_EQ(s.net.drop_seed, 3u);
   EXPECT_EQ(s.solver.kind, SolverKind::kDistributedPtas);
   EXPECT_EQ(s.solver.r, 3);
   EXPECT_EQ(s.solver.D, 6);

@@ -16,12 +16,14 @@
 // replication when [replication] replications >= 1, or the message-level
 // protocol runtime with --net. `print` parses + validates and emits the
 // canonical serialized form (what a round-trip preserves). `list` shows
-// every registered topology / channel model / policy with its accepted keys.
+// every registered topology / channel model / policy / dynamics model with
+// its accepted keys.
 #include <exception>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "dynamics/registries.h"
 #include "scenario/registries.h"
 #include "scenario/runner.h"
 #include "scenario/scenario.h"
@@ -111,6 +113,8 @@ int cmd_list() {
                        keys_of(scenario::channel_registry()));
   print_registry_table("policy", scenario::policy_registry().names(),
                        keys_of(scenario::policy_registry()));
+  print_registry_table("dynamics model", dynamics::dynamics_registry().names(),
+                       keys_of(dynamics::dynamics_registry()));
   std::cout << "solver kinds: "
             << scenario::join_keys(scenario::solver_kind_keys()) << "\n"
             << "local solvers: "
