@@ -13,9 +13,17 @@
 // A per-stage breakdown (election / gather / solve / apply) shows where
 // each path spends its time, and the solver columns track search effort.
 //
+// The grid crosses Graph::kAdjacencyMatrixLimit (8192): the large-n cells
+// run without a dense adjacency matrix — sharded sparse rows feed the
+// solver gather, and the incremental SoA election carries candidate sets
+// across mini-rounds — demonstrating that the decision path no longer has
+// an 8192-vertex wall. `--smoke` shrinks the grid for CI (one modest
+// beyond-the-limit cell instead of the 50k-vertex one).
+//
 // Emits a human-readable table on stdout and machine-readable JSON (default
 // BENCH_decision_path.json, or argv[1]) so the perf trajectory of the
 // decision path is tracked from PR 1 on.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -155,15 +163,38 @@ Cell run_cell(int users, int r, int channels, int decisions) {
   cell.cached_ms = cached_ms;
   cell.speedup = cell.cached_ms > 0.0 ? cell.seed_ms / cell.cached_ms : 0.0;
 
-  // Stage breakdown from one clean instrumented pass per path.
-  seed_engine.reset_stage_times();
-  cached_engine.reset_stage_times();
-  for (int d = 0; d < decisions; ++d) {
-    seed_engine.run(weights[static_cast<std::size_t>(d)]);
-    cached_engine.run(weights[static_cast<std::size_t>(d)]);
+  // Stage breakdown: best-of-N instrumented passes per path, per-stage
+  // minima — the same variance killer the headline timing uses, applied to
+  // the breakdown so single-pass scheduler noise doesn't masquerade as a
+  // stage regression (stages are an order of magnitude shorter than whole
+  // decisions, so they need the extra repetitions; the sub-millisecond
+  // small/medium cells get the most).
+  const auto min_stages = [](const DecisionStageTimes& a,
+                             const DecisionStageTimes& b) {
+    return DecisionStageTimes{std::min(a.election_ms, b.election_ms),
+                              std::min(a.gather_ms, b.gather_ms),
+                              std::min(a.solve_ms, b.solve_ms),
+                              std::min(a.apply_ms, b.apply_ms)};
+  };
+  // Each path runs its decisions in a streak, exactly like the headline
+  // timing loops above — interleaving the engines per decision would let
+  // the seed path's full-graph sweeps evict the cached path's ball arrays
+  // between decisions and charge the misses to the wrong stage.
+  const int stage_reps = users <= 800 ? 7 : 3;
+  for (int rep = 0; rep < stage_reps; ++rep) {
+    seed_engine.reset_stage_times();
+    for (int d = 0; d < decisions; ++d)
+      seed_engine.run(weights[static_cast<std::size_t>(d)]);
+    cached_engine.reset_stage_times();
+    for (int d = 0; d < decisions; ++d)
+      cached_engine.run(weights[static_cast<std::size_t>(d)]);
+    const DecisionStageTimes s =
+        per_decision(seed_engine.stage_times(), decisions);
+    const DecisionStageTimes c =
+        per_decision(cached_engine.stage_times(), decisions);
+    cell.seed_stages = rep == 0 ? s : min_stages(cell.seed_stages, s);
+    cell.cached_stages = rep == 0 ? c : min_stages(cell.cached_stages, c);
   }
-  cell.seed_stages = per_decision(seed_engine.stage_times(), decisions);
-  cell.cached_stages = per_decision(cached_engine.stage_times(), decisions);
   return cell;
 }
 
@@ -210,8 +241,15 @@ std::string json_of(const std::vector<Cell>& cells, int channels) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path =
-      argc > 1 ? argv[1] : "BENCH_decision_path.json";
+  std::string json_path = "BENCH_decision_path.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke")
+      smoke = true;
+    else
+      json_path = a;
+  }
   const int kChannels = 4;
 
   std::cout << "=== Decision path: seed re-derivation vs cached "
@@ -219,23 +257,43 @@ int main(int argc, char** argv) {
             << "    (identical enhanced local solver on both paths; "
                "speedup isolates the caching)\n\n";
 
+  struct GridCell {
+    int users;
+    int r;
+    int decisions;
+  };
+  // Decision counts trade runtime for timing stability: the per-stage
+  // numbers of a cell come from (reps x decisions) instrumented runs, and
+  // cached-path stages are fractions of a millisecond — too short a pass
+  // gets dominated by scheduler ticks.
+  std::vector<GridCell> grid;
+  for (int users : {50, 200, 800})
+    for (int r : {1, 2, 3})
+      grid.push_back({users, r, users >= 800 ? 16 : (users >= 200 ? 12 : 20)});
+  if (smoke) {
+    // CI: one cell past the dense-matrix limit proves the sharded path.
+    grid.push_back({2300, 2, 3});
+  } else {
+    // The former 8192-vertex wall and well past it (50k H vertices).
+    grid.push_back({3200, 2, 4});
+    grid.push_back({3200, 3, 4});
+    grid.push_back({12500, 2, 3});
+  }
+
   std::vector<Cell> cells;
   TablePrinter table({"users", "r", "|H|", "decisions", "cache build ms",
                       "seed ms", "cached ms", "speedup", "identical",
                       "nodes/decision", "exact"});
-  for (int users : {50, 200, 800}) {
-    for (int r : {1, 2, 3}) {
-      const int decisions = users >= 800 ? 8 : (users >= 200 ? 12 : 20);
-      const Cell c = run_cell(users, r, kChannels, decisions);
-      cells.push_back(c);
-      table.row(std::to_string(c.users), std::to_string(c.r),
-                std::to_string(c.vertices), std::to_string(c.decisions),
-                fixed(c.cache_build_ms, 2), fixed(c.seed_ms, 3),
-                fixed(c.cached_ms, 3), fixed(c.speedup, 2) + "x",
-                c.identical ? "yes" : "NO",
-                fixed(c.nodes_per_decision, 0),
-                c.all_solves_exact ? "yes" : "capped");
-    }
+  for (const GridCell& gc : grid) {
+    const Cell c = run_cell(gc.users, gc.r, kChannels, gc.decisions);
+    cells.push_back(c);
+    table.row(std::to_string(c.users), std::to_string(c.r),
+              std::to_string(c.vertices), std::to_string(c.decisions),
+              fixed(c.cache_build_ms, 2), fixed(c.seed_ms, 3),
+              fixed(c.cached_ms, 3), fixed(c.speedup, 2) + "x",
+              c.identical ? "yes" : "NO",
+              fixed(c.nodes_per_decision, 0),
+              c.all_solves_exact ? "yes" : "capped");
   }
   table.print(std::cout);
 

@@ -1,0 +1,73 @@
+#include "dynamics/batch.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace mhca::dynamics {
+
+void DeltaBatch::accumulate(const GraphDelta& d) {
+  for (const auto& [u, v] : d.added_edges) {
+    const auto key = edge_key(u, v);
+    const auto it = edges_.find(key);
+    if (it != edges_.end()) {
+      // Present entry must be a pending removal: the edge existed at the
+      // last flush, went away, and now returns — net nothing.
+      MHCA_ASSERT(it->second == -1, "batched add of an already-added edge");
+      edges_.erase(it);
+    } else {
+      edges_.emplace(key, +1);
+    }
+  }
+  for (const auto& [u, v] : d.removed_edges) {
+    const auto key = edge_key(u, v);
+    const auto it = edges_.find(key);
+    if (it != edges_.end()) {
+      MHCA_ASSERT(it->second == +1,
+                  "batched removal of an already-removed edge");
+      edges_.erase(it);
+    } else {
+      edges_.emplace(key, -1);
+    }
+  }
+  const auto toggle = [&](int i, char now) {
+    const auto it = activity_.find(i);
+    if (it != activity_.end()) {
+      MHCA_ASSERT(it->second.second != now,
+                  "batched activity toggle does not change state");
+      it->second.second = now;
+    } else {
+      // First toggle in the window: the pre-batch state is the opposite.
+      activity_.emplace(i, std::pair<char, char>{!now, now});
+    }
+  };
+  for (int i : d.deactivated) toggle(i, 0);
+  for (int i : d.activated) toggle(i, 1);
+}
+
+void DeltaBatch::flush(GraphDelta& out) {
+  out.clear();
+  for (const auto& [key, dir] : edges_) {
+    const int u = static_cast<int>(key >> 32);
+    const int v = static_cast<int>(key & 0xFFFFFFFF);
+    if (dir > 0)
+      out.added_edges.emplace_back(u, v);
+    else
+      out.removed_edges.emplace_back(u, v);
+  }
+  std::sort(out.added_edges.begin(), out.added_edges.end());
+  std::sort(out.removed_edges.begin(), out.removed_edges.end());
+  for (const auto& [i, state] : activity_) {
+    if (state.first == state.second) continue;  // left and came back
+    if (state.second)
+      out.activated.push_back(i);
+    else
+      out.deactivated.push_back(i);
+  }
+  std::sort(out.activated.begin(), out.activated.end());
+  std::sort(out.deactivated.begin(), out.deactivated.end());
+  edges_.clear();
+  activity_.clear();
+}
+
+}  // namespace mhca::dynamics

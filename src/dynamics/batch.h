@@ -1,0 +1,53 @@
+// DeltaBatch — coalesce a run of per-slot GraphDeltas into one net delta.
+//
+// The second ROADMAP dynamics lever: when the engines only *decide* every
+// `update_period` slots, paying structural maintenance (Graph::apply_delta,
+// scoped cache invalidation, strategy pruning) on every intermediate slot
+// buys nothing the next decision can see. A DeltaBatch accumulates the
+// model's slot deltas and, at flush time, emits the *net* change versus the
+// state at the last flush: an edge added and removed inside the window
+// cancels outright (churny edges often do), a node that left and rejoined
+// never appears, and the blast radius handed to cache invalidation covers
+// only edges that actually differ. Applying the flushed delta yields a
+// graph byte-identical to applying every slot delta in order
+// (tests/dynamics_differential_test.cc fuzzes this).
+//
+// Used by DynamicNetwork's batch mode (`batch_period`, scenario key
+// `dynamics.batch`); see dynamic_network.h for the semantics trade-off.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "dynamics/delta.h"
+
+namespace mhca::dynamics {
+
+class DeltaBatch {
+ public:
+  /// Fold one slot's delta in. Deltas must arrive in slot order and be
+  /// exact with respect to the evolving (unflushed) state, which is what
+  /// every DynamicsModel emits.
+  void accumulate(const GraphDelta& d);
+
+  bool empty() const { return edges_.empty() && activity_.empty(); }
+
+  /// Write the net delta since the last flush into `out` (sorted canonical
+  /// edge lists, ascending node lists) and reset the batch. `out` may be
+  /// empty even after nonempty accumulates — everything cancelled.
+  void flush(GraphDelta& out);
+
+ private:
+  static std::int64_t edge_key(int u, int v) {
+    return (static_cast<std::int64_t>(u) << 32) | static_cast<std::uint32_t>(v);
+  }
+
+  /// Net edge state vs last flush: +1 = added, -1 = removed. An entry that
+  /// returns to its pre-batch state is erased.
+  std::unordered_map<std::int64_t, int> edges_;
+  /// first = state before the batch, second = current state. Erased when
+  /// they re-converge is handled at flush (cheaper than eager erase).
+  std::unordered_map<int, std::pair<char, char>> activity_;
+};
+
+}  // namespace mhca::dynamics

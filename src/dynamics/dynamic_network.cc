@@ -21,6 +21,13 @@ DynamicNetwork::DynamicNetwork(ConflictGraph base, int num_channels,
       active_vertices_(static_cast<std::size_t>(ecg_.num_vertices()), 1),
       active_count_(cg_.num_nodes()) {}
 
+void DynamicNetwork::set_batch_period(int period) {
+  MHCA_ASSERT(period >= 1, "batch period must be positive");
+  MHCA_ASSERT(last_slot_ == 1 && batch_.empty(),
+              "set_batch_period before the first advance()");
+  batch_period_ = period;
+}
+
 const SlotChange& DynamicNetwork::advance(std::int64_t t) {
   MHCA_ASSERT(t == last_slot_ + 1,
               "advance() must be called once per slot, in order");
@@ -31,7 +38,20 @@ const SlotChange& DynamicNetwork::advance(std::int64_t t) {
   if (!model_) return change_;
 
   const GraphDelta& d = model_->step(t);
-  if (d.empty()) return change_;
+  if (batch_period_ > 1) {
+    // Batched maintenance: fold the slot delta in; apply the coalesced net
+    // change only on the slots decisions are made on.
+    if (!d.empty()) batch_.accumulate(d);
+    if (((t - 1) % batch_period_) != 0 || batch_.empty()) return change_;
+    batch_.flush(net_delta_);
+    if (!net_delta_.empty()) apply_change(net_delta_);
+    return change_;
+  }
+  if (!d.empty()) apply_change(d);
+  return change_;
+}
+
+void DynamicNetwork::apply_change(const GraphDelta& d) {
   change_.changed = true;
   change_.delta = d;
   ++slots_changed_;
@@ -76,11 +96,11 @@ const SlotChange& DynamicNetwork::advance(std::int64_t t) {
     apply_full_rebuild(change_.delta);
 
   // A node that left must now be isolated in G (the model's contract: its
-  // incident edges travel in the same delta).
+  // incident edges travel in the same delta; coalescing preserves this —
+  // an edge back to a net-deactivated node cannot survive the window).
   for (int i : change_.delta.deactivated)
     MHCA_ASSERT(cg_.graph().degree(i) == 0,
                 "deactivated node still has conflict edges");
-  return change_;
 }
 
 void DynamicNetwork::apply_incremental(const GraphDelta& d) {

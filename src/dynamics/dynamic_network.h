@@ -17,6 +17,19 @@
 //           modes are byte-identical by construction *and* by test
 //           (tests/dynamics_differential_test.cc); the reference mode exists
 //           to prove that and to be the bench baseline (bench_dynamics).
+//
+// Orthogonally, `set_batch_period(P)` batches structural maintenance across
+// multi-slot update periods (the engines only decide every P slots — paying
+// apply_delta + cache invalidation on slots no decision reads is wasted):
+// the model still steps every slot, but its deltas accumulate in a
+// DeltaBatch and are applied as one *coalesced* net delta at the slots
+// decisions happen on (t with (t-1) % P == 0), cancelling add/remove churn
+// inside the window. The graph the engines see at every decision slot is
+// byte-identical to eager per-slot maintenance (fuzzed); what changes is
+// that *between* decisions the topology (and the activity masks) hold
+// still, so per-intermediate-slot consumers (strategy-feasibility pruning,
+// per-slot conflict checks) observe the window-start state instead of the
+// evolving one. P = 1 (default) is exact eager maintenance.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +37,7 @@
 #include <span>
 #include <vector>
 
+#include "dynamics/batch.h"
 #include "dynamics/delta.h"
 #include "dynamics/model.h"
 #include "graph/conflict_graph.h"
@@ -50,6 +64,11 @@ class DynamicNetwork {
 
   bool dynamic() const { return model_ != nullptr; }
   bool incremental() const { return incremental_; }
+
+  /// Batch structural maintenance to every `period`-th slot (see the class
+  /// comment). Call before the first advance(); period >= 1, 1 = eager.
+  void set_batch_period(int period);
+  int batch_period() const { return batch_period_; }
 
   const ConflictGraph& network() const { return cg_; }
   const ExtendedConflictGraph& ecg() const { return ecg_; }
@@ -81,6 +100,9 @@ class DynamicNetwork {
   std::int64_t edges_removed() const { return edges_removed_; }
 
  private:
+  /// Shared tail of advance(): masks, touched vertices, structural apply,
+  /// stats — for the slot delta (eager) or the coalesced one (batched).
+  void apply_change(const GraphDelta& d);
   void apply_incremental(const GraphDelta& d);
   void apply_full_rebuild(const GraphDelta& d);
 
@@ -88,6 +110,9 @@ class DynamicNetwork {
   ExtendedConflictGraph ecg_;
   std::unique_ptr<DynamicsModel> model_;
   bool incremental_ = true;
+  int batch_period_ = 1;
+  DeltaBatch batch_;
+  GraphDelta net_delta_;
   std::vector<char> active_nodes_;
   std::vector<char> active_vertices_;
   int active_count_ = 0;

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/spatial_grid.h"
 #include "util/assert.h"
 
 namespace mhca::dynamics {
@@ -216,16 +217,18 @@ class WaypointModel final : public DynamicsModel {
                  rng_.uniform(box_.y0, box_.y1)};
   }
 
-  std::vector<std::pair<int, int>> edge_set() const {
+  /// Unit-disk edges of the current positions via the spatial grid:
+  /// O(n * k) per slot instead of the O(n^2) all-pairs sweep. The grid
+  /// emits in cell order; sorting the (small) edge list restores the
+  /// canonical ascending order set_difference needs.
+  std::vector<std::pair<int, int>> edge_set() {
+    grid_.rebuild(positions_, radius_);
     std::vector<std::pair<int, int>> out;
-    const double r2 = radius_ * radius_;
-    const int n = static_cast<int>(positions_.size());
-    for (int i = 0; i < n; ++i)
-      for (int j = i + 1; j < n; ++j)
-        if (squared_distance(positions_[static_cast<std::size_t>(i)],
-                             positions_[static_cast<std::size_t>(j)]) <= r2)
-          out.emplace_back(i, j);
-    return out;  // (i, j) ascending — already sorted.
+    out.reserve(edges_.size() + 16);
+    grid_.for_each_pair_within(positions_, radius_,
+                               [&](int i, int j) { out.emplace_back(i, j); });
+    std::sort(out.begin(), out.end());
+    return out;
   }
 
   std::vector<Point> positions_;
@@ -237,6 +240,7 @@ class WaypointModel final : public DynamicsModel {
   std::vector<Point> targets_;
   std::vector<int> pause_left_;
   std::vector<std::pair<int, int>> edges_;  ///< Current edge set, sorted.
+  SpatialGrid grid_;                        ///< Rebuilt from moved positions.
   GraphDelta delta_;
 };
 
@@ -267,6 +271,11 @@ class PrimaryUserModel final : public DynamicsModel {
       centers_.push_back(Point{rng_.uniform(box.x0, box.x1),
                                rng_.uniform(box.y0, box.y1)});
     on_.assign(static_cast<std::size_t>(regions), 0);
+    // Secondary users never move in this model, so one grid serves every
+    // slot's coverage queries: O(points inside) per on-region instead of an
+    // all-points distance scan per region.
+    grid_.rebuild(positions_, radius_);
+    covered_.assign(positions_.size(), 0);
   }
 
   const char* name() const override { return "primary_user"; }
@@ -279,16 +288,16 @@ class PrimaryUserModel final : public DynamicsModel {
         on_[k] = 1;
       }
     }
-    const double r2 = radius_ * radius_;
+    std::fill(covered_.begin(), covered_.end(), 0);
+    for (std::size_t k = 0; k < centers_.size(); ++k) {
+      if (!on_[k]) continue;
+      grid_.for_each_within(positions_, centers_[k], radius_, [&](int i) {
+        covered_[static_cast<std::size_t>(i)] = 1;
+      });
+    }
     std::vector<int> leavers, joiners;
     for (std::size_t i = 0; i < positions_.size(); ++i) {
-      bool covered = false;
-      for (std::size_t k = 0; k < centers_.size(); ++k)
-        if (on_[k] && squared_distance(positions_[i], centers_[k]) <= r2) {
-          covered = true;
-          break;
-        }
-      const bool up = !covered;
+      const bool up = !covered_[i];
       if (active_[i] && !up) leavers.push_back(static_cast<int>(i));
       if (!active_[i] && up) joiners.push_back(static_cast<int>(i));
     }
@@ -306,6 +315,8 @@ class PrimaryUserModel final : public DynamicsModel {
   double on_prob_;
   double off_prob_;
   Rng rng_;
+  SpatialGrid grid_;        ///< Over the (static) positions, cell = radius.
+  std::vector<char> covered_;
   GraphDelta delta_;
 };
 

@@ -1,5 +1,6 @@
 #include "graph/conflict_graph.h"
 
+#include "graph/spatial_grid.h"
 #include "util/assert.h"
 
 namespace mhca {
@@ -12,12 +13,12 @@ ConflictGraph ConflictGraph::from_positions(std::vector<Point> positions,
   cg.graph_ = Graph(n);
   cg.positions_ = std::move(positions);
   cg.radius_ = radius;
-  const double r2 = radius * radius;
-  for (int i = 0; i < n; ++i)
-    for (int j = i + 1; j < n; ++j)
-      if (squared_distance(cg.positions_[static_cast<std::size_t>(i)],
-                           cg.positions_[static_cast<std::size_t>(j)]) <= r2)
-        cg.graph_.add_edge(i, j);
+  // Grid sweep: O(n * k) pair tests instead of O(n^2). Edge insertion is
+  // order-independent (sorted adjacency vectors), so the graph is identical
+  // to the naive double loop's.
+  const SpatialGrid grid(cg.positions_, radius);
+  grid.for_each_pair_within(cg.positions_, radius,
+                            [&](int i, int j) { cg.graph_.add_edge(i, j); });
   cg.graph_.finalize();
   return cg;
 }

@@ -5,12 +5,24 @@
 //
 // Build phase: edges accumulate in per-vertex sorted adjacency vectors.
 // Read phase: `finalize()` packs the adjacency into a flat CSR layout
-// (`offsets_` / `edges_`) so neighbor iteration is one contiguous span, and
-// (for n <= kAdjacencyMatrixLimit) a packed bitset adjacency matrix so
-// `has_edge` is a single bit test and solvers can gather local adjacency
-// rows with word-wide masks. All graph factories in the library finalize
-// before returning; an unfinalized graph still answers every query through
-// the build-phase vectors, just slower. See src/graph/README.md.
+// (`offsets_` / `edges_`) so neighbor iteration is one contiguous span, plus
+// one of two packed bitset forms behind the same API:
+//
+//   - n <= kAdjacencyMatrixLimit: a dense bitset adjacency matrix (n^2
+//     bits), so `has_edge` is a single bit test and solvers gather local
+//     adjacency rows with word-wide masks over the full column range;
+//   - n >  kAdjacencyMatrixLimit: sharded sparse rows — per vertex, only
+//     the *nonzero* 64-column blocks of its matrix row, stored as parallel
+//     (block index, word) CSR arrays. `has_edge` is a binary search over
+//     the row's O(deg) blocks plus a bit test, and solvers gather adjacency
+//     by masking each stored block against a candidate bitset, so the hot
+//     paths keep word-wide semantics at any n with O(V + E) memory instead
+//     of O(n^2) bits.
+//
+// All graph factories in the library finalize before returning; an
+// unfinalized graph still answers every query through the build-phase
+// vectors, just slower. See src/graph/README.md for the memory/complexity
+// table and the representation-selection rule.
 #pragma once
 
 #include <cstdint>
@@ -31,8 +43,10 @@ namespace mhca {
 /// repeatedly.
 class Graph {
  public:
-  /// Densest n for which `finalize()` builds the bitset adjacency matrix
-  /// (n^2 bits; 8192 vertices = 8 MiB — small beside the CSR arrays).
+  /// Densest n for which `finalize()` builds the dense bitset adjacency
+  /// matrix (n^2 bits; 8192 vertices = 8 MiB — small beside the CSR
+  /// arrays). Larger graphs get sharded sparse rows instead (O(V + E)
+  /// memory); see the header comment for the trade-off.
   static constexpr int kAdjacencyMatrixLimit = 8192;
 
   Graph() = default;
@@ -94,6 +108,28 @@ class Graph {
             row_blocks_};
   }
 
+  /// True once `finalize()` has built the sharded sparse rows (only for
+  /// graphs with size() > kAdjacencyMatrixLimit). Mutually exclusive with
+  /// `has_adjacency_matrix()`.
+  bool has_sparse_rows() const { return !srow_offsets_.empty(); }
+
+  /// Ascending indices of the nonzero 64-column blocks of row v. Aligned
+  /// with `sparse_row_words(v)`: block b of the span covers columns
+  /// [64*b, 64*b+64) and its word has bit (u % 64) set iff {v, u} is an
+  /// edge with u / 64 == b.
+  std::span<const int> sparse_row_blocks(int v) const {
+    const auto b = static_cast<std::size_t>(srow_offsets_[static_cast<std::size_t>(v)]);
+    const auto e = static_cast<std::size_t>(srow_offsets_[static_cast<std::size_t>(v) + 1]);
+    return {srow_blocks_.data() + b, e - b};
+  }
+
+  /// The words of row v's nonzero blocks; aligned with sparse_row_blocks.
+  std::span<const std::uint64_t> sparse_row_words(int v) const {
+    const auto b = static_cast<std::size_t>(srow_offsets_[static_cast<std::size_t>(v)]);
+    const auto e = static_cast<std::size_t>(srow_offsets_[static_cast<std::size_t>(v) + 1]);
+    return {srow_words_.data() + b, e - b};
+  }
+
   std::int64_t num_edges() const;
   double average_degree() const;
   int max_degree() const;
@@ -109,6 +145,14 @@ class Graph {
   /// drop the packed structure.
   void definalize();
 
+  /// Rebuild the sharded sparse rows from the (already current) CSR arrays.
+  void build_sparse_rows();
+
+  /// Append row v's nonzero blocks, derived from its sorted CSR neighbor
+  /// row, onto the sparse-row output arrays.
+  void append_sparse_row(int v, std::vector<int>& blocks,
+                         std::vector<std::uint64_t>& words) const;
+
   int n_ = 0;
 
   // Build phase.
@@ -119,6 +163,10 @@ class Graph {
   std::vector<int> edges_;              ///< size 2|E|, sorted per row.
   std::vector<std::uint64_t> bits_;     ///< n_ rows of row_blocks_ words.
   std::size_t row_blocks_ = 0;
+  // Sharded sparse rows (only when n_ > kAdjacencyMatrixLimit).
+  std::vector<std::int64_t> srow_offsets_;  ///< size n_+1.
+  std::vector<int> srow_blocks_;            ///< Nonzero block ids per row.
+  std::vector<std::uint64_t> srow_words_;   ///< Aligned block words.
 };
 
 }  // namespace mhca

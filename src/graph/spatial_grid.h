@@ -1,0 +1,196 @@
+// Uniform spatial grid over 2-D points for unit-disk neighbor queries.
+//
+// The unit-disk constructions in this repo — ConflictGraph::from_positions,
+// the waypoint mobility model's per-slot edge re-derivation, the
+// primary-user region coverage test — all ask the same question: which
+// pairs/points lie within Euclidean distance d of each other / of a center?
+// The naive answer is O(n^2) distance tests per call, which is exactly the
+// per-slot wall the dynamics layer hits at large n (ROADMAP). This grid
+// buckets points into square cells of side >= the query radius, so a
+// radius query inspects only the 3x3 cell neighborhood of its center and a
+// pair sweep inspects only the forward half of each cell's neighborhood:
+// O(n * k) total for k average neighbors-per-cell-window, with a counting-
+// sort build that is O(n + cells) per rebuild (mobility rebuilds it every
+// slot; reuse one instance to keep the allocations).
+//
+// Determinism: enumeration visits cells in row-major order and points in
+// input order within a cell, so the emitted sequence is a pure function of
+// the input points — callers that need globally sorted pairs sort the
+// (small) result. Equality with the O(n^2) sweep is fuzzed in
+// tests/graph_property_test.cc.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/geometry.h"
+
+namespace mhca {
+
+class SpatialGrid {
+ public:
+  SpatialGrid() = default;
+
+  /// Build over `pts` with cells of side max(cell_size, tiny). Cell side
+  /// must be >= the radius of later queries for correctness (asserted only
+  /// by construction: queries clamp to the 3x3 window).
+  SpatialGrid(const std::vector<Point>& pts, double cell_size) {
+    rebuild(pts, cell_size);
+  }
+
+  /// Re-bucket (same or new points); reuses all allocations.
+  void rebuild(const std::vector<Point>& pts, double cell_size) {
+    const int n = static_cast<int>(pts.size());
+    cell_ = std::max(cell_size, 1e-12);
+    min_x_ = 0.0;
+    min_y_ = 0.0;
+    cols_ = rows_ = 1;
+    if (n > 0) {
+      double max_x = pts[0].x, max_y = pts[0].y;
+      min_x_ = pts[0].x;
+      min_y_ = pts[0].y;
+      for (const Point& p : pts) {
+        min_x_ = std::min(min_x_, p.x);
+        min_y_ = std::min(min_y_, p.y);
+        max_x = std::max(max_x, p.x);
+        max_y = std::max(max_y, p.y);
+      }
+      // Bound the bucket array: a radius far below the arena scale would
+      // otherwise allocate quadratically many empty cells (and overflow the
+      // int cell counts — the division is clamped before the cast for that
+      // reason). Growing the cell side only widens the candidate window —
+      // never loses a neighbor.
+      const auto cells_along = [](double spread, double cell) {
+        const double c = spread / cell;
+        return c >= 1e9 ? std::int64_t{1} << 31
+                        : 1 + static_cast<std::int64_t>(c);
+      };
+      std::int64_t cols = cells_along(max_x - min_x_, cell_);
+      std::int64_t rows = cells_along(max_y - min_y_, cell_);
+      while (cols * rows >
+             std::max<std::int64_t>(64, 4 * static_cast<std::int64_t>(n))) {
+        cell_ *= 2.0;
+        cols = cells_along(max_x - min_x_, cell_);
+        rows = cells_along(max_y - min_y_, cell_);
+      }
+      cols_ = static_cast<int>(cols);
+      rows_ = static_cast<int>(rows);
+    }
+    const auto cells = static_cast<std::size_t>(cols_) *
+                       static_cast<std::size_t>(rows_);
+    // Counting sort into CSR: cell -> contiguous point-id range.
+    start_.assign(cells + 1, 0);
+    for (int i = 0; i < n; ++i) ++start_[static_cast<std::size_t>(cell_of(pts[static_cast<std::size_t>(i)])) + 1];
+    for (std::size_t c = 0; c < cells; ++c) start_[c + 1] += start_[c];
+    ids_.resize(static_cast<std::size_t>(n));
+    fill_.assign(cells, 0);
+    for (int i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(cell_of(pts[static_cast<std::size_t>(i)]));
+      ids_[static_cast<std::size_t>(start_[c]) +
+           static_cast<std::size_t>(fill_[c]++)] = i;
+    }
+  }
+
+  /// Call f(i, j) with i < j for every unordered pair at distance <=
+  /// radius. Requires radius <= the build cell size. Each pair is visited
+  /// exactly once (forward half-window sweep).
+  template <typename F>
+  void for_each_pair_within(const std::vector<Point>& pts, double radius,
+                            F&& f) const {
+    const double r2 = radius * radius;
+    // Forward neighbors of cell (cx, cy): itself (intra-cell pairs a < b),
+    // east, and the three cells of the next row — every unordered cell
+    // pair at Chebyshev distance <= 1 is covered exactly once.
+    for (int cy = 0; cy < rows_; ++cy) {
+      for (int cx = 0; cx < cols_; ++cx) {
+        const auto a_begin = start_[index(cx, cy)];
+        const auto a_end = start_[index(cx, cy) + 1];
+        for (auto ai = a_begin; ai < a_end; ++ai) {
+          const int i = ids_[static_cast<std::size_t>(ai)];
+          for (auto aj = ai + 1; aj < a_end; ++aj) {
+            const int j = ids_[static_cast<std::size_t>(aj)];
+            emit_if_close(pts, i, j, r2, f);
+          }
+        }
+        static constexpr int kForward[4][2] = {{1, 0}, {-1, 1}, {0, 1}, {1, 1}};
+        for (const auto& d : kForward) {
+          const int nx = cx + d[0], ny = cy + d[1];
+          if (nx < 0 || nx >= cols_ || ny >= rows_) continue;
+          const auto b_begin = start_[index(nx, ny)];
+          const auto b_end = start_[index(nx, ny) + 1];
+          for (auto ai = a_begin; ai < a_end; ++ai) {
+            const int i = ids_[static_cast<std::size_t>(ai)];
+            for (auto bj = b_begin; bj < b_end; ++bj) {
+              const int j = ids_[static_cast<std::size_t>(bj)];
+              emit_if_close(pts, i, j, r2, f);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  /// Call f(i) for every point at distance <= radius of `center`.
+  /// Requires radius <= the build cell size.
+  template <typename F>
+  void for_each_within(const std::vector<Point>& pts, const Point& center,
+                       double radius, F&& f) const {
+    const double r2 = radius * radius;
+    const int cx = clamped_col(center.x);
+    const int cy = clamped_row(center.y);
+    for (int ny = std::max(0, cy - 1); ny <= std::min(rows_ - 1, cy + 1);
+         ++ny) {
+      for (int nx = std::max(0, cx - 1); nx <= std::min(cols_ - 1, cx + 1);
+           ++nx) {
+        const auto b = start_[index(nx, ny)];
+        const auto e = start_[index(nx, ny) + 1];
+        for (auto k = b; k < e; ++k) {
+          const int i = ids_[static_cast<std::size_t>(k)];
+          if (squared_distance(pts[static_cast<std::size_t>(i)], center) <= r2)
+            f(i);
+        }
+      }
+    }
+  }
+
+  double cell_size() const { return cell_; }
+
+ private:
+  template <typename F>
+  static void emit_if_close(const std::vector<Point>& pts, int i, int j,
+                            double r2, F& f) {
+    if (squared_distance(pts[static_cast<std::size_t>(i)],
+                         pts[static_cast<std::size_t>(j)]) <= r2) {
+      if (i < j)
+        f(i, j);
+      else
+        f(j, i);
+    }
+  }
+
+  int clamped_col(double x) const {
+    const int c = static_cast<int>((x - min_x_) / cell_);
+    return std::clamp(c, 0, cols_ - 1);
+  }
+  int clamped_row(double y) const {
+    const int r = static_cast<int>((y - min_y_) / cell_);
+    return std::clamp(r, 0, rows_ - 1);
+  }
+  int cell_of(const Point& p) const {
+    return index(clamped_col(p.x), clamped_row(p.y));
+  }
+  std::size_t index(int cx, int cy) const {
+    return static_cast<std::size_t>(cy) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(cx);
+  }
+
+  double cell_ = 1.0;
+  double min_x_ = 0.0, min_y_ = 0.0;
+  int cols_ = 1, rows_ = 1;
+  std::vector<std::int64_t> start_;  ///< cells+1 CSR offsets.
+  std::vector<int> ids_;             ///< Point ids, cell-major.
+  std::vector<int> fill_;            ///< Build-time cursor per cell.
+};
+
+}  // namespace mhca

@@ -46,6 +46,8 @@ class Search {
     s_.adj.assign(n_ * blocks_, 0);
     if (opts_.use_adjacency_rows && g.has_adjacency_matrix()) {
       build_adjacency_from_rows(g);
+    } else if (opts_.use_adjacency_rows && g.has_sparse_rows()) {
+      build_adjacency_from_sparse_rows(g);
     } else {
       build_adjacency_from_lists(g);
     }
@@ -101,6 +103,38 @@ class Search {
       std::uint64_t* out = &s_.adj[i * blocks_];
       for (std::size_t b = 0; b < gb; ++b) {
         std::uint64_t word = row[b] & s_.cand_mask[b];
+        while (word != 0) {
+          const auto gu = b * 64 + static_cast<std::size_t>(
+                                       std::countr_zero(word));
+          const auto j = static_cast<std::size_t>(s_.global_to_local[gu]);
+          out[j / 64] |= (std::uint64_t{1} << (j % 64));
+          word &= word - 1;
+        }
+      }
+    }
+  }
+
+  /// Sharded fast path (n beyond the dense-matrix limit): mask each
+  /// candidate's stored nonzero blocks against a full-width candidate
+  /// bitset and remap the surviving bits to local ids — O(row blocks) per
+  /// row, exactly the dense gather restricted to the blocks that exist.
+  void build_adjacency_from_sparse_rows(const Graph& g) {
+    const std::size_t gb = (static_cast<std::size_t>(g.size()) + 63) / 64;
+    s_.cand_mask.assign(gb, 0);
+    if (s_.global_to_local.size() < static_cast<std::size_t>(g.size()))
+      s_.global_to_local.resize(static_cast<std::size_t>(g.size()));
+    for (std::size_t i = 0; i < n_; ++i) {
+      const auto gi = static_cast<std::size_t>(s_.cands[i]);
+      s_.cand_mask[gi / 64] |= (std::uint64_t{1} << (gi % 64));
+      s_.global_to_local[gi] = static_cast<int>(i);
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      const auto row_blocks = g.sparse_row_blocks(s_.cands[i]);
+      const auto row_words = g.sparse_row_words(s_.cands[i]);
+      std::uint64_t* out = &s_.adj[i * blocks_];
+      for (std::size_t k = 0; k < row_blocks.size(); ++k) {
+        const auto b = static_cast<std::size_t>(row_blocks[k]);
+        std::uint64_t word = row_words[k] & s_.cand_mask[b];
         while (word != 0) {
           const auto gu = b * 64 + static_cast<std::size_t>(
                                        std::countr_zero(word));

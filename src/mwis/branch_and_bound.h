@@ -94,8 +94,10 @@ struct SolveScratch {
 /// are the fast path; all-false (plus use_adjacency_rows=false) reproduces
 /// the seed implementation exactly.
 struct BnbSolveOptions {
-  /// Gather local adjacency from the graph's packed bitset rows when
-  /// available (false = per-neighbor binary search, the seed build).
+  /// Gather local adjacency from the graph's packed rows when available —
+  /// dense bitset rows for n <= Graph::kAdjacencyMatrixLimit, sharded
+  /// sparse-row blocks beyond it (false = per-neighbor binary search, the
+  /// seed build).
   bool use_adjacency_rows = true;
   /// Enhanced search: component decomposition + conflict counters +
   /// residual-refined clique bound. False = classic (seed) search.

@@ -1,10 +1,16 @@
 #include "mwis/distributed_ptas.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <limits>
 #include <thread>
 #include <utility>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define MHCA_ELECTION_AVX2 1
+#endif
 
 #include "util/assert.h"
 #include "util/parallel.h"
@@ -23,11 +29,56 @@ Key key_of(int v, std::span<const double> w) {
 constexpr Key kMinKey{-std::numeric_limits<double>::infinity(),
                       std::numeric_limits<int>::min()};
 
+/// Order-preserving 64-bit encoding of a weight: for non-NaN doubles,
+/// enc(a) < enc(b) ⟺ a < b and enc(a) == enc(b) ⟺ a == b (-0.0 is
+/// collapsed onto +0.0 first, matching `==`). Every real weight — even
+/// -inf, which maps to 0x000fffffffffffff — encodes strictly above 0, so 0
+/// serves as the "not a candidate" sentinel in the SoA key array.
+std::uint64_t election_key(double w) {
+  if (w == 0.0) w = 0.0;
+  const auto b = std::bit_cast<std::uint64_t>(w);
+  return (b >> 63) != 0 ? ~b : (b | (std::uint64_t{1} << 63));
+}
+
 using Clock = std::chrono::steady_clock;
 
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
+
+#ifdef MHCA_ELECTION_AVX2
+/// Advance i (in steps of 4) to the first block of arr[i..i+4) containing a
+/// key >= kv, or to the last position where a full block no longer fits.
+/// Pure filter — the caller inspects the block scalar, so results are
+/// bit-identical to the scalar loop. AVX2 (vpgatherqq) only; dispatched
+/// behind a runtime cpu check. Keys are unsigned; biasing both sides by
+/// 2^63 turns the signed 64-bit compare into the unsigned one.
+__attribute__((target("avx2"))) std::size_t
+avx2_skip_below(const std::uint64_t* keys, const int* arr, std::size_t i,
+                std::size_t sz, std::uint64_t kv) {
+  const __m256i bias = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  // kb >= biased(kv) ⟺ kb > biased(kv) - 1; kv is a live candidate key,
+  // far above 0, so the decrement cannot wrap.
+  const __m256i threshold = _mm256_set1_epi64x(
+      static_cast<long long>((kv ^ 0x8000000000000000ULL) - 1));
+  for (; i + 4 <= sz; i += 4) {
+    const __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(arr + i));
+    const __m256i k = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(keys), idx, 8);
+    const __m256i ge = _mm256_cmpgt_epi64(_mm256_xor_si256(k, bias),
+                                          threshold);
+    if (!_mm256_testz_si256(ge, ge)) break;
+  }
+  return i;
+}
+
+bool have_avx2() {
+  static const bool ok = __builtin_cpu_supports("avx2");
+  return ok;
+}
+#endif
 
 }  // namespace
 
@@ -97,26 +148,191 @@ void DistributedRobustPtas::elect_by_relaxation(
 }
 
 void DistributedRobustPtas::elect_by_cache(
-    std::span<const double> weights, const std::vector<VertexStatus>& status,
-    std::vector<int>& leaders) {
-  const int n = h_.size();
-  for (int v = 0; v < n; ++v) {
-    if (status[static_cast<std::size_t>(v)] != VertexStatus::kCandidate)
-      continue;
-    const double wv = weights[static_cast<std::size_t>(v)];
-    bool is_leader = true;
-    for (int u : cache_.election_ball(v)) {
-      if (status[static_cast<std::size_t>(u)] != VertexStatus::kCandidate)
-        continue;
-      // key_of(u) > key_of(v) without materializing the pairs.
-      const double wu = weights[static_cast<std::size_t>(u)];
-      if (wu > wv || (wu == wv && u < v)) {
-        is_leader = false;
-        break;
+    const std::vector<VertexStatus>& status, std::vector<int>& leaders,
+    bool first_round) {
+  const std::uint64_t* keys = election_keys_.data();
+
+  // Scan candidate v for a blocking element and either record the blocker
+  // (chaining v onto the blocker's rescan list) or crown v a leader.
+  //
+  // An element blocks v iff its key beats kv, or ties it with a lower id
+  // (balls are ascending, so a tied element before v's own position has
+  // the lower id). Keys only ever *decrease* within a decision (marked
+  // vertices drop to the sentinel), so every element scanned past without
+  // blocking can never block later — rescans resume where the last scan
+  // stopped instead of re-reading the dead prefix; each candidate pays at
+  // most one amortized pass per tier per decision. Tier 1 is the r-ball
+  // (a subset of the election ball at a quarter of the memory footprint):
+  // virtually every non-leader finds a blocker among these nearest
+  // members; only candidates whose r-ball is exhausted pay tier 2, the
+  // full election ball.
+  const auto classify = [&](int v) {
+    const std::uint64_t kv = keys[v];
+    // First blocking position in arr at or after `from`, or arr.size().
+    // The common element is strictly below kv — one compare; only the rare
+    // >= kv element pays the tie-break test, and the deep tail runs a
+    // blockwise branch-light max (one rarely-taken branch per 4 members; a
+    // block whose max only *ties* kv still needs inspecting — it may hold
+    // a tied lower id, or just v itself).
+    const auto scan_for_blocker = [&](std::span<const int> arr,
+                                      std::size_t from) -> std::size_t {
+      const std::size_t sz = arr.size();
+      std::size_t i = from;
+      const std::size_t prefix = std::min<std::size_t>(sz, i + 8);
+      for (; i < prefix; ++i) {
+        const std::uint64_t k = keys[arr[i]];
+        if (k < kv) continue;
+        if (k > kv || arr[i] < v) return i;
+      }
+#ifdef MHCA_ELECTION_AVX2
+      if (have_avx2()) {
+        while (true) {
+          i = avx2_skip_below(keys, arr.data(), i, sz, kv);
+          if (i + 4 > sz) break;
+          // The block holds some key >= kv: inspect it scalar (a tie that
+          // is v itself, or a higher id, does not block — keep going).
+          for (std::size_t j = i; j < i + 4; ++j) {
+            const std::uint64_t k = keys[arr[j]];
+            if (k < kv) continue;
+            if (k > kv || arr[j] < v) return j;
+          }
+          i += 4;
+        }
+      } else
+#endif
+      for (; i + 4 <= sz; i += 4) {
+        const std::uint64_t m01 = std::max(keys[arr[i]], keys[arr[i + 1]]);
+        const std::uint64_t m23 =
+            std::max(keys[arr[i + 2]], keys[arr[i + 3]]);
+        if (std::max(m01, m23) < kv) continue;
+        for (std::size_t j = i; j < i + 4; ++j) {
+          const std::uint64_t k = keys[arr[j]];
+          if (k < kv) continue;
+          if (k > kv || arr[j] < v) return j;
+        }
+      }
+      for (; i < sz; ++i) {
+        const std::uint64_t k = keys[arr[i]];
+        if (k < kv) continue;
+        if (k > kv || arr[i] < v) return i;
+      }
+      return sz;
+    };
+    const auto chain_onto = [&](int b) {
+      const auto bi = static_cast<std::size_t>(b);
+      chain_next_[static_cast<std::size_t>(v)] = chain_head_[bi];
+      chain_head_[bi] = v;
+      has_chain_[bi / 64] |= std::uint64_t{1} << (bi % 64);
+    };
+    ScanCursor& cur = cursor_[static_cast<std::size_t>(v)];
+    // Tier 0: immediate neighbors. Roughly deg/(deg+1) of all candidates
+    // are outranked by a 1-hop neighbor, and the CSR row is a compact
+    // shared array (2|E| ints) instead of the multi-megabyte ball storage.
+    const auto nbrs = h_.neighbors(v);
+    if (static_cast<std::size_t>(cur.nbr) < nbrs.size()) {
+      const std::size_t pos =
+          scan_for_blocker(nbrs, static_cast<std::size_t>(cur.nbr));
+      cur.nbr = static_cast<int>(pos);
+      if (pos < nbrs.size()) {
+        chain_onto(nbrs[pos]);
+        return;
       }
     }
-    if (is_leader) leaders.push_back(v);
+    // Tiny r-balls (small r / sparse regions) aren't worth the extra
+    // resume cursor — the election ball itself is only a few cache lines.
+    // The gate depends only on the (static) ball size, so a candidate's
+    // tier choice is stable across rounds and the resume invariants hold.
+    const auto rball = cache_.r_ball(v);
+    if (rball.size() >= 24 && static_cast<std::size_t>(cur.rball) < rball.size()) {
+      const std::size_t pos =
+          scan_for_blocker(rball, static_cast<std::size_t>(cur.rball));
+      cur.rball = static_cast<int>(pos);
+      if (pos < rball.size()) {
+        chain_onto(rball[pos]);
+        return;
+      }
+    }
+    const auto ball = cache_.election_ball(v);
+    const std::size_t pos =
+        scan_for_blocker(ball, static_cast<std::size_t>(cur.eball));
+    if (pos == ball.size()) {
+      leaders.push_back(v);
+    } else {
+      cur.eball = static_cast<int>(pos);
+      chain_onto(ball[pos]);
+    }
+  };
+
+  if (first_round) {
+    const int n = h_.size();
+    for (int v = 0; v < n; ++v) {
+      if (status[static_cast<std::size_t>(v)] == VertexStatus::kCandidate)
+        classify(v);
+    }
+    return;  // ascending by construction
   }
+  // Later rounds are event-driven: only candidates whose blocker died last
+  // mini-round can change verdict (an alive blocker still outranks them),
+  // and those are exactly the chains of the vertices that left candidacy.
+  // Chain nodes are saved before classify() re-chains them, so the walk
+  // survives the mutation; dead chain members are skipped (their own chain,
+  // if any, is walked when their death is processed). The `has_chain_`
+  // bitmap pre-filters deaths with no blockees: the gather/solve/apply
+  // phases evict the election arrays between rounds, and a few hundred
+  // bytes of bitmap re-warm far cheaper than one cold chain_head_ line per
+  // death.
+  // The gather/solve phases of the previous round evicted the election
+  // arrays, so the rescans' memory chain (cursor -> row start -> keys) is
+  // all cold, dependent misses. Collecting the worklist first and running
+  // a short prefetch lookahead overlaps them instead of serializing.
+  rescan_buf_.clear();
+  for (const int c : died_) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (((has_chain_[ci / 64] >> (ci % 64)) & 1u) == 0) continue;
+    has_chain_[ci / 64] &= ~(std::uint64_t{1} << (ci % 64));
+    int w = chain_head_[ci];
+    chain_head_[ci] = -1;
+    while (w >= 0) {
+      const int nw = chain_next_[static_cast<std::size_t>(w)];
+      if (status[static_cast<std::size_t>(w)] == VertexStatus::kCandidate) {
+        rescan_buf_.push_back(w);
+        __builtin_prefetch(&cursor_[static_cast<std::size_t>(w)]);
+        __builtin_prefetch(&election_keys_[static_cast<std::size_t>(w)]);
+      }
+      w = nw;
+    }
+  }
+  constexpr std::size_t kRowAhead = 4;
+  constexpr std::size_t kKeyAhead = 2;
+  for (std::size_t i = 0; i < rescan_buf_.size(); ++i) {
+    if (i + kRowAhead < rescan_buf_.size()) {
+      // Cursor lines were prefetched during collection; by now they are
+      // close enough to read, so aim the next prefetch at the scan's first
+      // target: the candidate's CSR neighbor segment at its resume point.
+      const int w2 = rescan_buf_[i + kRowAhead];
+      const auto nb = h_.neighbors(w2);
+      const auto at = static_cast<std::size_t>(
+          cursor_[static_cast<std::size_t>(w2)].nbr);
+      if (at < nb.size()) __builtin_prefetch(nb.data() + at);
+    }
+    if (i + kKeyAhead < rescan_buf_.size()) {
+      // Two steps behind the row prefetch the segment is warm: read the
+      // first few neighbor ids and prefetch their keys — the key array is
+      // freshly evicted by the solve phase, and these gathers are the
+      // scan's serial dependent loads.
+      const int w1 = rescan_buf_[i + kKeyAhead];
+      const auto nb = h_.neighbors(w1);
+      const auto at = static_cast<std::size_t>(
+          cursor_[static_cast<std::size_t>(w1)].nbr);
+      const std::size_t end = std::min(nb.size(), at + 4);
+      for (std::size_t k = at; k < end; ++k)
+        __builtin_prefetch(&election_keys_[static_cast<std::size_t>(nb[k])]);
+    }
+    classify(rescan_buf_[i]);
+  }
+  // Chain-walk order is arbitrary; the protocol (and the seed path) elect
+  // in ascending id order, and apply order is observable.
+  std::sort(leaders.begin(), leaders.end());
 }
 
 void DistributedRobustPtas::gather_local_instances(
@@ -254,6 +470,25 @@ DistributedPtasResult DistributedRobustPtas::run(
   DistributedPtasResult res;
   std::vector<int> leaders;
 
+  // Cached path: materialize the SoA election keys and reset the blocker
+  // chains and scan cursors once per decision; elect_by_cache maintains
+  // them incrementally across mini-rounds, fed by the status flips the
+  // apply phase records in changed_/died_.
+  const bool cached = cache_.built();
+  if (cached) {
+    election_keys_.assign(static_cast<std::size_t>(n), 0);
+    chain_head_.assign(static_cast<std::size_t>(n), -1);
+    chain_next_.assign(static_cast<std::size_t>(n), -1);
+    has_chain_.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
+    cursor_.assign(static_cast<std::size_t>(n), {});
+    died_.clear();
+    for (int v = 0; v < n; ++v) {
+      if (status[static_cast<std::size_t>(v)] == VertexStatus::kCandidate)
+        election_keys_[static_cast<std::size_t>(v)] =
+            election_key(weights[static_cast<std::size_t>(v)]);
+    }
+  }
+
   int mini_round = 0;
   while (candidates > 0 &&
          (cfg_.max_mini_rounds == 0 || mini_round < cfg_.max_mini_rounds)) {
@@ -264,8 +499,8 @@ DistributedPtasResult DistributedRobustPtas::run(
     // --- LocalLeader selection (LS): max over the (2r+1)-hop ball. ---
     auto t0 = Clock::now();
     leaders.clear();
-    if (cache_.built()) {
-      elect_by_cache(weights, status, leaders);
+    if (cached) {
+      elect_by_cache(status, leaders, /*first_round=*/mini_round == 1);
     } else {
       elect_by_relaxation(weights, status, leaders);
     }
@@ -291,6 +526,7 @@ DistributedPtasResult DistributedRobustPtas::run(
     }
 
     // --- Status determination (LB), applied in election order. ---
+    changed_.clear();
     for (std::size_t li = 0; li < leaders.size(); ++li) {
       const int leader = leaders[li];
       const MwisResult& local = solve_results_[li];
@@ -300,6 +536,7 @@ DistributedPtasResult DistributedRobustPtas::run(
       // Winners first, then every remaining candidate in the ball loses.
       for (int v : local.vertices) {
         status[static_cast<std::size_t>(v)] = VertexStatus::kWinner;
+        if (cached) changed_.push_back(v);
         res.winners.push_back(v);
         res.weight += weights[static_cast<std::size_t>(v)];
         --candidates;
@@ -311,6 +548,7 @@ DistributedPtasResult DistributedRobustPtas::run(
         const int v = gather_cands_[ci];
         if (status[static_cast<std::size_t>(v)] == VertexStatus::kCandidate) {
           status[static_cast<std::size_t>(v)] = VertexStatus::kLoser;
+          if (cached) changed_.push_back(v);
           --candidates;
           ++rec.new_losers;
         }
@@ -323,6 +561,7 @@ DistributedPtasResult DistributedRobustPtas::run(
         for (int u : h_.neighbors(w)) {
           if (status[static_cast<std::size_t>(u)] == VertexStatus::kCandidate) {
             status[static_cast<std::size_t>(u)] = VertexStatus::kLoser;
+            if (cached) changed_.push_back(u);
             --candidates;
             ++rec.new_losers;
           }
@@ -332,6 +571,24 @@ DistributedPtasResult DistributedRobustPtas::run(
         rec.messages += ball_size(leader, election_hops);  // LD flood
         rec.messages += ball_size(leader, 3 * r + 2);      // LB flood
       }
+    }
+    // Election maintenance, O(status flips): a vertex leaving candidacy
+    // stops contributing to ball maxima, so its SoA key drops to the
+    // sentinel; the flips become the next election's rescan seeds (their
+    // chains hold exactly the candidates these deaths may unblock). The
+    // next election runs immediately after this loop, so prefetching each
+    // death's chain head here hides the misses the solve phase just
+    // inflicted on the election arrays.
+    if (cached) {
+      for (int c : changed_) {
+        const auto ci = static_cast<std::size_t>(c);
+        election_keys_[ci] = 0;
+#if defined(__GNUC__)
+        __builtin_prefetch(&has_chain_[ci / 64]);
+        __builtin_prefetch(&chain_head_[ci]);
+#endif
+      }
+      std::swap(died_, changed_);
     }
     if (timed) stage_times_.apply_ms += ms_since(t0);
 

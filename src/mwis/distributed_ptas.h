@@ -28,11 +28,17 @@
 // election checks each Candidate's election ball directly (equivalent to
 // the seed's (2r+1) rounds of max-relaxation, which compute exactly the
 // ball maxima a real flood would propagate), and local solves read cached
-// r-balls instead of re-running BFS. Message *accounting* is unchanged: it
-// still charges the real flood sizes. `use_decision_cache = false` restores
-// the seed re-derivation path (kept for equivalence tests and benches);
-// the local-solve *algorithm* is shared by both paths, so their decisions
-// are byte-identical unconditionally — node-cap aborts and weight ties
+// r-balls instead of re-running BFS. The cached election is additionally
+// structure-of-arrays and incremental: candidate weights live in a flat
+// array of order-preserving 64-bit keys scanned with a blockwise
+// branch-light max, and across mini-rounds only candidates whose election
+// ball saw a status flip are rescanned — an unchanged ball means an
+// unchanged maximum, so last round's "not a leader" verdict stands (see
+// elect_by_cache). Message *accounting* is unchanged: it still charges the
+// real flood sizes. `use_decision_cache = false` restores the seed
+// re-derivation path (kept for equivalence tests and benches); the
+// local-solve *algorithm* is shared by both paths, so their decisions are
+// byte-identical unconditionally — node-cap aborts and weight ties
 // included.
 #pragma once
 
@@ -168,9 +174,25 @@ class DistributedRobustPtas {
 
   /// Cached election: a Candidate leads iff no Candidate in its cached
   /// (2r+1)-hop ball has a larger key. Identical leader set by construction.
-  void elect_by_cache(std::span<const double> weights,
-                      const std::vector<VertexStatus>& status,
-                      std::vector<int>& leaders);
+  ///
+  /// Keys live in a structure-of-arrays `election_keys_` of order-preserving
+  /// 64-bit encodings (0 = not a candidate), so the ball scan is a
+  /// branch-light blockwise max over one flat array instead of per-member
+  /// status checks and double compares. Across mini-rounds the election is
+  /// *incremental and event-driven* via blocker certificates: when a scan
+  /// finds a ball member outranking v, v is chained onto that blocker's
+  /// rescan list and not looked at again while the blocker lives (a live
+  /// blocker still outranks v, so v still cannot lead). When a vertex
+  /// leaves candidacy, exactly its chained candidates are re-examined — and
+  /// a rescan *resumes* where the last scan stopped, because keys only
+  /// decrease within a decision, so the already-scanned prefix can never
+  /// block again. Scans run in three tiers of increasing reach and memory
+  /// footprint (CSR neighbor row, r-ball, election ball). Each candidate
+  /// pays at most one amortized pass per tier per decision, and rounds
+  /// after the first cost O(status flips + rescans), not O(candidates).
+  /// `first_round` scans everyone.
+  void elect_by_cache(const std::vector<VertexStatus>& status,
+                      std::vector<int>& leaders, bool first_round);
 
   /// Collect, for every elected leader, the Candidates of its r-ball (and
   /// their memoized clique ids when enabled) into the flat gather buffers.
@@ -194,6 +216,22 @@ class DistributedRobustPtas {
   // run() working buffers, reused across decision slots.
   std::vector<std::pair<double, int>> relax_;
   std::vector<std::pair<double, int>> relax_next_;
+  // Incremental SoA election state (cached path; see elect_by_cache).
+  std::vector<std::uint64_t> election_keys_;  ///< 0 = not a candidate.
+  std::vector<int> changed_;          ///< Status flips of this mini-round.
+  std::vector<int> died_;             ///< Last round's flips (rescan seeds).
+  std::vector<int> chain_head_;       ///< First candidate blocked by vertex.
+  std::vector<int> chain_next_;       ///< Next candidate sharing the blocker.
+  std::vector<std::uint64_t> has_chain_;  ///< Bit per vertex: chain nonempty.
+  std::vector<int> rescan_buf_;       ///< Per-round rescan worklist.
+  /// Per-candidate scan resume indices, one per tier (neighbors / r-ball /
+  /// election ball), packed together so a rescan touches one cache line.
+  struct ScanCursor {
+    int nbr = 0;
+    int rball = 0;
+    int eball = 0;
+  };
+  std::vector<ScanCursor> cursor_;
   std::vector<int> gather_cands_;        ///< Per-leader candidates, flat.
   std::vector<int> gather_cover_ids_;    ///< Aligned clique ids (memo mode).
   std::vector<std::size_t> gather_offsets_;

@@ -130,8 +130,13 @@ dynamics::DynamicNetwork ScenarioRunner::make_dynamic_network(
   std::unique_ptr<dynamics::DynamicsModel> model =
       dynamics::dynamics_registry().create(s_.dynamics.model.kind,
                                            s_.dynamics.model.params, ctx, rng);
-  return dynamics::DynamicNetwork(network_, s_.num_channels, std::move(model),
-                                  s_.dynamics.incremental);
+  dynamics::DynamicNetwork dyn(network_, s_.num_channels, std::move(model),
+                               s_.dynamics.incremental);
+  // Batched maintenance aligns the structural flushes with the decision
+  // slots; with update_period == 1 every slot decides, so eager == batched.
+  if (s_.dynamics.batch && s_.run.update_period > 1)
+    dyn.set_batch_period(s_.run.update_period);
+  return dyn;
 }
 
 ChannelAccessScheme ScenarioRunner::make_scheme() const {

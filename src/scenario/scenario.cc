@@ -233,6 +233,8 @@ void set_field(Scenario& s, const std::string& section, const std::string& key,
       s.dynamics.model.kind = value;
     else if (key == "incremental")
       s.dynamics.incremental = parse_bool_value(value, where);
+    else if (key == "batch")
+      s.dynamics.batch = parse_bool_value(value, where);
     else if (key == "seed")
       s.dynamics.seed = parse_uint_value(value, where);
     else
@@ -335,6 +337,7 @@ std::string serialize_scenario(const Scenario& s) {
   os << "\n[dynamics]\nkind = " << s.dynamics.model.kind << "\n"
      << "incremental = " << (s.dynamics.incremental ? "true" : "false")
      << "\n"
+     << "batch = " << (s.dynamics.batch ? "true" : "false") << "\n"
      << "seed = " << s.dynamics.seed << "\n";
   emit_params(os, s.dynamics.model.params);
   os << "\n[solver]\n"

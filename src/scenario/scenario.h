@@ -81,6 +81,13 @@ struct DynamicsSpec {
   /// invalidation); false = rebuild everything from scratch on every change
   /// (the reference mode — byte-identical results, bench baseline).
   bool incremental = true;
+  /// Coalesce the model's per-slot deltas and apply them as one net change
+  /// per run.update_period slots (dynamics::DeltaBatch): structural
+  /// maintenance is paid only on decision slots, and add/remove churn
+  /// inside a window cancels. Between decisions the engines see the
+  /// window-start topology — an explicit staleness trade-off, so off by
+  /// default; no effect when update_period == 1.
+  bool batch = false;
   /// Seed of the dynamics randomness; 0 (default) derives it from the run
   /// seed (and, under replication, from each replication's seed), so churn
   /// is replicated like the channel realization is.

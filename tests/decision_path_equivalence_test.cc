@@ -111,6 +111,36 @@ TEST(DecisionPathEquivalence, EqualWeightTies) {
   EXPECT_DOUBLE_EQ(a.weight, b.weight);
 }
 
+TEST(DecisionPathEquivalence, PathologicalElectionWeights) {
+  // The cached election encodes weights as order-preserving 64-bit keys;
+  // the seed path compares raw doubles. Exercise the encoding's edge
+  // cases — negative weights, signed zeros (-0.0 must tie +0.0 exactly as
+  // `==` does), dense ties — across repeated decisions and activity masks
+  // on one engine, so incremental state (blocker chains, resume cursors)
+  // is reused between runs.
+  Rng rng(87);
+  ConflictGraph cg = random_geometric_avg_degree(40, 5.0, rng,
+                                                 /*force_connected=*/false);
+  ExtendedConflictGraph ecg(cg, 3);
+  const Graph& h = ecg.graph();
+  DistributedPtasConfig seed_cfg;
+  seed_cfg.use_decision_cache = false;
+  DistributedRobustPtas cached(h, {});
+  DistributedRobustPtas seed(h, seed_cfg);
+  const double pool[] = {-1.5, -0.25, -0.0, 0.0, 0.25, 0.25, 0.5, 2.0};
+  std::vector<double> w(static_cast<std::size_t>(h.size()));
+  std::vector<char> active(static_cast<std::size_t>(h.size()), 1);
+  for (int decision = 0; decision < 6; ++decision) {
+    for (auto& x : w) x = pool[rng.uniform_int(0, 7)];
+    for (auto& m : active) m = rng.bernoulli(0.85) ? 1 : 0;
+    const auto a = cached.run(w, active);
+    const auto b = seed.run(w, active);
+    ASSERT_EQ(a.winners, b.winners) << "decision " << decision;
+    ASSERT_EQ(a.weight, b.weight) << "decision " << decision;
+    ASSERT_EQ(a.mini_rounds_used, b.mini_rounds_used);
+  }
+}
+
 TEST(NeighborhoodCache, BallsMatchBfs) {
   Rng rng(5);
   ConflictGraph cg = random_geometric_avg_degree(30, 5.0, rng);

@@ -180,6 +180,181 @@ TEST(DynamicsDifferential, GraphAndCacheMatchFreshBuildOnRandomSequences) {
   }
 }
 
+TEST(DynamicsDifferential, SparseRowGraphMatchesFreshBuildBeyondMatrixLimit) {
+  // Same structural claim past the dense-matrix limit: apply_delta must
+  // keep the sharded sparse rows (and the cache built over them) identical
+  // to a cold rebuild. One sparse graph, many deltas — the n > 8192 build
+  // is the expensive part, the deltas are cheap.
+  const int n = Graph::kAdjacencyMatrixLimit + 40;
+  Rng rng(4242);
+  std::set<std::pair<int, int>> present;
+  // A long path keeps balls nontrivial; random chords stress the blocks.
+  for (int i = 0; i + 1 < 400; ++i) present.insert({i, i + 1});
+  for (int t = 0; t < 300; ++t) {
+    int u = rng.uniform_int(0, n - 1), v = rng.uniform_int(0, n - 1);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    present.insert({u, v});
+  }
+  Graph g = from_edge_list(
+      n, std::vector<std::pair<int, int>>(present.begin(), present.end()));
+  ASSERT_TRUE(g.has_sparse_rows());
+  NeighborhoodCache cache(g, 1);
+
+  std::vector<std::pair<int, int>> added, removed;
+  for (int d = 0; d < 20; ++d) {
+    random_delta(n, present, rng, added, removed);
+    if (added.empty() && removed.empty()) continue;
+    g.apply_delta(added, removed);
+    cache.apply_delta(g, touched_of(added, removed));
+
+    const Graph rebuilt = from_edge_list(
+        n, std::vector<std::pair<int, int>>(present.begin(), present.end()));
+    ASSERT_TRUE(rebuilt.has_sparse_rows());
+    ASSERT_EQ(g.num_edges(), rebuilt.num_edges());
+    for (int v = 0; v < n; ++v) {
+      const auto ba = g.sparse_row_blocks(v);
+      const auto bb = rebuilt.sparse_row_blocks(v);
+      ASSERT_TRUE(std::equal(ba.begin(), ba.end(), bb.begin(), bb.end()))
+          << "sparse blocks of row " << v << " diverged at delta " << d;
+      const auto wa = g.sparse_row_words(v);
+      const auto wb = rebuilt.sparse_row_words(v);
+      ASSERT_TRUE(std::equal(wa.begin(), wa.end(), wb.begin(), wb.end()))
+          << "sparse words of row " << v << " diverged at delta " << d;
+    }
+    // Spot-check cached balls against a fresh bounded BFS (a full fresh
+    // cache per delta would dominate the test's runtime).
+    BfsScratch scratch(n);
+    std::vector<int> ball;
+    for (int v = 0; v < n; v += 509) {
+      scratch.k_hop_neighborhood(g, v, 1, ball);
+      const auto cached = cache.r_ball(v);
+      ASSERT_TRUE(std::equal(ball.begin(), ball.end(), cached.begin(),
+                             cached.end()))
+          << "ball " << v << " diverged at delta " << d;
+    }
+  }
+}
+
+// -------------------------------------------- batched delta coalescing
+
+TEST(DynamicsDifferential, BatchedDeltasMatchEagerApplicationAtFlushSlots) {
+  // DeltaBatch claim: accumulating k exact slot deltas and applying the
+  // flushed net delta yields the graph that applying all k in order yields
+  // — including when edges and nodes flip back and forth inside the window
+  // (the high-churn draws below revisit the same small id range, so
+  // cancellation actually happens).
+  for (int c = 0; c < 40; ++c) {
+    SCOPED_TRACE("case " + std::to_string(c));
+    Rng rng(5000 + static_cast<std::uint64_t>(c) * 71);
+    const int n = 8 + (c % 4) * 6;
+    std::set<std::pair<int, int>> present;
+    for (int t = 0; t < n; ++t) {
+      int u = rng.uniform_int(0, n - 1), v = rng.uniform_int(0, n - 1);
+      if (u == v) continue;
+      if (u > v) std::swap(u, v);
+      present.insert({u, v});
+    }
+    Graph eager = from_edge_list(
+        n, std::vector<std::pair<int, int>>(present.begin(), present.end()));
+    Graph batched = eager;
+
+    dynamics::DeltaBatch batch;
+    std::vector<std::pair<int, int>> added, removed;
+    const int window = 2 + c % 5;
+    for (int slot = 0; slot < window; ++slot) {
+      random_delta(n, present, rng, added, removed);
+      eager.apply_delta(added, removed);
+      dynamics::GraphDelta d;
+      d.added_edges = added;
+      d.removed_edges = removed;
+      batch.accumulate(d);
+    }
+    dynamics::GraphDelta net;
+    batch.flush(net);
+    batched.apply_delta(net.added_edges, net.removed_edges);
+    ASSERT_EQ(eager.num_edges(), batched.num_edges());
+    for (int v = 0; v < n; ++v) {
+      const auto na = eager.neighbors(v);
+      const auto nb = batched.neighbors(v);
+      ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()))
+          << "row " << v;
+    }
+    // The batch is reset by flush: a second flush is a no-op delta.
+    dynamics::GraphDelta empty;
+    batch.flush(empty);
+    ASSERT_TRUE(empty.empty());
+  }
+}
+
+TEST(DynamicsDifferential, BatchedNetworkMatchesEagerAtDecisionSlots) {
+  // DynamicNetwork batch mode: same model, same seed, one network eager and
+  // one batched to period P. At every flush slot the graphs, masks, and the
+  // decisions of engines maintained over them must be byte-identical; in
+  // between, the batched network must hold still.
+  for (const int period : {2, 4, 7}) {
+    SCOPED_TRACE("period " + std::to_string(period));
+    Rng topo(31);
+    ConflictGraph base = random_geometric_avg_degree(
+        20, 4.0, topo, /*force_connected=*/false);
+    const auto make_model = [&](std::uint64_t seed) {
+      Rng rng(seed);
+      scenario::ParamMap p;
+      p.set("leave_prob", "0.15");
+      p.set("join_prob", "0.4");
+      const dynamics::DynamicsBuildContext ctx{&base, 100};
+      return dynamics::dynamics_registry().create("churn", p, ctx, rng);
+    };
+    dynamics::DynamicNetwork eager(base, 3, make_model(9), true);
+    dynamics::DynamicNetwork batched(base, 3, make_model(9), true);
+    batched.set_batch_period(period);
+
+    DistributedPtasConfig cfg;
+    cfg.r = 2;
+    DistributedRobustPtas eager_engine(eager.ecg().graph(), cfg);
+    DistributedRobustPtas batched_engine(batched.ecg().graph(), cfg);
+
+    Rng wrng(17);
+    std::vector<double> w(
+        static_cast<std::size_t>(eager.ecg().num_vertices()));
+    int flushes = 0;
+    for (std::int64_t t = 2; t <= 60; ++t) {
+      const dynamics::SlotChange& ce = eager.advance(t);
+      if (ce.changed) eager_engine.on_graph_delta(ce.touched_vertices);
+      const dynamics::SlotChange& cb = batched.advance(t);
+      if (cb.changed) batched_engine.on_graph_delta(cb.touched_vertices);
+
+      const bool flush_slot = ((t - 1) % period) == 0;
+      if (!flush_slot) {
+        ASSERT_FALSE(cb.changed) << "batched network changed mid-window, t="
+                                 << t;
+        continue;
+      }
+      ++flushes;
+      // Graph equality at the decision boundary.
+      const Graph& ga = eager.ecg().graph();
+      const Graph& gb = batched.ecg().graph();
+      ASSERT_EQ(ga.num_edges(), gb.num_edges()) << "t=" << t;
+      for (int v = 0; v < ga.size(); ++v) {
+        const auto na = ga.neighbors(v);
+        const auto nb = gb.neighbors(v);
+        ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()))
+            << "row " << v << " t=" << t;
+      }
+      ASSERT_EQ(eager.active_nodes(), batched.active_nodes()) << "t=" << t;
+      // Decision equality over the maintained engines.
+      for (auto& x : w) x = wrng.uniform(0.05, 1.0);
+      const DistributedPtasResult a =
+          eager_engine.run(w, eager.active_vertex_mask());
+      const DistributedPtasResult b =
+          batched_engine.run(w, batched.active_vertex_mask());
+      ASSERT_EQ(a.winners, b.winners) << "t=" << t;
+      ASSERT_EQ(a.weight, b.weight) << "t=" << t;
+    }
+    ASSERT_GT(flushes, 3);
+  }
+}
+
 // ------------------------------------------------ layer 2: engine equality
 
 TEST(DynamicsDifferential, LongLivedEngineMatchesFreshEnginePerDelta) {

@@ -345,10 +345,13 @@ TEST(DynamicsScenario, ParseSerializeOverrideRoundTrip) {
   EXPECT_EQ(s.dynamics.model.kind, "churn");
   EXPECT_DOUBLE_EQ(s.dynamics.model.params.get_double("leave_prob", 0), 0.1);
   EXPECT_TRUE(s.dynamics.incremental);
+  EXPECT_FALSE(s.dynamics.batch);  // off by default (staleness trade-off)
   scenario::apply_override(s, "dynamics.incremental=false");
+  scenario::apply_override(s, "dynamics.batch=true");
   scenario::apply_override(s, "dynamics.seed=77");
   scenario::apply_override(s, "net.drop_prob=0.25");
   EXPECT_FALSE(s.dynamics.incremental);
+  EXPECT_TRUE(s.dynamics.batch);
   EXPECT_EQ(s.dynamics.seed, 77u);
   EXPECT_DOUBLE_EQ(s.net.drop_prob, 0.25);
   const Scenario back =

@@ -14,6 +14,7 @@
 #include "graph/hop.h"
 #include "graph/independence.h"
 #include "graph/induced.h"
+#include "graph/spatial_grid.h"
 #include "util/rng.h"
 
 namespace mhca {
@@ -187,6 +188,90 @@ TEST(GraphProperty, ExtendedGraphEdgeCount) {
         static_cast<std::int64_t>(20) * m * (m - 1) / 2 +
         static_cast<std::int64_t>(m) * cg.graph().num_edges();
     EXPECT_EQ(ecg.graph().num_edges(), expected);
+  }
+}
+
+TEST(GraphProperty, SpatialGridPairSweepMatchesAllPairs) {
+  // The unit-disk hot paths (from_positions, waypoint re-derivation) lean
+  // on the grid emitting exactly the naive O(n^2) sweep's pairs. Fuzz over
+  // point distributions: uniform, clustered (many points per cell),
+  // collinear, and coincident points; radii from "nothing close" to
+  // "everything close".
+  Rng rng(314);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 1 + trial % 40;
+    std::vector<Point> pts;
+    pts.reserve(static_cast<std::size_t>(n));
+    const int dist_kind = trial % 4;
+    for (int i = 0; i < n; ++i) {
+      switch (dist_kind) {
+        case 0:  // uniform square
+          pts.push_back(Point{rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+          break;
+        case 1:  // two tight clusters
+          pts.push_back(Point{rng.uniform(0.0, 0.5) + (i % 2) * 8.0,
+                              rng.uniform(0.0, 0.5)});
+          break;
+        case 2:  // collinear (degenerate rows of cells)
+          pts.push_back(Point{0.37 * i, 2.0});
+          break;
+        default:  // coincident + jitter
+          pts.push_back(Point{1.0 + 1e-9 * i, 1.0});
+          break;
+      }
+    }
+    const double radius = 0.05 + rng.uniform() * 5.0;
+    std::vector<std::pair<int, int>> naive;
+    const double r2 = radius * radius;
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j)
+        if (squared_distance(pts[static_cast<std::size_t>(i)],
+                             pts[static_cast<std::size_t>(j)]) <= r2)
+          naive.emplace_back(i, j);
+
+    const SpatialGrid grid(pts, radius);
+    std::vector<std::pair<int, int>> from_grid;
+    grid.for_each_pair_within(
+        pts, radius, [&](int i, int j) { from_grid.emplace_back(i, j); });
+    std::sort(from_grid.begin(), from_grid.end());
+    ASSERT_EQ(from_grid, naive) << "trial " << trial;
+
+    // Radius query around a random center (possibly outside the bbox).
+    const Point center{rng.uniform(-2.0, 12.0), rng.uniform(-2.0, 12.0)};
+    std::vector<int> naive_in;
+    for (int i = 0; i < n; ++i)
+      if (squared_distance(pts[static_cast<std::size_t>(i)], center) <= r2)
+        naive_in.push_back(i);
+    std::vector<int> grid_in;
+    grid.for_each_within(pts, center, radius,
+                         [&](int i) { grid_in.push_back(i); });
+    std::sort(grid_in.begin(), grid_in.end());
+    ASSERT_EQ(grid_in, naive_in) << "trial " << trial;
+  }
+}
+
+TEST(GraphProperty, GridBackedFromPositionsMatchesNaiveSweep) {
+  // ConflictGraph::from_positions now derives edges through the grid; the
+  // resulting graph must equal the direct all-pairs construction.
+  Rng rng(2718);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = 30 + trial * 7;
+    std::vector<Point> pts;
+    for (int i = 0; i < n; ++i)
+      pts.push_back(Point{rng.uniform(0.0, 6.0), rng.uniform(0.0, 6.0)});
+    const double radius = 0.3 + 0.15 * (trial % 5);
+    const ConflictGraph cg = ConflictGraph::from_positions(pts, radius);
+    const double r2 = radius * radius;
+    std::vector<std::pair<int, int>> naive;
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j)
+        if (squared_distance(pts[static_cast<std::size_t>(i)],
+                             pts[static_cast<std::size_t>(j)]) <= r2)
+          naive.emplace_back(i, j);
+    ASSERT_EQ(cg.graph().num_edges(),
+              static_cast<std::int64_t>(naive.size()));
+    for (const auto& [u, v] : naive)
+      ASSERT_TRUE(cg.graph().has_edge(u, v)) << u << "," << v;
   }
 }
 

@@ -1,0 +1,151 @@
+// Large-n smoke: the decision path past the dense-matrix limit.
+//
+// Everything here runs on graphs with more than Graph::kAdjacencyMatrixLimit
+// vertices, where finalize() builds sharded sparse rows instead of the n^2
+// bitset matrix. The claims: (1) the representation selection is what the
+// README's rule says, (2) the cached decision path (NeighborhoodCache +
+// sparse-row gather + incremental SoA election) takes byte-identical
+// decisions to the seed re-derivation path at n ≈ 10k, and (3) incremental
+// apply_delta keeps the sharded structures exact.
+//
+// ctest label "large": runs in the Release CI job only (Debug/ASan jobs
+// filter it out with -LE large — an unoptimized 10k-vertex decision is
+// minutes, not seconds).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "graph/extended_graph.h"
+#include "graph/generators.h"
+#include "mwis/distributed_ptas.h"
+#include "util/rng.h"
+
+namespace mhca {
+namespace {
+
+TEST(LargeN, RepresentationSelectionRule) {
+  Rng rng(5);
+  ConflictGraph small = random_geometric_avg_degree(
+      100, 5.0, rng, /*force_connected=*/false);
+  EXPECT_TRUE(small.graph().has_adjacency_matrix());
+  EXPECT_FALSE(small.graph().has_sparse_rows());
+
+  ConflictGraph big = random_geometric_avg_degree(
+      Graph::kAdjacencyMatrixLimit + 100, 5.0, rng, /*force_connected=*/false);
+  EXPECT_FALSE(big.graph().has_adjacency_matrix());
+  EXPECT_TRUE(big.graph().has_sparse_rows());
+
+  // Sparse rows agree with the CSR row for every vertex.
+  const Graph& g = big.graph();
+  std::vector<int> from_sparse;
+  for (int v = 0; v < g.size(); v += 97) {
+    from_sparse.clear();
+    const auto blocks = g.sparse_row_blocks(v);
+    const auto words = g.sparse_row_words(v);
+    ASSERT_EQ(blocks.size(), words.size());
+    for (std::size_t k = 0; k < blocks.size(); ++k) {
+      ASSERT_NE(words[k], 0u) << "stored zero block";
+      if (k > 0) ASSERT_LT(blocks[k - 1], blocks[k]) << "blocks not ascending";
+      for (int b = 0; b < 64; ++b)
+        if ((words[k] >> b) & 1u) from_sparse.push_back(blocks[k] * 64 + b);
+    }
+    const auto nb = g.neighbors(v);
+    ASSERT_TRUE(std::equal(nb.begin(), nb.end(), from_sparse.begin(),
+                           from_sparse.end()))
+        << "vertex " << v;
+  }
+}
+
+TEST(LargeN, CachedDecisionPathMatchesSeedPathAtTenThousandVertices) {
+  // 2500 users x 4 channels = 10000 H vertices — past the matrix limit, so
+  // the cached path gathers from sparse rows and the seed path from lists.
+  Rng rng(2026);
+  ConflictGraph cg = random_geometric_avg_degree(
+      2500, 6.0, rng, /*force_connected=*/false);
+  ExtendedConflictGraph ecg(cg, 4);
+  const Graph& h = ecg.graph();
+  ASSERT_GT(h.size(), Graph::kAdjacencyMatrixLimit);
+  ASSERT_TRUE(h.has_sparse_rows());
+
+  DistributedPtasConfig seed_cfg;
+  seed_cfg.r = 2;
+  seed_cfg.use_decision_cache = false;
+  seed_cfg.local_solve_parallelism = 1;
+  DistributedPtasConfig cached_cfg = seed_cfg;
+  cached_cfg.use_decision_cache = true;
+  cached_cfg.local_solve_parallelism = 0;  // fan out; determinism is claimed
+
+  DistributedRobustPtas seed_engine(h, seed_cfg);
+  DistributedRobustPtas cached_engine(h, cached_cfg);
+
+  std::vector<double> w(static_cast<std::size_t>(h.size()));
+  for (int decision = 0; decision < 2; ++decision) {
+    for (auto& x : w) x = rng.uniform(0.05, 1.0);
+    const DistributedPtasResult a = seed_engine.run(w);
+    const DistributedPtasResult b = cached_engine.run(w);
+    ASSERT_EQ(a.winners, b.winners) << "decision " << decision;
+    ASSERT_EQ(a.weight, b.weight) << "decision " << decision;
+    ASSERT_EQ(a.mini_rounds_used, b.mini_rounds_used);
+    ASSERT_TRUE(h.is_independent_set(b.winners));
+  }
+}
+
+TEST(LargeN, ApplyDeltaKeepsSparseRowsExact) {
+  Rng rng(77);
+  const int n = Graph::kAdjacencyMatrixLimit + 50;
+  Graph g(n);
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 4000; ++i) {
+    int u = rng.uniform_int(0, n - 1), v = rng.uniform_int(0, n - 1);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    edges.emplace_back(u, v);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  for (const auto& [u, v] : edges) g.add_edge(u, v);
+  g.finalize();
+  ASSERT_TRUE(g.has_sparse_rows());
+
+  // Remove a slice, add a fresh batch, and compare against a cold rebuild.
+  std::vector<std::pair<int, int>> removed(edges.begin(), edges.begin() + 200);
+  std::vector<std::pair<int, int>> added;
+  for (int i = 0; i < 300; ++i) {
+    int u = rng.uniform_int(0, n - 1), v = rng.uniform_int(0, n - 1);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (g.has_edge(u, v)) continue;
+    added.emplace_back(u, v);
+  }
+  std::sort(added.begin(), added.end());
+  added.erase(std::unique(added.begin(), added.end()), added.end());
+  // Re-adding a just-removed edge would make the delta inexact.
+  std::vector<std::pair<int, int>> clean_added;
+  std::set_difference(added.begin(), added.end(), removed.begin(),
+                      removed.end(), std::back_inserter(clean_added));
+  g.apply_delta(clean_added, removed);
+
+  std::vector<std::pair<int, int>> now(edges.begin() + 200, edges.end());
+  now.insert(now.end(), clean_added.begin(), clean_added.end());
+  std::sort(now.begin(), now.end());
+  Graph rebuilt(n);
+  for (const auto& [u, v] : now) rebuilt.add_edge(u, v);
+  rebuilt.finalize();
+
+  ASSERT_EQ(g.num_edges(), rebuilt.num_edges());
+  for (int v = 0; v < n; ++v) {
+    const auto ba = g.sparse_row_blocks(v);
+    const auto bb = rebuilt.sparse_row_blocks(v);
+    ASSERT_TRUE(std::equal(ba.begin(), ba.end(), bb.begin(), bb.end()))
+        << "blocks of row " << v;
+    const auto wa = g.sparse_row_words(v);
+    const auto wb = rebuilt.sparse_row_words(v);
+    ASSERT_TRUE(std::equal(wa.begin(), wa.end(), wb.begin(), wb.end()))
+        << "words of row " << v;
+  }
+}
+
+}  // namespace
+}  // namespace mhca

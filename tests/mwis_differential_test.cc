@@ -182,6 +182,69 @@ TEST(MwisDifferential, AllModesMatchBruteForceOn600Instances) {
   EXPECT_GE(solves, 2500);
 }
 
+TEST(MwisDifferential, SparseRowGatherMatchesBruteForceBeyondMatrixLimit) {
+  // Instances embedded in graphs past Graph::kAdjacencyMatrixLimit, where
+  // the default gather reads sharded sparse rows. Each trial mirrors the
+  // instance into a small dense-matrix graph for the brute-force reference
+  // and cross-checks the sparse gather against the list-scan build (same
+  // search tree, node counts included). Offsets place the instance across
+  // the id range so block indexing and the candidate mask see high columns.
+  const int big_n = Graph::kAdjacencyMatrixLimit + 64;
+  Rng rng(8193);
+  BruteForceMwisSolver brute(24);
+  BranchAndBoundMwisSolver solver;
+  SolveScratch scratch;
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 4 + trial % 12;
+    const int offset =
+        (trial % 5) * ((big_n - n - 2) / 4);  // 0 .. near the top
+    const double p = 0.15 + 0.2 * (trial % 4);
+    Graph small(n);
+    Graph big(big_n);
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j)
+        if (rng.uniform() < p) {
+          small.add_edge(i, j);
+          big.add_edge(offset + i, offset + j);
+        }
+    // Decoy edges out of the instance: the candidate mask must drop them.
+    for (int i = 0; i < n; ++i)
+      big.add_edge(offset + i, (offset + n + 7 * i + 1) % big_n);
+    small.finalize();
+    big.finalize();
+    ASSERT_TRUE(big.has_sparse_rows());
+
+    std::vector<double> w_small(static_cast<std::size_t>(n));
+    for (auto& x : w_small) x = draw_weight(trial % 4, rng);
+    std::vector<double> w_big(static_cast<std::size_t>(big_n), 0.0);
+    std::vector<int> cands_small, cands_big;
+    for (int v = 0; v < n; ++v) {
+      w_big[static_cast<std::size_t>(offset + v)] =
+          w_small[static_cast<std::size_t>(v)];
+      cands_small.push_back(v);
+      cands_big.push_back(offset + v);
+    }
+
+    const MwisResult ref = brute.solve(small, w_small, cands_small);
+    const MwisResult got = solver.solve(big, w_big, cands_big);
+    ASSERT_TRUE(got.exact) << "trial " << trial;
+    ASSERT_EQ(got.vertices.size(), ref.vertices.size()) << "trial " << trial;
+    for (std::size_t k = 0; k < ref.vertices.size(); ++k)
+      ASSERT_EQ(got.vertices[k], offset + ref.vertices[k])
+          << "trial " << trial;
+    ASSERT_NEAR(got.weight, ref.weight, 1e-12) << "trial " << trial;
+
+    BnbSolveOptions list_build;
+    list_build.use_adjacency_rows = false;
+    const MwisResult via_lists =
+        solver.solve_with_scratch(big, w_big, cands_big, scratch, list_build);
+    ASSERT_EQ(via_lists.vertices, got.vertices) << "trial " << trial;
+    ASSERT_EQ(via_lists.nodes_explored, got.nodes_explored)
+        << "trial " << trial;
+  }
+}
+
 TEST(MwisDifferential, TieWeightsExactDyadicEquality) {
   // All weights are multiples of 0.25: sums are exact in floating point, so
   // every mode must match brute force to the last bit despite massive

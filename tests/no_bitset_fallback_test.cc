@@ -1,11 +1,14 @@
-// Coverage for the no-bitset code paths: graphs larger than
-// Graph::kAdjacencyMatrixLimit never get a packed adjacency matrix, and
-// unfinalized graphs answer every query through build-phase vectors. The
-// solver's list-scan adjacency build and the NeighborhoodCache must behave
-// identically to the bitset/CSR fast paths in both situations.
+// Coverage for the non-dense-matrix code paths: graphs larger than
+// Graph::kAdjacencyMatrixLimit get sharded sparse rows instead of the n^2
+// bitset matrix, and unfinalized graphs answer every query through
+// build-phase vectors. The solver's sparse-row gather, its list-scan
+// fallback, and the NeighborhoodCache must all behave identically to the
+// dense bitset/CSR fast paths in every situation.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "graph/generators.h"
@@ -43,6 +46,7 @@ TEST(NoBitsetFallback, SolverMatchesBruteForceBeyondMatrixLimit) {
   big.finalize();
   small.finalize();
   ASSERT_FALSE(big.has_adjacency_matrix());
+  ASSERT_TRUE(big.has_sparse_rows());
   ASSERT_TRUE(big.finalized());
   ASSERT_TRUE(small.has_adjacency_matrix());
 
@@ -54,15 +58,65 @@ TEST(NoBitsetFallback, SolverMatchesBruteForceBeyondMatrixLimit) {
 
   BruteForceMwisSolver brute(24);
   const MwisResult ref = brute.solve(small, w_small, cands);
+  // Default path: gathers local adjacency from the sharded sparse rows.
   BranchAndBoundMwisSolver solver;
   const MwisResult got = solver.solve(big, w_big, cands);
   EXPECT_TRUE(got.exact);
   EXPECT_EQ(got.vertices, ref.vertices);
   EXPECT_NEAR(got.weight, ref.weight, 1e-12);
-  // And the classic mode takes the same fallback.
+  // The explicit list-scan build must agree bit for bit (same search tree).
+  SolveScratch scratch;
+  BnbSolveOptions list_build;
+  list_build.use_adjacency_rows = false;
+  const MwisResult got_lists =
+      solver.solve_with_scratch(big, w_big, cands, scratch, list_build);
+  EXPECT_EQ(got_lists.vertices, got.vertices);
+  EXPECT_EQ(got_lists.nodes_explored, got.nodes_explored);
+  // And the classic mode takes the list fallback.
   BranchAndBoundMwisSolver classic(5'000'000, /*reuse_scratch=*/false);
   const MwisResult got_classic = classic.solve(big, w_big, cands);
   EXPECT_EQ(got_classic.vertices, ref.vertices);
+}
+
+TEST(NoBitsetFallback, SparseRowsMatchReferenceQueries) {
+  // A graph just past the limit with structured + random edges: has_edge
+  // through the sparse rows must agree with binary search over the CSR
+  // rows, including the high-id columns that stress block indexing.
+  const int n = Graph::kAdjacencyMatrixLimit + 70;
+  Rng rng(53);
+  Graph g(n);
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < 120; ++i) edges.emplace_back(i, i + 1);
+  for (int t = 0; t < 800; ++t) {
+    int u = rng.uniform_int(0, n - 1), v = rng.uniform_int(0, n - 1);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    edges.emplace_back(u, v);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  for (const auto& [u, v] : edges) g.add_edge(u, v);
+  g.finalize();
+  ASSERT_TRUE(g.has_sparse_rows());
+
+  // Every present edge answers true (both directions)...
+  for (const auto& [u, v] : edges) {
+    ASSERT_TRUE(g.has_edge(u, v)) << u << "," << v;
+    ASSERT_TRUE(g.has_edge(v, u)) << v << "," << u;
+  }
+  // ... and random non-edges answer false.
+  std::set<std::pair<int, int>> present(edges.begin(), edges.end());
+  for (int t = 0; t < 2000; ++t) {
+    int u = rng.uniform_int(0, n - 1), v = rng.uniform_int(0, n - 1);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (present.count({u, v})) continue;
+    ASSERT_FALSE(g.has_edge(u, v)) << u << "," << v;
+  }
+  // Degenerate queries stay false.
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_FALSE(g.has_edge(-1, 5));
+  EXPECT_FALSE(g.has_edge(5, n));
 }
 
 TEST(NoBitsetFallback, UnfinalizedGraphSolvesIdenticalToFinalized) {
