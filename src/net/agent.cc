@@ -8,13 +8,28 @@
 
 namespace mhca::net {
 
-VertexAgent::VertexAgent(int id, int r, bool memoize_cover)
-    : id_(id), r_(r), memoize_cover_(memoize_cover) {
+VertexAgent::VertexAgent(int id, int r, bool memoize_cover,
+                         MembershipMode mode, LivenessParams liveness)
+    : id_(id), r_(r), memoize_cover_(memoize_cover), mode_(mode),
+      liveness_(liveness) {
   MHCA_ASSERT(id >= 0, "negative vertex id");
   MHCA_ASSERT(r >= 1, "r must be at least 1");
+  if (mode_ == MembershipMode::kViewSync) {
+    MHCA_ASSERT(liveness_.hello_timeout_slots >= 2,
+                "hello_timeout_slots = " +
+                    std::to_string(liveness_.hello_timeout_slots) +
+                    " must be >= 2 (keep-alives go out every "
+                    "hello_timeout_slots - 1 rounds)");
+    MHCA_ASSERT(liveness_.hello_max_retries >= 0,
+                "hello_max_retries must be >= 0");
+    MHCA_ASSERT(liveness_.backoff_base >= 1, "backoff_base must be >= 1");
+  }
 }
 
 void VertexAgent::on_hello(const Message& msg) {
+  MHCA_ASSERT(mode_ == MembershipMode::kOmniscient,
+              "on_hello is the omniscient-discovery path; view-sync hellos "
+              "go through on_membership_message");
   MHCA_ASSERT(!discovered_, "hello after discovery finalized");
   hello_lists_[msg.origin] = Hello{msg.neighbor_list, msg.mean, msg.count};
 }
@@ -30,34 +45,24 @@ void VertexAgent::set_own_neighbors(std::vector<int> neighbors) {
   own_neighbors_ = std::move(neighbors);
 }
 
-void VertexAgent::finalize_discovery() {
-  MHCA_ASSERT(!discovered_, "discovery finalized twice");
-  members_.clear();
-  members_.push_back(id_);
-  for (const auto& [origin, _] : hello_lists_) members_.push_back(origin);
-  std::sort(members_.begin(), members_.end());
-  members_.erase(std::unique(members_.begin(), members_.end()),
-                 members_.end());
-
+template <typename NeighborsOf>
+void VertexAgent::build_structures(NeighborsOf&& neighbors_of) {
   local_graph_ = Graph(static_cast<int>(members_.size()));
   auto add_edges_of = [&](int origin, const std::vector<int>& nbs) {
     const int lo = local_id(origin);
     for (int u : nbs) {
-      const auto it =
-          std::lower_bound(members_.begin(), members_.end(), u);
+      const auto it = std::lower_bound(members_.begin(), members_.end(), u);
       if (it != members_.end() && *it == u)
         local_graph_.add_edge(lo, static_cast<int>(it - members_.begin()));
     }
   };
-  add_edges_of(id_, own_neighbors_);
-  for (const auto& [origin, hello] : hello_lists_)
-    add_edges_of(origin, hello.neighbors);
+  for (int m : members_) add_edges_of(m, neighbors_of(m));
   local_graph_.finalize();
 
   // Memoize the r-ball (computed on the *local* subgraph — identical to
   // global r-hop distance because every shortest path of length <= r stays
   // inside J_{2r+1}(me)) and its weight-free clique cover: both are static
-  // for the lifetime of the network, while indices change every round.
+  // between membership changes, while indices change every round.
   BfsScratch scratch(local_graph_.size());
   r_ball_local_ =
       scratch.k_hop_neighborhood(local_graph_, local_id(id_), r_);
@@ -65,6 +70,29 @@ void VertexAgent::finalize_discovery() {
     r_ball_cliques_ = NeighborhoodCache::build_ball_cover(
         local_graph_, r_ball_local_, r_ball_cover_);
   }
+}
+
+void VertexAgent::finalize_discovery() {
+  MHCA_ASSERT(!discovered_, "discovery finalized twice");
+  if (mode_ == MembershipMode::kViewSync) {
+    // Initial discovery filled knowledge_ silently (no view bumps while the
+    // whole network introduces itself at once); one rebuild closes it.
+    rebuild_local_view();
+    needs_rebuild_ = false;
+    membership_changed_ = false;
+    discovered_ = true;
+    return;
+  }
+  members_.clear();
+  members_.push_back(id_);
+  for (const auto& [origin, _] : hello_lists_) members_.push_back(origin);
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()),
+                 members_.end());
+
+  build_structures([&](int m) -> const std::vector<int>& {
+    return m == id_ ? own_neighbors_ : hello_lists_.at(m).neighbors;
+  });
 
   table_.clear();
   for (int m : members_) {
@@ -82,12 +110,230 @@ void VertexAgent::finalize_discovery() {
   discovered_ = true;
 }
 
+void VertexAgent::rebuild_local_view() {
+  members_.clear();
+  members_.reserve(knowledge_.size() + 1);
+  // knowledge_ is ordered by id; splice self into the sorted run.
+  bool self_placed = false;
+  for (const auto& [m, _] : knowledge_) {
+    if (!self_placed && id_ < m) {
+      members_.push_back(id_);
+      self_placed = true;
+    }
+    members_.push_back(m);
+  }
+  if (!self_placed) members_.push_back(id_);
+
+  build_structures([&](int m) -> const std::vector<int>& {
+    return m == id_ ? own_neighbors_ : knowledge_.at(m).neighbors;
+  });
+
+  table_.clear();
+  for (const auto& [m, k] : knowledge_) {
+    Entry e;
+    e.mean = k.mean;
+    e.count = k.count;
+    table_.emplace(m, e);
+  }
+}
+
 int VertexAgent::local_id(int global) const {
   const auto it = std::lower_bound(members_.begin(), members_.end(), global);
   MHCA_ASSERT(it != members_.end() && *it == global,
               "vertex not in local table");
   return static_cast<int>(it - members_.begin());
 }
+
+// ---------------------------------------------- view-synchronous membership
+
+void VertexAgent::maybe_adopt(const ViewId& v) {
+  if (v > view_) view_ = v;
+}
+
+void VertexAgent::bump_view() {
+  view_ = ViewId{view_.seq + 1, id_};
+  view_dirty_ = true;
+  ++counters_.view_changes;
+}
+
+std::int64_t VertexAgent::backoff_delay(int attempt) const {
+  std::int64_t d = 1;
+  for (int i = 0; i < attempt; ++i) {
+    d *= liveness_.backoff_base;
+    if (d > 1'000'000) return 1'000'000;  // cap: schedules stay finite
+  }
+  return d;
+}
+
+void VertexAgent::on_membership_message(const Message& msg,
+                                        std::int64_t now) {
+  MHCA_ASSERT(mode_ == MembershipMode::kViewSync,
+              "membership messages require view-sync mode");
+  if (msg.origin == id_) return;
+  maybe_adopt(msg.view);
+  if (msg.probe_target == id_ || msg.solicit) hello_pending_ = true;
+
+  const auto it = knowledge_.find(msg.origin);
+  if (it == knowledge_.end()) {
+    MemberKnowledge k;
+    k.neighbors = msg.neighbor_list;
+    k.mean = msg.mean;
+    k.count = msg.count;
+    k.last_heard = msg.round;
+    k.last_hello_round = msg.round;
+    knowledge_.emplace(msg.origin, std::move(k));
+    if (discovered_) {
+      // Admission: a node entered this agent's horizon mid-run.
+      needs_rebuild_ = true;
+      membership_changed_ = true;
+    }
+    return;
+  }
+
+  MemberKnowledge& k = it->second;
+  k.last_heard = std::max(k.last_heard, msg.round);
+  if (k.suspect && now - k.last_heard <= liveness_.hello_timeout_slots) {
+    k.suspect = false;
+    k.probes_sent = 0;
+    --suspect_count_;
+  }
+  // Statistics are count-monotonic: a member's count only grows and its
+  // mean is a function of its count, so "newer" is decidable without
+  // trusting delivery order — duplicated or delayed payloads never regress.
+  if (msg.count >= k.count) {
+    k.count = msg.count;
+    k.mean = msg.mean;
+    const auto t = table_.find(msg.origin);
+    if (t != table_.end()) {
+      t->second.mean = msg.mean;
+      t->second.count = msg.count;
+    }
+  }
+  // Adjacency is round-monotonic: accept only payloads at least as new as
+  // the newest already applied (a delayed hello must not resurrect edges).
+  if (msg.round >= k.last_hello_round) {
+    k.last_hello_round = msg.round;
+    if (msg.neighbor_list != k.neighbors) {
+      k.neighbors = msg.neighbor_list;
+      needs_rebuild_ = true;
+    }
+  }
+}
+
+std::vector<int> VertexAgent::liveness_pass(std::int64_t now) {
+  MHCA_ASSERT(mode_ == MembershipMode::kViewSync,
+              "liveness_pass requires view-sync mode");
+  std::vector<int> probes;
+  std::vector<int> evict;
+  for (auto& [m, k] : knowledge_) {
+    if (now - k.last_heard <= liveness_.hello_timeout_slots) {
+      if (k.suspect) {
+        k.suspect = false;
+        k.probes_sent = 0;
+        --suspect_count_;
+      }
+      continue;
+    }
+    if (!k.suspect) {
+      k.suspect = true;
+      k.probes_sent = 0;
+      k.next_probe = now;
+      ++suspect_count_;
+      ++counters_.timeouts;
+    }
+    if (now < k.next_probe) continue;
+    if (k.probes_sent < liveness_.hello_max_retries) {
+      probes.push_back(m);
+      ++k.probes_sent;
+      ++counters_.retries;
+      k.next_probe = now + backoff_delay(k.probes_sent);
+    } else {
+      evict.push_back(m);
+    }
+  }
+  for (int m : evict) {
+    const auto it = knowledge_.find(m);
+    if (it->second.suspect) --suspect_count_;
+    knowledge_.erase(it);
+    needs_rebuild_ = true;
+    membership_changed_ = true;
+  }
+  return probes;
+}
+
+void VertexAgent::flush_membership() {
+  if (!needs_rebuild_) return;
+  rebuild_local_view();
+  needs_rebuild_ = false;
+  if (membership_changed_) {
+    membership_changed_ = false;
+    bump_view();
+  }
+}
+
+bool VertexAgent::take_view_dirty() {
+  const bool was = view_dirty_;
+  view_dirty_ = false;
+  return was;
+}
+
+bool VertexAgent::take_hello_pending() {
+  const bool was = hello_pending_;
+  hello_pending_ = false;
+  return was;
+}
+
+bool VertexAgent::take_solicit() {
+  const bool was = solicit_pending_;
+  solicit_pending_ = false;
+  return was;
+}
+
+void VertexAgent::on_rejoin() {
+  MHCA_ASSERT(mode_ == MembershipMode::kViewSync,
+              "on_rejoin requires view-sync mode");
+  // Whatever this agent believed before going dark is stale; restart from
+  // its own link-layer truth and ask the neighborhood to re-introduce
+  // itself (solicited hellos).
+  knowledge_.clear();
+  suspect_count_ = 0;
+  needs_rebuild_ = true;
+  membership_changed_ = true;
+  hello_pending_ = true;
+  solicit_pending_ = true;
+}
+
+void VertexAgent::refresh_own_neighbors(std::vector<int> neighbors) {
+  MHCA_ASSERT(mode_ == MembershipMode::kViewSync,
+              "refresh_own_neighbors requires view-sync mode");
+  if (neighbors == own_neighbors_) return;
+  own_neighbors_ = std::move(neighbors);
+  needs_rebuild_ = true;
+  hello_pending_ = true;  // a real radio beacons on link change
+}
+
+bool VertexAgent::transmit_ok() const {
+  if (mode_ != MembershipMode::kViewSync) return true;
+  return !has_suspects() && decision_view_ == view_;
+}
+
+std::pair<double, std::int64_t> VertexAgent::member_stats(int v) const {
+  if (mode_ == MembershipMode::kViewSync) {
+    const auto it = knowledge_.find(v);
+    MHCA_ASSERT(it != knowledge_.end(), "member_stats of unknown member");
+    return {it->second.mean, it->second.count};
+  }
+  const auto it = table_.find(v);
+  MHCA_ASSERT(it != table_.end(), "member_stats of unknown member");
+  return {it->second.mean, it->second.count};
+}
+
+const std::vector<int>* VertexAgent::member_neighbors(int v) const {
+  const auto it = knowledge_.find(v);
+  return it == knowledge_.end() ? nullptr : &it->second.neighbors;
+}
+
+// --------------------------------------------------------- round lifecycle
 
 void VertexAgent::observe(double reward) {
   const double m_old = static_cast<double>(count_);
@@ -98,6 +344,7 @@ void VertexAgent::observe(double reward) {
 void VertexAgent::begin_round(const IndexPolicy& policy, std::int64_t t,
                               int num_arms) {
   MHCA_ASSERT(discovered_, "begin_round before discovery");
+  round_now_ = t;
   // An off-air node never contends: it enters every round pre-marked. Its
   // vertices are isolated by then (dynamics removed their edges), so no
   // live agent's table still lists them as competition.
@@ -107,17 +354,33 @@ void VertexAgent::begin_round(const IndexPolicy& policy, std::int64_t t,
     e.status = VertexStatus::kCandidate;
     e.index = policy.index_from(e.mean, e.count, v, t, num_arms);
   }
+  if (mode_ == MembershipMode::kViewSync && active_ && has_suspects())
+    ++counters_.stale_decisions;  // this round is decided under a stale view
 }
 
 void VertexAgent::on_weight_update(const Message& msg) {
+  if (mode_ == MembershipMode::kViewSync) {
+    maybe_adopt(msg.view);
+    const auto kit = knowledge_.find(msg.origin);
+    if (kit == knowledge_.end()) return;  // evicted; a keep-alive readmits
+    MemberKnowledge& k = kit->second;
+    k.last_heard = std::max(k.last_heard, msg.round);
+    if (msg.count < k.count) return;  // delayed/duplicated: stale payload
+    k.mean = msg.mean;
+    k.count = msg.count;
+  }
   const auto it = table_.find(msg.origin);
-  if (it == table_.end()) return;  // beyond my 2r+1 horizon (shouldn't occur)
+  if (it == table_.end()) return;  // beyond my 2r+1 horizon
   it->second.mean = msg.mean;
   it->second.count = msg.count;
 }
 
 bool VertexAgent::should_lead() const {
   if (status_ != VertexStatus::kCandidate) return false;
+  // Conservative degradation: while membership is uncertain, never claim
+  // leadership — a ghost entry might outrank this agent in reality, and a
+  // missed contender is how double-claims happen.
+  if (mode_ == MembershipMode::kViewSync && has_suspects()) return false;
   const std::pair<double, int> my_key{own_index_, -id_};
   for (const auto& [v, e] : table_) {
     if (e.status != VertexStatus::kCandidate) continue;
@@ -200,9 +463,16 @@ std::vector<StatusEntry> VertexAgent::lead(
 }
 
 void VertexAgent::on_determination(const Message& msg) {
+  if (mode_ == MembershipMode::kViewSync) {
+    maybe_adopt(msg.view);
+    // A verdict from any round but the current one is a delayed wire's
+    // ghost: the statuses it names were re-randomized at begin_round.
+    if (msg.round != round_now_) return;
+  }
   for (const StatusEntry& e : msg.statuses) {
     if (e.vertex == id_) {
       status_ = e.status;
+      decision_view_ = msg.view;
       continue;
     }
     const auto it = table_.find(e.vertex);

@@ -1,19 +1,125 @@
 #include "net/control_channel.h"
 
+#include <algorithm>
+
 #include "util/assert.h"
 #include "util/hash.h"
 
 namespace mhca::net {
 
-ControlChannel::ControlChannel(const Graph& topology, double drop_prob,
-                               std::uint64_t drop_seed)
+namespace {
+
+// Salts separating the independent fault decisions of one (flood, vertex).
+constexpr std::uint64_t kSaltDrop = 0;  // PR-4 drop hash (kept bit-compatible)
+constexpr std::uint64_t kSaltDup = 0x9e01;
+constexpr std::uint64_t kSaltDefer = 0x9e02;
+constexpr std::uint64_t kSaltDelay = 0x9e03;
+constexpr std::uint64_t kSaltShuffle = 0x9e04;
+
+std::uint64_t hash_double(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+std::uint64_t message_digest(const Message& msg) {
+  std::uint64_t h = hash_combine(static_cast<std::uint64_t>(msg.type),
+                                 static_cast<std::uint64_t>(msg.origin));
+  h = hash_combine(h, static_cast<std::uint64_t>(msg.round));
+  h = hash_combine(h, static_cast<std::uint64_t>(msg.view.seq));
+  h = hash_combine(h, static_cast<std::uint64_t>(msg.view.representative));
+  h = hash_combine(h, hash_double(msg.mean));
+  h = hash_combine(h, static_cast<std::uint64_t>(msg.count));
+  h = hash_combine(h, static_cast<std::uint64_t>(msg.solicit));
+  h = hash_combine(h, static_cast<std::uint64_t>(msg.probe_target));
+  for (int v : msg.neighbor_list)
+    h = hash_combine(h, static_cast<std::uint64_t>(v));
+  for (const StatusEntry& e : msg.statuses) {
+    h = hash_combine(h, static_cast<std::uint64_t>(e.vertex));
+    h = hash_combine(h, static_cast<std::uint64_t>(e.status));
+  }
+  return h;
+}
+
+}  // namespace
+
+ControlChannel::ControlChannel(const Graph& topology,
+                               const FaultProfile& faults)
     : topology_(topology),
-      drop_prob_(drop_prob),
-      drop_seed_(drop_seed),
+      faults_(faults),
       scratch_(topology.size()),
       visit_stamp_(static_cast<std::size_t>(topology.size()), 0) {
-  MHCA_ASSERT(drop_prob >= 0.0 && drop_prob < 1.0,
-              "drop probability out of range");
+  faults_.validate();
+}
+
+ControlChannel::ControlChannel(const Graph& topology, double drop_prob,
+                               std::uint64_t drop_seed)
+    : ControlChannel(topology, FaultProfile{.drop_prob = drop_prob,
+                                            .seed = drop_seed}) {}
+
+double ControlChannel::fault_draw(int vertex, std::uint64_t salt) const {
+  const std::uint64_t h = hash_combine(
+      faults_.seed ^ salt,
+      hash_combine(static_cast<std::uint64_t>(stats_.floods),
+                   static_cast<std::uint64_t>(vertex)));
+  return hash_to_unit(splitmix64(h));
+}
+
+void ControlChannel::record_flood(const Message& msg, int ttl) {
+  trace_hash_ = hash_combine(trace_hash_, 0xF100D);
+  trace_hash_ = hash_combine(trace_hash_, message_digest(msg));
+  trace_hash_ = hash_combine(trace_hash_, static_cast<std::uint64_t>(ttl));
+}
+
+void ControlChannel::record_delivery(int to, const Message& msg) {
+  trace_hash_ = hash_combine(trace_hash_, 0xDE11);
+  trace_hash_ = hash_combine(trace_hash_, static_cast<std::uint64_t>(to));
+  trace_hash_ = hash_combine(trace_hash_, message_digest(msg));
+}
+
+void ControlChannel::deliver_copies(
+    int vertex, const Message& msg,
+    const std::function<void(int, const Message&)>& deliver,
+    std::vector<Pending>& same_flood) {
+  // Duplication: the duplicate is a real retransmission — billed, like any
+  // retried message (airtime is airtime).
+  int copies = 1;
+  if (faults_.dup_prob > 0.0 &&
+      fault_draw(vertex, kSaltDup) < faults_.dup_prob) {
+    copies = 2;
+    ++stats_.duplicates;
+    ++stats_.messages;
+    ++stats_.messages_by_type[static_cast<std::size_t>(msg.type)];
+  }
+  for (int c = 0; c < copies; ++c) {
+    const std::uint64_t copy_salt = static_cast<std::uint64_t>(c) << 32;
+    if (faults_.reorder_prob > 0.0 &&
+        fault_draw(vertex, kSaltDefer ^ copy_salt) < faults_.reorder_prob) {
+      ++stats_.deferred;
+      const std::uint64_t shuffle = splitmix64(hash_combine(
+          faults_.seed ^ kSaltShuffle ^ copy_salt,
+          hash_combine(static_cast<std::uint64_t>(stats_.floods),
+                       static_cast<std::uint64_t>(vertex))));
+      if (faults_.delay_slots_max == 0) {
+        // Pure reordering: lands after this flood's in-order deliveries.
+        same_flood.push_back(Pending{round_, shuffle, vertex, msg});
+      } else {
+        const int d = 1 + static_cast<int>(
+                              splitmix64(hash_combine(
+                                  faults_.seed ^ kSaltDelay ^ copy_salt,
+                                  hash_combine(
+                                      static_cast<std::uint64_t>(stats_.floods),
+                                      static_cast<std::uint64_t>(vertex)))) %
+                              static_cast<std::uint64_t>(
+                                  faults_.delay_slots_max));
+        pending_.push_back(Pending{round_ + d, shuffle, vertex, msg});
+      }
+      continue;
+    }
+    record_delivery(vertex, msg);
+    deliver(vertex, msg);
+  }
 }
 
 void ControlChannel::flood(
@@ -23,20 +129,24 @@ void ControlChannel::flood(
               "flood origin out of range");
   MHCA_ASSERT(ttl >= 0, "negative ttl");
   ++stats_.floods;
+  record_flood(msg, ttl);
 
-  if (drop_prob_ <= 0.0) {
+  if (!faults_.any()) {
     scratch_.k_hop_neighborhood(topology_, msg.origin, ttl, reach_buf_);
     stats_.messages += static_cast<std::int64_t>(reach_buf_.size());
     stats_.messages_by_type[static_cast<std::size_t>(msg.type)] +=
         static_cast<std::int64_t>(reach_buf_.size());
     for (int v : reach_buf_) {
       if (v == msg.origin) continue;
+      record_delivery(v, msg);
       deliver(v, msg);
     }
     return;
   }
 
-  // Lossy BFS: a vertex that fails reception neither delivers nor forwards.
+  // Faulty BFS: a vertex that fails reception neither delivers nor
+  // forwards; a vertex whose delivery is deferred still forwards (the delay
+  // models a slow receive path, not a broken relay).
   ++visit_epoch_;
   struct Item {
     int vertex;
@@ -47,6 +157,7 @@ void ControlChannel::flood(
   visit_stamp_[static_cast<std::size_t>(msg.origin)] = visit_epoch_;
   std::size_t head = 0;
   std::int64_t transmitters = 0;
+  std::vector<Pending> same_flood;
   while (head < queue.size()) {
     const Item it = queue[head++];
     ++transmitters;  // this vertex retransmits the flood once
@@ -55,19 +166,54 @@ void ControlChannel::flood(
       auto ui = static_cast<std::size_t>(u);
       if (visit_stamp_[ui] == visit_epoch_) continue;
       visit_stamp_[ui] = visit_epoch_;
-      const std::uint64_t h = hash_combine(
-          drop_seed_, hash_combine(static_cast<std::uint64_t>(stats_.floods),
-                                   static_cast<std::uint64_t>(u)));
-      if (hash_to_unit(splitmix64(h)) < drop_prob_) {
+      if (faults_.drop_prob > 0.0 &&
+          fault_draw(u, kSaltDrop) < faults_.drop_prob) {
         ++stats_.drops;
         continue;
       }
-      deliver(u, msg);
       queue.push_back({u, it.depth + 1});
+      deliver_copies(u, msg, deliver, same_flood);
     }
   }
   stats_.messages += transmitters;
   stats_.messages_by_type[static_cast<std::size_t>(msg.type)] += transmitters;
+
+  if (!same_flood.empty()) {
+    std::sort(same_flood.begin(), same_flood.end(),
+              [](const Pending& a, const Pending& b) {
+                if (a.shuffle_key != b.shuffle_key)
+                  return a.shuffle_key < b.shuffle_key;
+                return a.to < b.to;
+              });
+    for (const Pending& p : same_flood) {
+      record_delivery(p.to, p.msg);
+      deliver(p.to, p.msg);
+    }
+  }
+}
+
+void ControlChannel::begin_slot(
+    std::int64_t round,
+    const std::function<void(int, const Message&)>& dispatch) {
+  round_ = round;
+  if (pending_.empty()) return;
+  std::vector<Pending> due;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].due_round <= round)
+      due.push_back(std::move(pending_[i]));
+    else
+      pending_[kept++] = std::move(pending_[i]);
+  }
+  pending_.resize(kept);
+  std::sort(due.begin(), due.end(), [](const Pending& a, const Pending& b) {
+    if (a.shuffle_key != b.shuffle_key) return a.shuffle_key < b.shuffle_key;
+    return a.to < b.to;
+  });
+  for (const Pending& p : due) {
+    record_delivery(p.to, p.msg);
+    dispatch(p.to, p.msg);
+  }
 }
 
 }  // namespace mhca::net

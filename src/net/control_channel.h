@@ -1,4 +1,5 @@
-// Synchronous common control channel with TTL-bounded flooding.
+// Synchronous common control channel with TTL-bounded flooding and a
+// seeded, deterministic fault-injection plane.
 //
 // Delivery model: a flood from `origin` with time-to-live `ttl` reaches
 // exactly the vertices within ttl hops in the control topology (one hop per
@@ -7,12 +8,19 @@
 // mini-timeslots a phase occupies, matching the accounting of the lockstep
 // engine and the paper's §IV-C complexity analysis.
 //
-// Failure injection: with drop_prob > 0 each non-origin vertex fails to
-// receive a given flood with that probability (deterministically derived
-// from drop_seed and the flood counter); a dropped vertex neither delivers
-// nor forwards. The paper assumes a reliable control channel — the lossy
-// mode exists to demonstrate (and test) that the protocol's independence
-// guarantee genuinely depends on that assumption.
+// Fault injection (net/faults.h): per (flood, receiving vertex) the channel
+// can drop (the vertex neither delivers nor forwards), duplicate (a second
+// delivery, billed as a real retransmission — duplicated and retried
+// messages are not free airtime), and defer deliveries — to the end of the
+// same flood (pure reordering) or into the membership phase of a later
+// slot, bounded by delay_slots_max. Every decision is a pure hash of
+// (seed, flood counter, vertex), so one (seed, schedule) pair replays the
+// same fault pattern byte for byte; `trace_hash()` folds every flood and
+// every delivery into one order-sensitive digest that tests compare across
+// runs. The paper assumes a reliable control channel — the fault plane
+// exists to demonstrate (and test) which protocol guarantees genuinely
+// depend on that assumption, and what the view-synchronous membership
+// layer recovers.
 #pragma once
 
 #include <cstdint>
@@ -21,20 +29,23 @@
 
 #include "graph/graph.h"
 #include "graph/hop.h"
+#include "net/faults.h"
 #include "net/message.h"
 
 namespace mhca::net {
 
 struct ChannelStats {
-  std::int64_t messages = 0;        ///< Total transmissions.
+  std::int64_t messages = 0;        ///< Total transmissions (incl. dups).
   std::int64_t floods = 0;          ///< Flood operations.
   std::int64_t drops = 0;           ///< Reception failures (lossy mode).
+  std::int64_t duplicates = 0;      ///< Duplicate deliveries (billed).
+  std::int64_t deferred = 0;        ///< Deliveries reordered or delayed.
   std::int64_t mini_timeslots = 0;  ///< Accumulated phase durations.
   /// Transmissions broken out per message type (indexed by MsgType):
-  /// hello / weight-update / leader-declare / determination. Lets tests
-  /// compare the real protocol's bill against the lockstep engine's
-  /// analytic accounting, phase by phase.
-  std::int64_t messages_by_type[4] = {0, 0, 0, 0};
+  /// hello / weight-update / leader-declare / determination / view-change.
+  /// Lets tests compare the real protocol's bill against the lockstep
+  /// engine's analytic accounting, phase by phase.
+  std::int64_t messages_by_type[kNumMsgTypes] = {0, 0, 0, 0, 0};
 
   std::int64_t of_type(MsgType t) const {
     return messages_by_type[static_cast<std::size_t>(t)];
@@ -45,30 +56,80 @@ class ControlChannel {
  public:
   /// `topology` must outlive the channel (it is the extended graph H; the
   /// paper's control plane shares the conflict structure of the data plane).
+  /// The profile is validated with actionable errors (offending knob and
+  /// value) before anything else runs.
+  ControlChannel(const Graph& topology, const FaultProfile& faults);
+
+  /// Drop-only compatibility form (PR-4 signature).
   explicit ControlChannel(const Graph& topology, double drop_prob = 0.0,
                           std::uint64_t drop_seed = 0);
 
   /// Flood `msg` within `ttl` hops of msg.origin; `deliver(v, msg)` is
-  /// invoked once for every reached vertex except the origin.
+  /// invoked once per delivery for every reached vertex except the origin
+  /// (twice when the fault plane duplicates). Deliveries the fault plane
+  /// delayed into a later slot are *not* delivered here — they surface from
+  /// begin_slot() when their slot comes.
   void flood(const Message& msg, int ttl,
              const std::function<void(int, const Message&)>& deliver);
+
+  /// Enter slot `round`: hands every delayed delivery that is now due to
+  /// `dispatch(to, msg)`, in deterministic hash-shuffled order. Call once
+  /// per slot before any flooding; a no-op on a fault-free channel.
+  void begin_slot(std::int64_t round,
+                  const std::function<void(int, const Message&)>& dispatch);
 
   /// Account that a protocol phase occupied `slots` mini-timeslots.
   void charge_timeslots(int slots) { stats_.mini_timeslots += slots; }
 
-  double drop_prob() const { return drop_prob_; }
+  /// Swap the fault profile mid-run (fault *schedules*: a lossy window
+  /// followed by a quiet one, etc.). Validated like the constructor's;
+  /// deliveries already delayed keep their original due slots.
+  void set_fault_profile(const FaultProfile& faults) {
+    faults.validate();
+    faults_ = faults;
+  }
+
+  double drop_prob() const { return faults_.drop_prob; }
+  const FaultProfile& faults() const { return faults_; }
   const ChannelStats& stats() const { return stats_; }
   void reset_stats() { stats_ = ChannelStats{}; }
 
+  /// Deliveries still in flight (delayed into a future slot). Convergence
+  /// requires this to be zero — a delayed hello can still change a table.
+  std::size_t pending_deliveries() const { return pending_.size(); }
+
+  /// Order-sensitive digest of every flood and every delivery so far.
+  /// Identical (seed, schedule) runs must produce identical digests — the
+  /// byte-for-byte replay guarantee of the fault plane.
+  std::uint64_t trace_hash() const { return trace_hash_; }
+
  private:
+  struct Pending {
+    std::int64_t due_round;
+    std::uint64_t shuffle_key;  ///< Deterministic delivery-order key.
+    int to;
+    Message msg;
+  };
+
+  /// Per-(flood, vertex, salt) uniform [0,1) draw.
+  double fault_draw(int vertex, std::uint64_t salt) const;
+  void record_flood(const Message& msg, int ttl);
+  void record_delivery(int to, const Message& msg);
+  void deliver_copies(
+      int vertex, const Message& msg,
+      const std::function<void(int, const Message&)>& deliver,
+      std::vector<Pending>& same_flood);
+
   const Graph& topology_;
-  double drop_prob_;
-  std::uint64_t drop_seed_;
+  FaultProfile faults_;
   BfsScratch scratch_;
   std::vector<int> reach_buf_;
   std::vector<std::uint32_t> visit_stamp_;
   std::uint32_t visit_epoch_ = 0;
+  std::int64_t round_ = 0;
+  std::vector<Pending> pending_;
   ChannelStats stats_;
+  std::uint64_t trace_hash_ = 0x6d686361'6e657431ULL;  // "mhcanet1"
 };
 
 }  // namespace mhca::net

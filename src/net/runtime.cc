@@ -6,27 +6,64 @@
 
 namespace mhca::net {
 
+namespace {
+
+FaultProfile profile_of(const NetConfig& cfg) {
+  FaultProfile f;
+  f.drop_prob = cfg.drop_prob;
+  f.dup_prob = cfg.dup_prob;
+  f.reorder_prob = cfg.reorder_prob;
+  f.delay_slots_max = cfg.delay_slots_max;
+  f.seed = cfg.drop_seed;
+  return f;
+}
+
+}  // namespace
+
 DistributedRuntime::DistributedRuntime(const ExtendedConflictGraph& ecg,
                                        const ChannelModel& model,
                                        NetConfig cfg)
     : ecg_(ecg),
       model_(model),
       cfg_(cfg),
-      channel_(ecg.graph(), cfg.drop_prob, cfg.drop_seed),
+      channel_(ecg.graph(), profile_of(cfg)),
       exact_(cfg.bnb_node_cap) {
   MHCA_ASSERT(ecg.num_nodes() == model.num_nodes() &&
                   ecg.num_channels() == model.num_channels(),
               "graph/model dimension mismatch");
   MHCA_ASSERT(cfg_.r >= 1, "r must be at least 1");
+  // Omniscient discovery finalizes each agent's table exactly once per
+  // change; a hello the wire re-delivers out of order would arrive after
+  // the finalize. Only view-sync membership absorbs late hellos.
+  MHCA_ASSERT(cfg_.membership == MembershipMode::kViewSync ||
+                  (cfg_.reorder_prob == 0.0 && cfg_.delay_slots_max == 0),
+              "reorder_prob/delay_slots_max require membership = view_sync "
+              "(omniscient discovery cannot absorb a late hello)");
+  keepalive_interval_ = std::max(1, cfg_.hello_timeout_slots - 1);
   PolicyParams params = cfg_.policy_params;
   if (cfg_.policy == PolicyKind::kLlr && params.llr_max_strategy_len <= 1)
     params.llr_max_strategy_len = ecg.num_nodes();
   policy_ = make_policy(cfg_.policy, params);
 
+  const LivenessParams liveness{cfg_.hello_timeout_slots,
+                                cfg_.hello_max_retries, cfg_.backoff_base};
   agents_.reserve(static_cast<std::size_t>(ecg.num_vertices()));
   for (int v = 0; v < ecg.num_vertices(); ++v)
-    agents_.emplace_back(v, cfg_.r, cfg_.use_memoized_covers);
+    agents_.emplace_back(v, cfg_.r, cfg_.use_memoized_covers,
+                         cfg_.membership, liveness);
   discover();
+}
+
+void DistributedRuntime::set_fault_profile(const FaultProfile& faults) {
+  MHCA_ASSERT(cfg_.membership == MembershipMode::kViewSync ||
+                  (faults.reorder_prob == 0.0 && faults.delay_slots_max == 0),
+              "reorder_prob/delay_slots_max require membership = view_sync");
+  channel_.set_fault_profile(faults);
+  cfg_.drop_prob = faults.drop_prob;
+  cfg_.dup_prob = faults.dup_prob;
+  cfg_.reorder_prob = faults.reorder_prob;
+  cfg_.delay_slots_max = faults.delay_slots_max;
+  cfg_.drop_seed = faults.seed;
 }
 
 Message DistributedRuntime::make_hello(int v) const {
@@ -34,13 +71,36 @@ Message DistributedRuntime::make_hello(int v) const {
   Message hello;
   hello.type = MsgType::kHello;
   hello.origin = v;
+  hello.round = t_;
+  if (cfg_.membership == MembershipMode::kViewSync)
+    hello.view = agents_[static_cast<std::size_t>(v)].view();
   hello.neighbor_list.assign(nb.begin(), nb.end());
   // Hellos carry the sender's live statistics (the paper's first WB round
   // collects ids *and* weights): zeros at initial discovery, and whatever
-  // the sender has learned by the time churn triggers a re-flood.
+  // the sender has learned by the time churn — or a keep-alive — re-floods
+  // them. Under view-sync this is also what heals tables a lossy wire let
+  // go stale: every delivered keep-alive refreshes the receiver's copy.
   hello.mean = agents_[static_cast<std::size_t>(v)].own_mean();
   hello.count = agents_[static_cast<std::size_t>(v)].own_count();
   return hello;
+}
+
+void DistributedRuntime::route(int to, const Message& msg) {
+  VertexAgent& a = agents_[static_cast<std::size_t>(to)];
+  switch (msg.type) {
+    case MsgType::kHello:
+    case MsgType::kViewChange:
+      a.on_membership_message(msg, t_);
+      break;
+    case MsgType::kWeightUpdate:
+      a.on_weight_update(msg);
+      break;
+    case MsgType::kDetermination:
+      a.on_determination(msg);
+      break;
+    case MsgType::kLeaderDeclare:
+      break;  // election is table-local; the flood only costs airtime
+  }
 }
 
 void DistributedRuntime::discover() {
@@ -51,10 +111,14 @@ void DistributedRuntime::discover() {
     agents_[static_cast<std::size_t>(v)].set_own_neighbors(
         std::vector<int>(nb.begin(), nb.end()));
   }
+  const bool view_sync = cfg_.membership == MembershipMode::kViewSync;
   for (int v = 0; v < h.size(); ++v) {
     const Message hello = make_hello(v);
-    channel_.flood(hello, horizon, [this](int to, const Message& m) {
-      agents_[static_cast<std::size_t>(to)].on_hello(m);
+    channel_.flood(hello, horizon, [&](int to, const Message& m) {
+      if (view_sync)
+        agents_[static_cast<std::size_t>(to)].on_membership_message(m, t_);
+      else
+        agents_[static_cast<std::size_t>(to)].on_hello(m);
     });
   }
   for (auto& a : agents_) a.finalize_discovery();
@@ -62,6 +126,9 @@ void DistributedRuntime::discover() {
 
 void DistributedRuntime::on_topology_change(
     std::span<const int> touched, const std::vector<char>& active_vertices) {
+  MHCA_ASSERT(cfg_.membership == MembershipMode::kOmniscient,
+              "on_topology_change is the omniscient delta feed; view-sync "
+              "runs take on_wire_change");
   const Graph& h = ecg_.graph();
   const int horizon = 2 * cfg_.r + 1;
   MHCA_ASSERT(static_cast<int>(active_vertices.size()) == h.size(),
@@ -118,16 +185,123 @@ void DistributedRuntime::on_topology_change(
     agents_[static_cast<std::size_t>(v)].finalize_discovery();
 }
 
+void DistributedRuntime::on_wire_change(
+    std::span<const int> touched, const std::vector<char>& active_vertices) {
+  MHCA_ASSERT(cfg_.membership == MembershipMode::kViewSync,
+              "on_wire_change requires membership = view_sync (omniscient "
+              "runs take on_topology_change)");
+  const Graph& h = ecg_.graph();
+  MHCA_ASSERT(static_cast<int>(active_vertices.size()) == h.size(),
+              "activity mask mismatch");
+  const auto own_neighbors = [&](int v) {
+    const auto nb = h.neighbors(v);
+    return std::vector<int>(nb.begin(), nb.end());
+  };
+  for (std::size_t v = 0; v < agents_.size(); ++v) {
+    const bool was = agents_[v].active();
+    const bool now = active_vertices[v] != 0;
+    agents_[v].set_active(now);
+    if (now && !was) {
+      // Back on the air: link-layer truth only, everything else solicited.
+      agents_[v].refresh_own_neighbors(own_neighbors(static_cast<int>(v)));
+      agents_[v].on_rejoin();
+    }
+  }
+  std::erase_if(prev_strategy_, [&](int v) {
+    return active_vertices[static_cast<std::size_t>(v)] == 0;
+  });
+  // Touched agents learn their own new direct-neighbor sets — a node knows
+  // who it can hear — and nothing more. Who left the (2r+1)-hop horizon,
+  // who entered it: that is for hellos, timeouts and view changes to
+  // establish over the (possibly faulty) wire.
+  for (int v : touched) {
+    if (active_vertices[static_cast<std::size_t>(v)] == 0) continue;
+    agents_[static_cast<std::size_t>(v)].refresh_own_neighbors(
+        own_neighbors(v));
+  }
+}
+
+void DistributedRuntime::flood_pending_hellos(bool include_keepalives) {
+  const int horizon = 2 * cfg_.r + 1;
+  for (auto& a : agents_) {
+    if (!a.active()) continue;
+    bool send = a.take_hello_pending();
+    if (include_keepalives &&
+        (t_ + a.id()) % keepalive_interval_ == 0)
+      send = true;
+    if (!send) continue;
+    Message hello = make_hello(a.id());
+    hello.solicit = a.take_solicit();
+    channel_.flood(hello, horizon,
+                   [this](int to, const Message& m) { route(to, m); });
+  }
+}
+
+void DistributedRuntime::membership_phase() {
+  const int horizon = 2 * cfg_.r + 1;
+  // Delayed deliveries of earlier slots land first: the membership phase is
+  // where a faulty wire's stragglers surface.
+  channel_.begin_slot(t_, [this](int to, const Message& m) { route(to, m); });
+  // Keep-alives (staggered so the channel is not saturated in lockstep)
+  // plus link-change re-advertisements queued since last round.
+  flood_pending_hellos(/*include_keepalives=*/true);
+  // Liveness: silence past the timeout turns members into suspects; due
+  // probes flood now, each a hello addressed at one suspect.
+  for (auto& a : agents_) {
+    if (!a.active()) continue;
+    for (int target : a.liveness_pass(t_)) {
+      Message probe = make_hello(a.id());
+      probe.probe_target = target;
+      channel_.flood(probe, horizon,
+                     [this](int to, const Message& m) { route(to, m); });
+    }
+  }
+  // Same-round responses: probed or solicited agents re-advertise.
+  flood_pending_hellos(/*include_keepalives=*/false);
+  // Install accumulated membership changes (one rebuild + one view advance
+  // per agent per phase, however many admissions/evictions piled up) and
+  // announce the new views.
+  for (auto& a : agents_)
+    if (a.active()) a.flush_membership();
+  for (auto& a : agents_) {
+    if (!a.active() || !a.take_view_dirty()) continue;
+    Message vc = make_hello(a.id());
+    vc.type = MsgType::kViewChange;
+    vc.view = a.view();
+    channel_.flood(vc, horizon,
+                   [this](int to, const Message& m) { route(to, m); });
+  }
+  // View-change payloads may have admitted members in turn; install those
+  // too (their announcements go out next round).
+  for (auto& a : agents_)
+    if (a.active()) a.flush_membership();
+  channel_.charge_timeslots(horizon);
+}
+
 std::size_t DistributedRuntime::max_table_size() const {
   std::size_t best = 0;
   for (const auto& a : agents_) best = std::max(best, a.table_size());
   return best;
 }
 
+RuntimeCounters DistributedRuntime::counters() const {
+  RuntimeCounters out;
+  for (const auto& a : agents_) {
+    out.retries += a.counters().retries;
+    out.timeouts += a.counters().timeouts;
+    out.view_changes += a.counters().view_changes;
+    out.stale_decisions += a.counters().stale_decisions;
+  }
+  return out;
+}
+
 NetRoundResult DistributedRuntime::step() {
   ++t_;
   const int k_arms = ecg_.num_vertices();
   const int horizon = 2 * cfg_.r + 1;
+  const bool view_sync = cfg_.membership == MembershipMode::kViewSync;
+
+  if (view_sync) membership_phase();
 
   // --- WB: previous strategy's vertices flood refreshed statistics. ---
   if (t_ > 1) {
@@ -135,11 +309,12 @@ NetRoundResult DistributedRuntime::step() {
       Message wu;
       wu.type = MsgType::kWeightUpdate;
       wu.origin = v;
+      wu.round = t_;
+      if (view_sync) wu.view = agents_[static_cast<std::size_t>(v)].view();
       wu.mean = agents_[static_cast<std::size_t>(v)].own_mean();
       wu.count = agents_[static_cast<std::size_t>(v)].own_count();
-      channel_.flood(wu, horizon, [this](int to, const Message& m) {
-        agents_[static_cast<std::size_t>(to)].on_weight_update(m);
-      });
+      channel_.flood(wu, horizon,
+                     [this](int to, const Message& m) { route(to, m); });
     }
   }
   for (auto& a : agents_) a.begin_round(*policy_, t_, k_arms);
@@ -167,18 +342,23 @@ NetRoundResult DistributedRuntime::step() {
     std::vector<int> leaders;
     for (const auto& a : agents_)
       if (a.should_lead()) leaders.push_back(a.id());
-    // On a reliable channel the globally best candidate always elects
-    // itself. Under message loss, stale tables can leave every candidate
-    // believing a (long-marked) heavier neighbor is still in the race —
-    // a livelock a real deployment breaks by timeout; we end the decision.
-    MHCA_ASSERT(!leaders.empty() || cfg_.drop_prob > 0.0,
+    // On a reliable omniscient channel the globally best candidate always
+    // elects itself. Under message loss, stale tables can leave every
+    // candidate believing a (long-marked) heavier neighbor is still in the
+    // race; under view-sync, unreaped ghosts and suspect-conservatism can
+    // suppress every election — a livelock a real deployment breaks by
+    // timeout; we end the decision.
+    MHCA_ASSERT(!leaders.empty() || unreliable(),
                 "a candidate of maximal weight must elect itself");
     if (leaders.empty()) break;
     for (int v : leaders) {
       Message ld;
       ld.type = MsgType::kLeaderDeclare;
       ld.origin = v;
-      channel_.flood(ld, horizon, [](int, const Message&) {});
+      ld.round = t_;
+      if (view_sync) ld.view = agents_[static_cast<std::size_t>(v)].view();
+      channel_.flood(ld, horizon,
+                     [this](int to, const Message& m) { route(to, m); });
     }
     channel_.charge_timeslots(horizon);
 
@@ -192,6 +372,8 @@ NetRoundResult DistributedRuntime::step() {
       Message det;
       det.type = MsgType::kDetermination;
       det.origin = v;
+      det.round = t_;
+      if (view_sync) det.view = agents_[static_cast<std::size_t>(v)].view();
       det.statuses =
           cfg_.local_solver == LocalSolverKind::kExact
               ? agents_[static_cast<std::size_t>(v)].lead(
@@ -200,9 +382,8 @@ NetRoundResult DistributedRuntime::step() {
       agents_[static_cast<std::size_t>(v)].on_determination(det);
       // 3r+2: winner-adjacent losers sit up to r+1 hops from the leader and
       // must reach every holder of their status (2r+1 further hops).
-      channel_.flood(det, 3 * cfg_.r + 2, [this](int to, const Message& m) {
-        agents_[static_cast<std::size_t>(to)].on_determination(m);
-      });
+      channel_.flood(det, 3 * cfg_.r + 2,
+                     [this](int to, const Message& m) { route(to, m); });
     }
     channel_.charge_timeslots(3 * cfg_.r + 2);
   }
@@ -210,14 +391,23 @@ NetRoundResult DistributedRuntime::step() {
 
   // --- Data transmission + observation. ---
   out.all_marked = true;
-  for (const auto& a : agents_) {
-    if (a.status() == VertexStatus::kWinner)
+  for (auto& a : agents_) {
+    if (a.status() == VertexStatus::kWinner) {
+      // Graceful degradation: a Winner whose view moved since its verdict,
+      // or with suspects outstanding, cannot trust that every contender was
+      // in the race it won — it abstains rather than risk a double-claim.
+      if (!a.transmit_ok()) {
+        a.note_stale_abstain();
+        ++out.tx_abstained;
+        continue;
+      }
       out.strategy.push_back(a.id());
-    else if (a.status() == VertexStatus::kCandidate)
+    } else if (a.status() == VertexStatus::kCandidate) {
       out.all_marked = false;
+    }
   }
   out.conflict = !ecg_.graph().is_independent_set(out.strategy);
-  MHCA_ASSERT(!out.conflict || cfg_.drop_prob > 0.0,
+  MHCA_ASSERT(!out.conflict || unreliable(),
               "protocol produced a conflicting strategy on a reliable "
               "control channel");
   for (int v : out.strategy) {

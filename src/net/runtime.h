@@ -3,6 +3,10 @@
 // channel.
 //
 // Per round t:
+//   MEM — (view-sync mode only) membership phase: delayed deliveries land,
+//         staggered keep-alive hellos go out, liveness is evaluated
+//         (timeout → suspect → backed-off probes → eviction), and view
+//         changes are announced. See net/README.md for the full lifecycle.
 //   WB  — every vertex of the previous strategy floods its refreshed (µ̃, m)
 //         within 2r+1 hops; all agents recompute indices locally from the
 //         global round number (eq. 3 needs only t, K and the stored stats).
@@ -11,11 +15,15 @@
 //   LMWIS/LB — each leader solves MWIS over its r-hop Candidates and floods
 //         the verdicts within 3r+1 hops; D mini-rounds total.
 //   TX  — Winners access their channels, observe rates, update estimates.
+//         Under view-sync a Winner with outstanding suspects, or whose
+//         verdict was minted in an older view, abstains (conservative
+//         degradation: reduced throughput, never an avoidable collision).
 //
 // This runtime exists to demonstrate and *test* that the protocol works
 // from purely local knowledge; the lockstep engine in mwis/distributed_ptas
-// computes identical decisions (asserted by integration tests) and is what
-// the large benchmarks use.
+// computes identical decisions (asserted by integration tests: every round
+// in omniscient mode, every converged round under view-sync — see
+// net/oracle.h) and is what the large benchmarks use.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +38,7 @@
 #include "mwis/greedy.h"
 #include "net/agent.h"
 #include "net/control_channel.h"
+#include "net/view.h"
 
 namespace mhca::net {
 
@@ -45,10 +54,23 @@ struct NetConfig {
   /// Solve over each agent's memoized r-ball clique cover (mirrors
   /// DistributedPtasConfig::use_memoized_covers; see src/mwis/README.md).
   bool use_memoized_covers = false;
-  /// Control-channel reception failure probability (failure injection; the
-  /// protocol's independence guarantee assumes 0 — see ControlChannel).
+  // --- Fault-injection plane (net/faults.h; all seeded by drop_seed) ---
+  /// Control-channel reception failure probability (the protocol's
+  /// independence guarantee assumes 0 — see ControlChannel).
   double drop_prob = 0.0;
   std::uint64_t drop_seed = 0;
+  double dup_prob = 0.0;      ///< Duplicate-delivery probability.
+  double reorder_prob = 0.0;  ///< Deferred-delivery probability.
+  int delay_slots_max = 0;    ///< Max deferral in slots (0 = same flood).
+  // --- Membership (net/view.h) ---
+  /// kViewSync: no omniscient delta feed — liveness from stat-carrying
+  /// hellos with timeout + bounded retry + exponential backoff, membership
+  /// epochs as gossiped ViewIds. Required when reorder_prob > 0 or
+  /// delay_slots_max > 0 (omniscient discovery cannot absorb a late hello).
+  MembershipMode membership = MembershipMode::kOmniscient;
+  int hello_timeout_slots = 4;  ///< Silence (slots) before suspicion.
+  int hello_max_retries = 3;    ///< Probes before eviction.
+  int backoff_base = 2;         ///< Probe k waits backoff_base^k slots.
 };
 
 struct NetRoundResult {
@@ -58,8 +80,20 @@ struct NetRoundResult {
   int mini_rounds = 0;
   bool all_marked = false;
   /// True if the produced strategy contains a conflict. Always false on a
-  /// reliable control channel (asserted); possible under drop_prob > 0.
+  /// reliable omniscient-mode channel (asserted); possible under faults or
+  /// not-yet-converged views.
   bool conflict = false;
+  /// View-sync: Winners that abstained from transmitting because their
+  /// view was stale (counted into AgentCounters::stale_decisions).
+  int tx_abstained = 0;
+};
+
+/// Aggregated per-agent robustness counters (see AgentCounters).
+struct RuntimeCounters {
+  std::int64_t retries = 0;
+  std::int64_t timeouts = 0;
+  std::int64_t view_changes = 0;
+  std::int64_t stale_decisions = 0;
 };
 
 class DistributedRuntime {
@@ -82,28 +116,66 @@ class DistributedRuntime {
   /// hello (billed on the control channel like any flood) carrying its
   /// neighbor list *and* current statistics, so rebuilt tables stay
   /// index-consistent and the decisions keep matching the lockstep engine.
+  /// Omniscient mode only — the god's-eye feed view-sync replaces.
   void on_topology_change(std::span<const int> touched,
                           const std::vector<char>& active_vertices);
 
+  /// View-sync counterpart: the wire changed, but agents are told only
+  /// what a real node's link layer could know — each touched agent's own
+  /// direct-neighbor set, and each node's own on/off state. Everything
+  /// else (who left the neighborhood, who arrived) must be inferred from
+  /// hellos, timeouts and view changes.
+  void on_wire_change(std::span<const int> touched,
+                      const std::vector<char>& active_vertices);
+
+  /// Swap the fault profile mid-run (fault *schedules*: e.g. a lossy window
+  /// followed by a quiet one). Validated like the constructor's profile.
+  void set_fault_profile(const FaultProfile& faults);
+
   std::int64_t rounds_run() const { return t_; }
+  /// Winners of the last round — the vertices whose refreshed statistics
+  /// are still in flight (their WB flood opens the *next* round, before
+  /// any decision reads a table). The convergence oracle exempts exactly
+  /// these from its stats equality check.
+  const std::vector<int>& prev_strategy() const { return prev_strategy_; }
   const ChannelStats& channel_stats() const { return channel_.stats(); }
+  const ControlChannel& channel() const { return channel_; }
   const VertexAgent& agent(int v) const {
     return agents_[static_cast<std::size_t>(v)];
   }
   const IndexPolicy& policy() const { return *policy_; }
+  const NetConfig& config() const { return cfg_; }
 
   /// Maximum agent table size — the per-vertex space bound O(m).
   std::size_t max_table_size() const;
 
+  /// Sum of every agent's robustness counters.
+  RuntimeCounters counters() const;
+
  private:
   void discover();
   /// One vertex's hello: id, direct neighbors, current (µ̃, m) — shared by
-  /// initial discovery and scoped churn rediscovery so the two can't drift.
+  /// initial discovery, scoped churn rediscovery, keep-alives and probes,
+  /// so none of them can drift.
   Message make_hello(int v) const;
+  /// The MEM phase of a view-sync round (see class comment).
+  void membership_phase();
+  /// Route one delivery to the right agent handler by message type (the
+  /// single dispatch point for immediate and delayed deliveries alike).
+  void route(int to, const Message& msg);
+  /// Flood every agent whose hello_pending flag is set (keep-alives are
+  /// merged into the first pass; the second pass catches same-round
+  /// responses to probes and solicits).
+  void flood_pending_hellos(bool include_keepalives);
+  bool unreliable() const {
+    return channel_.faults().any() ||
+           cfg_.membership == MembershipMode::kViewSync;
+  }
 
   const ExtendedConflictGraph& ecg_;
   const ChannelModel& model_;
   NetConfig cfg_;
+  int keepalive_interval_ = 1;
   std::unique_ptr<IndexPolicy> policy_;
   ControlChannel channel_;
   std::vector<VertexAgent> agents_;

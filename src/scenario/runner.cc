@@ -31,6 +31,13 @@ net::NetConfig to_net_config(const Scenario& s, int num_nodes) {
   cfg.use_memoized_covers = s.solver.memoized_covers;
   cfg.drop_prob = s.net.drop_prob;
   cfg.drop_seed = s.net.drop_seed;
+  cfg.dup_prob = s.net.dup_prob;
+  cfg.reorder_prob = s.net.reorder_prob;
+  cfg.delay_slots_max = s.net.delay_slots_max;
+  cfg.membership = membership_mode_from_string(s.net.membership);
+  cfg.hello_timeout_slots = s.net.hello_timeout_slots;
+  cfg.hello_max_retries = s.net.hello_max_retries;
+  cfg.backoff_base = s.net.backoff_base;
   return cfg;
 }
 
@@ -208,23 +215,45 @@ NetRunSummary ScenarioRunner::run_net() const {
         "run.update_period = " + std::to_string(s_.run.update_period) +
         "; set run.update_period=1 for the message-level runtime");
   const net::NetConfig net_cfg = to_net_config(s_, network_.num_nodes());
+  const bool view_sync =
+      net_cfg.membership == net::MembershipMode::kViewSync;
   NetRunSummary out;
   const auto drive = [&](net::DistributedRuntime& runtime,
                          dynamics::DynamicNetwork* dyn) {
     for (std::int64_t round = 1; round <= s_.run.slots; ++round) {
       if (dyn != nullptr && round > 1) {
         const dynamics::SlotChange& ch = dyn->advance(round);
-        if (ch.changed)
-          runtime.on_topology_change(ch.touched_vertices,
-                                     dyn->active_vertices());
+        if (ch.changed) {
+          // View-sync agents get only link-layer truth (their own direct
+          // neighbors, their own on/off state); omniscient agents get the
+          // god's-eye scoped rediscovery.
+          if (view_sync)
+            runtime.on_wire_change(ch.touched_vertices,
+                                   dyn->active_vertices());
+          else
+            runtime.on_topology_change(ch.touched_vertices,
+                                       dyn->active_vertices());
+        }
       }
       net::NetRoundResult res = runtime.step();
       out.total_observed += res.observed_sum;
       if (res.conflict) ++out.conflicts;
+      out.tx_abstained += res.tx_abstained;
       out.last_strategy = std::move(res.strategy);
     }
     out.rounds = runtime.rounds_run();
     out.max_table_size = runtime.max_table_size();
+    const net::RuntimeCounters rc = runtime.counters();
+    out.retries = rc.retries;
+    out.timeouts = rc.timeouts;
+    out.view_changes = rc.view_changes;
+    out.stale_decisions = rc.stale_decisions;
+    const net::ChannelStats& cs = runtime.channel_stats();
+    out.messages = cs.messages;
+    out.drops = cs.drops;
+    out.duplicates = cs.duplicates;
+    out.deferred = cs.deferred;
+    out.trace_hash = runtime.channel().trace_hash();
   };
   if (is_dynamic(s_)) {
     dynamics::DynamicNetwork dyn = make_dynamic_network(s_.run.seed);

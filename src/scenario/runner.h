@@ -46,6 +46,19 @@ struct NetRunSummary {
   std::vector<int> last_strategy;  ///< Winner vertices of the final round.
   std::size_t max_table_size = 0;  ///< Per-vertex space bound O(m).
   int conflicts = 0;               ///< Rounds whose strategy conflicted.
+  // --- Robustness telemetry (fault plane + view-sync membership) ---
+  std::int64_t retries = 0;          ///< Liveness probes flooded.
+  std::int64_t timeouts = 0;         ///< Members that became suspects.
+  std::int64_t view_changes = 0;     ///< Membership-epoch advances.
+  std::int64_t stale_decisions = 0;  ///< Rounds decided under stale views.
+  std::int64_t tx_abstained = 0;     ///< Winners that declined to transmit.
+  std::int64_t messages = 0;         ///< Control-channel transmissions.
+  std::int64_t drops = 0;            ///< Fault plane: receptions failed.
+  std::int64_t duplicates = 0;       ///< Fault plane: duplicate deliveries.
+  std::int64_t deferred = 0;         ///< Fault plane: reordered/delayed.
+  /// Order-sensitive digest of every flood and delivery — two runs of the
+  /// same (seed, schedule) must agree byte for byte.
+  std::uint64_t trace_hash = 0;
 };
 
 /// The net::NetConfig a scenario denotes (policy must be a built-in kind;

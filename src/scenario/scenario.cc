@@ -41,6 +41,24 @@ static_assert(SolverSpec{}.memoized_covers ==
                   ChannelAccessConfig{}.use_memoized_covers);
 static_assert(NetSpec{}.drop_prob == net::NetConfig{}.drop_prob &&
               NetSpec{}.drop_seed == net::NetConfig{}.drop_seed);
+static_assert(NetSpec{}.dup_prob == net::NetConfig{}.dup_prob &&
+              NetSpec{}.reorder_prob == net::NetConfig{}.reorder_prob &&
+              NetSpec{}.delay_slots_max == net::NetConfig{}.delay_slots_max);
+static_assert(NetSpec{}.hello_timeout_slots ==
+                  net::NetConfig{}.hello_timeout_slots &&
+              NetSpec{}.hello_max_retries ==
+                  net::NetConfig{}.hello_max_retries &&
+              NetSpec{}.backoff_base == net::NetConfig{}.backoff_base);
+static_assert(net::NetConfig{}.membership ==
+              net::MembershipMode::kOmniscient);
+// The agent-side liveness defaults must agree with the runtime config's
+// (the runtime stamps NetConfig into LivenessParams agent by agent).
+static_assert(net::LivenessParams{}.hello_timeout_slots ==
+                  net::NetConfig{}.hello_timeout_slots &&
+              net::LivenessParams{}.hello_max_retries ==
+                  net::NetConfig{}.hello_max_retries &&
+              net::LivenessParams{}.backoff_base ==
+                  net::NetConfig{}.backoff_base);
 
 namespace {
 
@@ -126,6 +144,34 @@ const std::vector<FieldDef>& net_fields() {
        }},
       {"drop_seed", [](Scenario& s, const std::string& v, const std::string& w) {
          s.net.drop_seed = parse_uint_value(v, w);
+       }},
+      {"dup_prob", [](Scenario& s, const std::string& v, const std::string& w) {
+         s.net.dup_prob = parse_double_value(v, w);
+       }},
+      {"reorder_prob",
+       [](Scenario& s, const std::string& v, const std::string& w) {
+         s.net.reorder_prob = parse_double_value(v, w);
+       }},
+      {"delay_slots_max",
+       [](Scenario& s, const std::string& v, const std::string& w) {
+         s.net.delay_slots_max = int32_field(v, w);
+       }},
+      {"membership",
+       [](Scenario& s, const std::string& v, const std::string&) {
+         membership_mode_from_string(v);  // reject bad values at parse time
+         s.net.membership = v;
+       }},
+      {"hello_timeout_slots",
+       [](Scenario& s, const std::string& v, const std::string& w) {
+         s.net.hello_timeout_slots = int32_field(v, w);
+       }},
+      {"hello_max_retries",
+       [](Scenario& s, const std::string& v, const std::string& w) {
+         s.net.hello_max_retries = int32_field(v, w);
+       }},
+      {"backoff_base",
+       [](Scenario& s, const std::string& v, const std::string& w) {
+         s.net.backoff_base = int32_field(v, w);
        }},
   };
   return fields;
@@ -359,7 +405,14 @@ std::string serialize_scenario(const Scenario& s) {
      << "\n";
   os << "\n[net]\n"
      << "drop_prob = " << format_double(s.net.drop_prob) << "\n"
-     << "drop_seed = " << s.net.drop_seed << "\n";
+     << "drop_seed = " << s.net.drop_seed << "\n"
+     << "dup_prob = " << format_double(s.net.dup_prob) << "\n"
+     << "reorder_prob = " << format_double(s.net.reorder_prob) << "\n"
+     << "delay_slots_max = " << s.net.delay_slots_max << "\n"
+     << "membership = " << s.net.membership << "\n"
+     << "hello_timeout_slots = " << s.net.hello_timeout_slots << "\n"
+     << "hello_max_retries = " << s.net.hello_max_retries << "\n"
+     << "backoff_base = " << s.net.backoff_base << "\n";
   os << "\n[replication]\n"
      << "replications = " << s.replication.replications << "\n"
      << "seed0 = " << s.replication.seed0 << "\n"
@@ -410,11 +463,41 @@ void validate_fields(const Scenario& s) {
     throw ScenarioError("replication.replications must be >= 0");
   if (s.replication.parallelism < 0)
     throw ScenarioError("replication.parallelism must be >= 0");
-  // ControlChannel requires drop_prob < 1 (a channel that drops everything
-  // can never complete discovery), so reject 1.0 here with the key name
-  // instead of letting the assert fire later.
-  if (s.net.drop_prob < 0.0 || s.net.drop_prob >= 1.0)
-    throw ScenarioError("net.drop_prob must be in [0, 1)");
+  // ControlChannel requires every fault probability in [0, 1) (a channel
+  // that drops everything can never complete discovery), so reject here
+  // with the key name *and the offending value* instead of letting the
+  // assert fire three layers down.
+  const auto check_prob = [](double p, const char* key) {
+    if (p < 0.0 || p >= 1.0)
+      throw ScenarioError(std::string("net.") + key + " = " +
+                          format_double(p) + " is outside the supported "
+                          "[0, 1) range");
+  };
+  check_prob(s.net.drop_prob, "drop_prob");
+  check_prob(s.net.dup_prob, "dup_prob");
+  check_prob(s.net.reorder_prob, "reorder_prob");
+  if (s.net.delay_slots_max < 0)
+    throw ScenarioError("net.delay_slots_max must be >= 0 (got " +
+                        std::to_string(s.net.delay_slots_max) + ")");
+  const net::MembershipMode mode =
+      membership_mode_from_string(s.net.membership);
+  if (mode != net::MembershipMode::kViewSync &&
+      (s.net.reorder_prob > 0.0 || s.net.delay_slots_max > 0))
+    throw ScenarioError(
+        "net.reorder_prob / net.delay_slots_max require net.membership = "
+        "view_sync: omniscient discovery finalizes tables once per change "
+        "and cannot absorb a late hello");
+  if (s.net.hello_timeout_slots < 2)
+    throw ScenarioError(
+        "net.hello_timeout_slots must be >= 2 (keep-alives go out every "
+        "hello_timeout_slots - 1 rounds; got " +
+        std::to_string(s.net.hello_timeout_slots) + ")");
+  if (s.net.hello_max_retries < 0)
+    throw ScenarioError("net.hello_max_retries must be >= 0 (got " +
+                        std::to_string(s.net.hello_max_retries) + ")");
+  if (s.net.backoff_base < 1)
+    throw ScenarioError("net.backoff_base must be >= 1 (got " +
+                        std::to_string(s.net.backoff_base) + ")");
 }
 
 void validate(const Scenario& s) {
@@ -553,6 +636,21 @@ const char* policy_kind_key(PolicyKind kind) {
     case PolicyKind::kGreedy: return "greedy";
     case PolicyKind::kEpsGreedy: return "eps";
     case PolicyKind::kThompson: return "thompson";
+  }
+  return "?";
+}
+
+net::MembershipMode membership_mode_from_string(const std::string& s) {
+  if (s == "omniscient") return net::MembershipMode::kOmniscient;
+  if (s == "view_sync") return net::MembershipMode::kViewSync;
+  throw ScenarioError("unknown net.membership '" + s +
+                      "'; valid: omniscient, view_sync");
+}
+
+const char* membership_mode_key(net::MembershipMode mode) {
+  switch (mode) {
+    case net::MembershipMode::kOmniscient: return "omniscient";
+    case net::MembershipMode::kViewSync: return "view_sync";
   }
   return "?";
 }

@@ -21,6 +21,7 @@
 #include "bandit/policy.h"
 #include "mwis/distributed_ptas.h"
 #include "mwis/mwis.h"
+#include "net/view.h"
 #include "scenario/params.h"
 #include "sim/config.h"
 #include "sim/timing.h"
@@ -96,11 +97,21 @@ struct DynamicsSpec {
   bool operator==(const DynamicsSpec&) const = default;
 };
 
-/// Message-level runtime knobs ([net] section): control-channel failure
-/// injection, declarative at last (the ROADMAP's drop-prob lever).
+/// Message-level runtime knobs ([net] section): the control-channel
+/// fault-injection plane and the view-synchronous membership layer,
+/// declarative at last. Numeric defaults are static_assert-pinned to
+/// net::NetConfig in scenario.cc (the PR-2 drift guard); membership is the
+/// string form of net::MembershipMode ("omniscient" | "view_sync").
 struct NetSpec {
   double drop_prob = 0.0;     ///< Per-flood reception failure probability.
   std::uint64_t drop_seed = 0;
+  double dup_prob = 0.0;      ///< Duplicate-delivery probability.
+  double reorder_prob = 0.0;  ///< Deferred-delivery probability.
+  int delay_slots_max = 0;    ///< Max deferral in slots (0 = same flood).
+  std::string membership = "omniscient";
+  int hello_timeout_slots = 4;  ///< Silence (slots) before suspicion.
+  int hello_max_retries = 3;    ///< Liveness probes before eviction.
+  int backoff_base = 2;         ///< Probe k waits backoff_base^k slots.
 
   bool operator==(const NetSpec&) const = default;
 };
@@ -180,5 +191,9 @@ const std::vector<std::string>& local_solver_keys();
 /// registry keys without an enum value (user-registered policies).
 PolicyKind policy_kind_from_string(const std::string& s);
 const char* policy_kind_key(PolicyKind kind);
+/// net.membership <-> net::MembershipMode ("omniscient" | "view_sync").
+/// Throws ScenarioError listing the valid keys on anything else.
+net::MembershipMode membership_mode_from_string(const std::string& s);
+const char* membership_mode_key(net::MembershipMode mode);
 
 }  // namespace mhca::scenario

@@ -6,6 +6,9 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "bandit/estimates.h"
 #include "bandit/policy.h"
@@ -14,6 +17,8 @@
 #include "graph/generators.h"
 #include "mwis/distributed_ptas.h"
 #include "net/control_channel.h"
+#include "net/faults.h"
+#include "net/oracle.h"
 #include "net/runtime.h"
 #include "util/rng.h"
 
@@ -273,6 +278,152 @@ TEST(NetValidation, DimensionMismatchRejected) {
   ExtendedConflictGraph ecg(cg, 2);
   GaussianChannelModel wrong(5, 2, rng);
   EXPECT_THROW(DistributedRuntime(ecg, wrong, NetConfig{}), std::logic_error);
+}
+
+// --- Fault plane: billing, determinism, actionable validation ---
+
+TEST(ControlChannelFaults, InvalidDropProbErrorNamesOffendingValue) {
+  Graph g = path_graph(4);
+  net::FaultProfile bad;
+  bad.drop_prob = 1.0;
+  try {
+    ControlChannel ch(g, bad);
+    FAIL() << "expected the fault profile to be rejected";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("drop_prob = 1.000000"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[0, 1)"), std::string::npos) << msg;
+  }
+}
+
+TEST(ControlChannelFaults, DuplicatesAreBilledAsTransmissions) {
+  Graph g = path_graph(10);
+  net::FaultProfile p;
+  p.dup_prob = 0.9;
+  p.seed = 5;
+  ControlChannel ch(g, p);
+  Message m;
+  m.type = MsgType::kHello;
+  m.origin = 5;
+  int delivered = 0;
+  ch.flood(m, 2, [&](int, const Message&) { ++delivered; });
+  // The ttl-2 ball holds 4 receivers and the fault-free bill is 5 (origin
+  // included). Every duplicate is one extra delivery *and* one extra billed
+  // transmission — duplicated airtime is not free.
+  EXPECT_GT(ch.stats().duplicates, 0);
+  EXPECT_EQ(delivered, 4 + ch.stats().duplicates);
+  EXPECT_EQ(ch.stats().messages, 5 + ch.stats().duplicates);
+  EXPECT_EQ(ch.stats().of_type(MsgType::kHello), ch.stats().messages);
+}
+
+TEST(ControlChannelFaults, SameFloodReorderIsDeterministicAndLossless) {
+  Graph g = path_graph(12);
+  auto run = [&](std::vector<int>& order) {
+    net::FaultProfile p;
+    p.reorder_prob = 0.9;
+    p.seed = 9;
+    ControlChannel ch(g, p);
+    Message m;
+    m.type = MsgType::kWeightUpdate;
+    m.origin = 6;
+    ch.flood(m, 3, [&](int v, const Message&) { order.push_back(v); });
+    return ch.stats().deferred;
+  };
+  std::vector<int> o1, o2;
+  const auto d1 = run(o1);
+  const auto d2 = run(o2);
+  EXPECT_EQ(o1, o2);  // same (seed, schedule) => same delivery order
+  EXPECT_EQ(d1, d2);
+  EXPECT_GT(d1, 0);
+  // Reordering permutes deliveries but loses and invents nothing.
+  std::vector<int> sorted = o1;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{3, 4, 5, 7, 8, 9}));
+}
+
+TEST(ControlChannelFaults, DelayedDeliveriesSurfaceAtTheirSlot) {
+  Graph g = path_graph(10);
+  net::FaultProfile p;
+  p.reorder_prob = 0.9;
+  p.delay_slots_max = 3;
+  p.seed = 4;
+  ControlChannel ch(g, p);
+  ch.begin_slot(1, [](int, const Message&) {});
+  Message m;
+  m.type = MsgType::kHello;
+  m.origin = 5;
+  int now = 0;
+  ch.flood(m, 2, [&](int, const Message&) { ++now; });
+  ASSERT_GT(ch.pending_deliveries(), 0u);
+  int later = 0;
+  for (std::int64_t round = 2; round <= 5; ++round)
+    ch.begin_slot(round, [&](int, const Message&) { ++later; });
+  // Every deferred delivery lands within delay_slots_max slots; none is
+  // lost, none is delivered twice.
+  EXPECT_EQ(now + later, 4);
+  EXPECT_EQ(ch.pending_deliveries(), 0u);
+}
+
+// --- View-synchronous membership ---
+
+NetConfig view_sync_config() {
+  NetConfig cfg;
+  cfg.membership = net::MembershipMode::kViewSync;
+  return cfg;
+}
+
+TEST_F(NetFixture, FaultFreeViewSyncMatchesOmniscientEveryRound) {
+  DistributedRuntime omniscient(ecg_, model_, NetConfig{});
+  DistributedRuntime viewsync(ecg_, model_, view_sync_config());
+  for (int t = 1; t <= 20; ++t) {
+    const NetRoundResult a = omniscient.step();
+    const NetRoundResult b = viewsync.step();
+    ASSERT_EQ(a.strategy, b.strategy) << "round " << t;
+    EXPECT_EQ(b.tx_abstained, 0);
+  }
+  // A reliable wire never triggers the robustness machinery.
+  const net::RuntimeCounters c = viewsync.counters();
+  EXPECT_EQ(c.timeouts, 0);
+  EXPECT_EQ(c.view_changes, 0);
+  EXPECT_EQ(c.stale_decisions, 0);
+}
+
+TEST_F(NetFixture, ConvergenceOracleAcceptsFaultFreeViewSyncRun) {
+  DistributedRuntime rt(ecg_, model_, view_sync_config());
+  for (int t = 1; t <= 8; ++t) rt.step();
+  const net::ConvergenceReport rep = net::check_convergence(rt, ecg_.graph());
+  EXPECT_TRUE(rep.members_match);
+  EXPECT_TRUE(rep.adjacency_match);
+  EXPECT_TRUE(rep.stats_match);
+  EXPECT_TRUE(rep.no_suspects);
+  EXPECT_TRUE(rep.views_equal);
+  EXPECT_TRUE(rep.no_pending);
+  ASSERT_TRUE(rep.converged());
+  const std::vector<int> predicted =
+      net::lockstep_decision(rt, ecg_.graph(), rt.rounds_run() + 1);
+  EXPECT_EQ(rt.step().strategy, predicted);
+}
+
+TEST_F(NetFixture, LivenessProbesAndViewChangesAreBilled) {
+  NetConfig clean = view_sync_config();
+  NetConfig lossy = view_sync_config();
+  lossy.drop_prob = 0.4;
+  lossy.drop_seed = 21;
+  DistributedRuntime rt_clean(ecg_, model_, clean);
+  DistributedRuntime rt_lossy(ecg_, model_, lossy);
+  for (int t = 1; t <= 20; ++t) {
+    rt_clean.step();
+    rt_lossy.step();
+  }
+  const net::RuntimeCounters c = rt_lossy.counters();
+  EXPECT_GT(c.timeouts, 0);
+  EXPECT_GT(c.retries, 0);
+  EXPECT_GT(c.view_changes, 0);
+  // Retried hellos and view-change floods are real airtime: the lossy run
+  // floods strictly more often than the clean one (drops remove
+  // transmissions, never floods).
+  EXPECT_GT(rt_lossy.channel_stats().floods, rt_clean.channel_stats().floods);
+  EXPECT_GT(rt_lossy.channel_stats().of_type(MsgType::kViewChange), 0);
 }
 
 TEST(NetLinearWorstCase, OneLeaderPerMiniRound) {

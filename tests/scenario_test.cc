@@ -54,6 +54,13 @@ leave_prob = 0.05
 [net]
 drop_prob = 0.1
 drop_seed = 3
+dup_prob = 0.05
+reorder_prob = 0.2
+delay_slots_max = 2
+membership = view_sync
+hello_timeout_slots = 6
+hello_max_retries = 2
+backoff_base = 3
 
 [solver]
 kind = distributed
@@ -101,6 +108,13 @@ TEST(ScenarioFormat, ParseReadsEveryField) {
   EXPECT_DOUBLE_EQ(s.dynamics.model.params.get_double("leave_prob", 0), 0.05);
   EXPECT_DOUBLE_EQ(s.net.drop_prob, 0.1);
   EXPECT_EQ(s.net.drop_seed, 3u);
+  EXPECT_DOUBLE_EQ(s.net.dup_prob, 0.05);
+  EXPECT_DOUBLE_EQ(s.net.reorder_prob, 0.2);
+  EXPECT_EQ(s.net.delay_slots_max, 2);
+  EXPECT_EQ(s.net.membership, "view_sync");
+  EXPECT_EQ(s.net.hello_timeout_slots, 6);
+  EXPECT_EQ(s.net.hello_max_retries, 2);
+  EXPECT_EQ(s.net.backoff_base, 3);
   EXPECT_EQ(s.solver.kind, SolverKind::kDistributedPtas);
   EXPECT_EQ(s.solver.r, 3);
   EXPECT_EQ(s.solver.D, 6);
@@ -220,6 +234,36 @@ TEST(ScenarioErrors, OutOfRangeIntegersAreRejectedNotTruncated) {
   EXPECT_THROW(
       scenario::apply_override(s, "run.slots=99999999999999999999999"),
       ScenarioError);
+}
+
+TEST(ScenarioErrors, NetProbabilityBoundsNameOffendingValue) {
+  Scenario s;
+  scenario::apply_override(s, "net.drop_prob=1.0");
+  const std::string msg = error_message([&] { scenario::validate(s); });
+  EXPECT_TRUE(message_contains(msg, "net.drop_prob"));
+  EXPECT_TRUE(message_contains(msg, "[0, 1)"));
+  EXPECT_TRUE(message_contains(msg, "1"));
+}
+
+TEST(ScenarioErrors, ReorderAndDelayRequireViewSyncMembership) {
+  Scenario s;
+  scenario::apply_override(s, "net.reorder_prob=0.2");
+  const std::string msg = error_message([&] { scenario::validate(s); });
+  EXPECT_TRUE(message_contains(msg, "net.reorder_prob"));
+  EXPECT_TRUE(message_contains(msg, "view_sync"));
+  scenario::apply_override(s, "net.membership=view_sync");
+  // validate_fields (not full validate): the default Scenario names no
+  // topology size, which is not what this test is about.
+  EXPECT_NO_THROW(scenario::validate_fields(s));
+}
+
+TEST(ScenarioErrors, BadMembershipModeListsValidKeys) {
+  Scenario s;
+  const std::string msg = error_message(
+      [&] { scenario::apply_override(s, "net.membership=viewsync"); });
+  EXPECT_TRUE(message_contains(msg, "viewsync"));
+  EXPECT_TRUE(message_contains(msg, "view_sync"));
+  EXPECT_TRUE(message_contains(msg, "omniscient"));
 }
 
 TEST(ScenarioErrors, BadOverrideSyntax) {

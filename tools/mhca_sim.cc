@@ -200,6 +200,21 @@ void print_net(const scenario::Scenario& s, const scenario::NetRunSummary& n,
   table.row("final strategy size", n.last_strategy.size());
   table.row("max agent table size", n.max_table_size);
   table.row("conflicting rounds", n.conflicts);
+  table.row("control messages", n.messages);
+  // Robustness telemetry is only meaningful when the wire is unreliable or
+  // membership is inferred from it; keep the clean-run table compact.
+  const bool faulty = s.net.drop_prob > 0.0 || s.net.dup_prob > 0.0 ||
+                      s.net.reorder_prob > 0.0;
+  if (faulty || s.net.membership == "view_sync") {
+    table.row("dropped deliveries", n.drops);
+    table.row("duplicate deliveries", n.duplicates);
+    table.row("reordered/delayed deliveries", n.deferred);
+    table.row("liveness timeouts", n.timeouts);
+    table.row("liveness retries", n.retries);
+    table.row("view changes", n.view_changes);
+    table.row("stale-view decisions", n.stale_decisions);
+    table.row("tx abstained (stale winners)", n.tx_abstained);
+  }
   table.print(std::cout);
 }
 
