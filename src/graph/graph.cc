@@ -290,6 +290,35 @@ bool Graph::is_connected() const {
 }
 
 bool Graph::is_independent_set(std::span<const int> vs) const {
+  // Mark each member, then scan each member's neighbor row for an earlier
+  // mark: an edge {a, b} with a before b in vs is caught at b (a is marked
+  // and a ∈ N(b)), and a duplicate is caught at its second occurrence. The
+  // stamp array makes the scratch reusable without an O(n) clear — one
+  // thread-local instance serves every graph on the thread (the engine's
+  // end-of-run assert and the net runtime both validate here, possibly
+  // from replication worker threads).
+  struct MarkScratch {
+    std::vector<std::uint32_t> stamp;
+    std::uint32_t epoch = 0;
+  };
+  thread_local MarkScratch s;
+  if (s.stamp.size() < static_cast<std::size_t>(size()))
+    s.stamp.resize(static_cast<std::size_t>(size()), 0);
+  if (++s.epoch == 0) {  // wrap: stale stamps could alias the new epoch
+    std::fill(s.stamp.begin(), s.stamp.end(), 0);
+    s.epoch = 1;
+  }
+  for (int v : vs) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (s.stamp[vi] == s.epoch) return false;  // duplicate vertex
+    for (int u : neighbors(v))
+      if (s.stamp[static_cast<std::size_t>(u)] == s.epoch) return false;
+    s.stamp[vi] = s.epoch;
+  }
+  return true;
+}
+
+bool Graph::is_independent_set_pairwise(std::span<const int> vs) const {
   for (std::size_t i = 0; i < vs.size(); ++i)
     for (std::size_t j = i + 1; j < vs.size(); ++j)
       if (vs[i] == vs[j] || has_edge(vs[i], vs[j])) return false;

@@ -137,8 +137,20 @@ class Graph {
   /// True if every pair of vertices is joined by a path (empty graph: true).
   bool is_connected() const;
 
-  /// True if no two vertices in `vs` are adjacent.
+  /// True if `vs` has no duplicate vertex and no two of its vertices are
+  /// adjacent. O(|vs| + Σ deg(v)) single-pass neighbor-mark check over a
+  /// reusable (thread-local, epoch-stamped) scratch bitmap — cheap enough
+  /// to validate every decision's winner set on the hot path (it runs
+  /// inside the engine's end-of-run assert and the net runtime's conflict
+  /// detector; the old pairwise check was O(|vs|²) `has_edge` probes and
+  /// dominated whole 50k-vertex decisions).
   bool is_independent_set(std::span<const int> vs) const;
+
+  /// The quadratic pairwise reference check (every pair probed via
+  /// `has_edge`). Same verdict as `is_independent_set` on every input —
+  /// kept only as the fuzz oracle (tests/graph_property_test.cc); never
+  /// call it on a hot path.
+  bool is_independent_set_pairwise(std::span<const int> vs) const;
 
  private:
   /// Reopen the build phase: reconstruct adjacency vectors from the CSR and

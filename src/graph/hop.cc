@@ -62,6 +62,37 @@ void BfsScratch::two_radius_neighborhood(const Graph& g, int v, int k_inner,
     if (dist_[static_cast<std::size_t>(u)] <= k_inner) inner.push_back(u);
 }
 
+void BfsScratch::two_radius_sizes(const Graph& g, int v, int k_inner,
+                                  int k_outer, std::int64_t& inner_size,
+                                  std::int64_t& outer_size) {
+  MHCA_ASSERT(0 <= k_inner && k_inner <= k_outer,
+              "need 0 <= k_inner <= k_outer");
+  MHCA_ASSERT(v >= 0 && v < g.size(), "vertex out of range");
+  if (static_cast<int>(stamp_.size()) != g.size()) resize(g.size());
+  ++epoch_;
+  queue_.clear();
+  queue_.push_back(v);
+  stamp_[static_cast<std::size_t>(v)] = epoch_;
+  dist_[static_cast<std::size_t>(v)] = 0;
+  inner_size = 0;
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    const int x = queue_[head++];
+    const int dx = dist_[static_cast<std::size_t>(x)];
+    if (dx <= k_inner) ++inner_size;
+    if (dx == k_outer) continue;
+    for (int u : g.neighbors(x)) {
+      auto ui = static_cast<std::size_t>(u);
+      if (stamp_[ui] != epoch_) {
+        stamp_[ui] = epoch_;
+        dist_[ui] = dx + 1;
+        queue_.push_back(u);
+      }
+    }
+  }
+  outer_size = static_cast<std::int64_t>(queue_.size());
+}
+
 void BfsScratch::multi_source_k_hop(const Graph& g,
                                     std::span<const int> sources, int k,
                                     std::vector<int>& out) {

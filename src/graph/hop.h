@@ -34,6 +34,12 @@ class BfsScratch {
                                int k_outer, std::vector<int>& inner,
                                std::vector<int>& outer);
 
+  /// |J_{k_inner}(v)| and |J_{k_outer}(v)| in one BFS without materializing
+  /// or sorting either ball — the count pass of the NeighborhoodCache's
+  /// count-then-fill parallel build only needs the sizes.
+  void two_radius_sizes(const Graph& g, int v, int k_inner, int k_outer,
+                        std::int64_t& inner_size, std::int64_t& outer_size);
+
   /// Collect all vertices within k hops of *any* source (sources included;
   /// duplicates among sources are fine), sorted ascending. This is the
   /// blast-radius primitive of incremental maintenance: vertices within

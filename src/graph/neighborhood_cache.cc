@@ -1,41 +1,135 @@
 #include "graph/neighborhood_cache.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
 #include "graph/hop.h"
 #include "util/assert.h"
+#include "util/parallel.h"
 
 namespace mhca {
+namespace {
 
-NeighborhoodCache::NeighborhoodCache(const Graph& g, int r, bool build_covers)
+int resolve_build_workers(int parallelism, int n) {
+  if (parallelism == 0) {
+    if (const char* env = std::getenv("MHCA_CACHE_BUILD_WORKERS"))
+      parallelism = std::atoi(env);
+  }
+  if (parallelism <= 0) {
+    parallelism = static_cast<int>(std::thread::hardware_concurrency());
+    if (parallelism <= 0) parallelism = 1;
+  }
+  return std::min(parallelism, std::max(n, 1));
+}
+
+}  // namespace
+
+NeighborhoodCache::NeighborhoodCache(const Graph& g, int r, bool build_covers,
+                                     int parallelism)
     : r_(r), size_(g.size()) {
   MHCA_ASSERT(r >= 1, "r must be at least 1");
   const auto n = static_cast<std::size_t>(size_);
   r_offsets_.assign(n + 1, 0);
   e_offsets_.assign(n + 1, 0);
-
-  // One BFS to 2r+1 hops per vertex yields both balls: the r-ball is the
-  // distance-<= r subset of the election ball.
-  BfsScratch scratch(size_);
-  std::vector<int> r_ball;
-  std::vector<int> e_ball;
-  std::vector<int> clique_of;
   if (build_covers) cover_counts_.assign(n, 0);
-  for (int v = 0; v < size_; ++v) {
-    scratch.two_radius_neighborhood(g, v, r_, 2 * r_ + 1, r_ball, e_ball);
-    e_offsets_[static_cast<std::size_t>(v) + 1] =
-        e_offsets_[static_cast<std::size_t>(v)] +
-        static_cast<std::int64_t>(e_ball.size());
-    e_data_.insert(e_data_.end(), e_ball.begin(), e_ball.end());
-    r_offsets_[static_cast<std::size_t>(v) + 1] =
-        r_offsets_[static_cast<std::size_t>(v)] +
-        static_cast<std::int64_t>(r_ball.size());
-    r_data_.insert(r_data_.end(), r_ball.begin(), r_ball.end());
-    if (build_covers) {
-      cover_counts_[static_cast<std::size_t>(v)] =
-          build_ball_cover(g, r_ball, clique_of);
-      cover_data_.insert(cover_data_.end(), clique_of.begin(),
-                         clique_of.end());
+
+  const int workers = resolve_build_workers(parallelism, size_);
+  if (workers <= 1) {
+    // Serial single-pass build: one BFS to 2r+1 hops per vertex yields both
+    // balls (the r-ball is the distance-<= r subset of the election ball),
+    // appended as they are produced.
+    BfsScratch scratch(size_);
+    std::vector<int> r_ball;
+    std::vector<int> e_ball;
+    std::vector<int> clique_of;
+    for (int v = 0; v < size_; ++v) {
+      scratch.two_radius_neighborhood(g, v, r_, 2 * r_ + 1, r_ball, e_ball);
+      e_offsets_[static_cast<std::size_t>(v) + 1] =
+          e_offsets_[static_cast<std::size_t>(v)] +
+          static_cast<std::int64_t>(e_ball.size());
+      e_data_.insert(e_data_.end(), e_ball.begin(), e_ball.end());
+      r_offsets_[static_cast<std::size_t>(v) + 1] =
+          r_offsets_[static_cast<std::size_t>(v)] +
+          static_cast<std::int64_t>(r_ball.size());
+      r_data_.insert(r_data_.end(), r_ball.begin(), r_ball.end());
+      if (build_covers) {
+        cover_counts_[static_cast<std::size_t>(v)] =
+            build_ball_cover(g, r_ball, clique_of);
+        cover_data_.insert(cover_data_.end(), clique_of.begin(),
+                           clique_of.end());
+      }
     }
+    return;
   }
+
+  // Parallel count-then-fill build. Each worker owns a contiguous vertex
+  // slice; per-vertex output is a pure function of (g, v, r), so the filled
+  // arrays are byte-identical to the serial build at any worker count
+  // (tests/large_n_test.cc pins this). Pass 1 runs a size-only BFS per
+  // vertex (no sort, no materialization) into the disjoint offset slots;
+  // pass 2, after a serial prefix sum, re-runs the BFS and writes each ball
+  // into its final CSR span — two BFS sweeps, but no transient second copy
+  // of the multi-hundred-MB ball arrays.
+  std::vector<BfsScratch> scratches(static_cast<std::size_t>(workers));
+  const auto slice = [&](int j) {
+    const std::int64_t lo = static_cast<std::int64_t>(j) * size_ / workers;
+    const std::int64_t hi =
+        static_cast<std::int64_t>(j + 1) * size_ / workers;
+    return std::pair<int, int>{static_cast<int>(lo), static_cast<int>(hi)};
+  };
+  parallel_run(
+      workers,
+      [&](int j) {
+        auto& scratch = scratches[static_cast<std::size_t>(j)];
+        scratch.resize(size_);
+        const auto [lo, hi] = slice(j);
+        for (int v = lo; v < hi; ++v)
+          scratch.two_radius_sizes(
+              g, v, r_, 2 * r_ + 1,
+              r_offsets_[static_cast<std::size_t>(v) + 1],
+              e_offsets_[static_cast<std::size_t>(v) + 1]);
+      },
+      workers);
+  for (std::size_t v = 0; v < n; ++v) {
+    r_offsets_[v + 1] += r_offsets_[v];
+    e_offsets_[v + 1] += e_offsets_[v];
+  }
+  r_data_.resize(static_cast<std::size_t>(r_offsets_[n]));
+  e_data_.resize(static_cast<std::size_t>(e_offsets_[n]));
+  if (build_covers) cover_data_.resize(r_data_.size());
+  parallel_run(
+      workers,
+      [&](int j) {
+        auto& scratch = scratches[static_cast<std::size_t>(j)];
+        std::vector<int> r_ball;
+        std::vector<int> e_ball;
+        std::vector<int> clique_of;
+        const auto [lo, hi] = slice(j);
+        for (int v = lo; v < hi; ++v) {
+          const auto vi = static_cast<std::size_t>(v);
+          scratch.two_radius_neighborhood(g, v, r_, 2 * r_ + 1, r_ball,
+                                          e_ball);
+          MHCA_ASSERT(static_cast<std::int64_t>(r_ball.size()) ==
+                              r_offsets_[vi + 1] - r_offsets_[vi] &&
+                          static_cast<std::int64_t>(e_ball.size()) ==
+                              e_offsets_[vi + 1] - e_offsets_[vi],
+                      "count pass disagrees with fill pass");
+          std::copy(r_ball.begin(), r_ball.end(),
+                    r_data_.begin() +
+                        static_cast<std::ptrdiff_t>(r_offsets_[vi]));
+          std::copy(e_ball.begin(), e_ball.end(),
+                    e_data_.begin() +
+                        static_cast<std::ptrdiff_t>(e_offsets_[vi]));
+          if (build_covers) {
+            cover_counts_[vi] = build_ball_cover(g, r_ball, clique_of);
+            std::copy(clique_of.begin(), clique_of.end(),
+                      cover_data_.begin() +
+                          static_cast<std::ptrdiff_t>(r_offsets_[vi]));
+          }
+        }
+      },
+      workers);
 }
 
 void NeighborhoodCache::apply_delta(const Graph& g,
@@ -61,50 +155,117 @@ void NeighborhoodCache::apply_delta(const Graph& g,
   scratch.multi_source_k_hop(g, touched, 2 * r_ + 1, reach);
   for (int v : reach) affected[static_cast<std::size_t>(v)] = 1;
 
+  // Recompute only the affected balls, buffered flat (the buffers hold the
+  // blast radius, not the whole cache). Everything below is about writing
+  // them back without the old whole-array rewrite: a span whose size did
+  // not change — and every span before the first size change — keeps its
+  // offset, so it is patched in place (zero copy for unaffected spans);
+  // only the suffix from the first size-changing vertex on shifts and gets
+  // rewritten. A single touched vertex used to cost a full ~O(total
+  // entries) copy (~120 MB at 50k vertices, r=2); now it costs the
+  // recomputed balls plus whatever suffix actually moved.
   const auto n = static_cast<std::size_t>(size_);
   const bool covers = has_covers();
-  std::vector<std::int64_t> new_r_off(n + 1, 0), new_e_off(n + 1, 0);
-  std::vector<int> new_r_data, new_e_data, new_cover_data;
-  new_r_data.reserve(r_data_.size());
-  new_e_data.reserve(e_data_.size());
-  if (covers) new_cover_data.reserve(cover_data_.size());
-
+  std::vector<int> aff;                      // affected ids, ascending
+  std::vector<std::int64_t> ar_off{0}, ae_off{0};  // per-affected offsets
+  std::vector<int> ar_data, ae_data, acov_data;
   std::vector<int> r_ball_buf, e_ball_buf, clique_of;
-  int invalidated = 0;
   for (int v = 0; v < size_; ++v) {
-    const auto vi = static_cast<std::size_t>(v);
-    if (affected[vi]) {
-      ++invalidated;
-      scratch.two_radius_neighborhood(g, v, r_, 2 * r_ + 1, r_ball_buf,
-                                      e_ball_buf);
-      new_r_data.insert(new_r_data.end(), r_ball_buf.begin(),
-                        r_ball_buf.end());
-      new_e_data.insert(new_e_data.end(), e_ball_buf.begin(),
-                        e_ball_buf.end());
-      if (covers) {
-        cover_counts_[vi] = build_ball_cover(g, r_ball_buf, clique_of);
-        new_cover_data.insert(new_cover_data.end(), clique_of.begin(),
-                              clique_of.end());
-      }
-    } else {
-      const auto rb = r_ball(v);
-      const auto eb = election_ball(v);
-      new_r_data.insert(new_r_data.end(), rb.begin(), rb.end());
-      new_e_data.insert(new_e_data.end(), eb.begin(), eb.end());
-      if (covers) {
-        const auto cv = r_ball_cover(v);
-        new_cover_data.insert(new_cover_data.end(), cv.begin(), cv.end());
+    if (!affected[static_cast<std::size_t>(v)]) continue;
+    aff.push_back(v);
+    scratch.two_radius_neighborhood(g, v, r_, 2 * r_ + 1, r_ball_buf,
+                                    e_ball_buf);
+    ar_data.insert(ar_data.end(), r_ball_buf.begin(), r_ball_buf.end());
+    ae_data.insert(ae_data.end(), e_ball_buf.begin(), e_ball_buf.end());
+    ar_off.push_back(static_cast<std::int64_t>(ar_data.size()));
+    ae_off.push_back(static_cast<std::int64_t>(ae_data.size()));
+    if (covers) {
+      cover_counts_[static_cast<std::size_t>(v)] =
+          build_ball_cover(g, r_ball_buf, clique_of);
+      acov_data.insert(acov_data.end(), clique_of.begin(), clique_of.end());
+    }
+  }
+
+  const auto new_size = [&](const std::vector<std::int64_t>& off,
+                            std::size_t i) {
+    return off[i + 1] - off[i];
+  };
+  const auto old_size = [&](const std::vector<std::int64_t>& off, int v) {
+    return off[static_cast<std::size_t>(v) + 1] -
+           off[static_cast<std::size_t>(v)];
+  };
+  // First vertex whose span offset moves = first affected vertex whose ball
+  // changed size; everything before it is patched in place.
+  const auto patch = [&](std::vector<std::int64_t>& offsets,
+                         std::vector<int>& data,
+                         const std::vector<std::int64_t>& a_off,
+                         const std::vector<int>& a_data,
+                         std::vector<int>* cov_data) {
+    int first_shift = size_;
+    for (std::size_t i = 0; i < aff.size(); ++i) {
+      if (new_size(a_off, i) != old_size(offsets, aff[i])) {
+        first_shift = aff[i];
+        break;
       }
     }
-    new_r_off[vi + 1] = static_cast<std::int64_t>(new_r_data.size());
-    new_e_off[vi + 1] = static_cast<std::int64_t>(new_e_data.size());
-  }
-  r_offsets_ = std::move(new_r_off);
-  r_data_ = std::move(new_r_data);
-  e_offsets_ = std::move(new_e_off);
-  e_data_ = std::move(new_e_data);
-  if (covers) cover_data_ = std::move(new_cover_data);
-  last_invalidated_ = invalidated;
+    std::size_t i = 0;
+    for (; i < aff.size() && aff[i] < first_shift; ++i) {
+      const auto dst = static_cast<std::ptrdiff_t>(
+          offsets[static_cast<std::size_t>(aff[i])]);
+      const auto src = static_cast<std::ptrdiff_t>(a_off[i]);
+      const auto len = static_cast<std::ptrdiff_t>(new_size(a_off, i));
+      std::copy(a_data.begin() + src, a_data.begin() + src + len,
+                data.begin() + dst);
+      if (cov_data)
+        std::copy(acov_data.begin() + src, acov_data.begin() + src + len,
+                  cov_data->begin() + dst);
+    }
+    if (first_shift == size_) return;
+    // Rebuild the shifted suffix: affected spans from the buffers,
+    // unaffected ones copied over from their (still intact) old position.
+    std::vector<int> tail, cov_tail;
+    std::vector<std::int64_t> sizes;
+    sizes.reserve(n - static_cast<std::size_t>(first_shift));
+    for (int v = first_shift; v < size_; ++v) {
+      if (i < aff.size() && aff[i] == v) {
+        const auto src = static_cast<std::ptrdiff_t>(a_off[i]);
+        const auto len = static_cast<std::ptrdiff_t>(new_size(a_off, i));
+        tail.insert(tail.end(), a_data.begin() + src,
+                    a_data.begin() + src + len);
+        if (cov_data)
+          cov_tail.insert(cov_tail.end(), acov_data.begin() + src,
+                          acov_data.begin() + src + len);
+        sizes.push_back(len);
+        ++i;
+      } else {
+        const auto b = static_cast<std::ptrdiff_t>(
+            offsets[static_cast<std::size_t>(v)]);
+        const auto len = static_cast<std::ptrdiff_t>(old_size(offsets, v));
+        tail.insert(tail.end(), data.begin() + b, data.begin() + b + len);
+        if (cov_data)
+          cov_tail.insert(cov_tail.end(), cov_data->begin() + b,
+                          cov_data->begin() + b + len);
+        sizes.push_back(len);
+      }
+    }
+    const auto keep = static_cast<std::size_t>(
+        offsets[static_cast<std::size_t>(first_shift)]);
+    data.resize(keep + tail.size());
+    std::copy(tail.begin(), tail.end(),
+              data.begin() + static_cast<std::ptrdiff_t>(keep));
+    if (cov_data) {
+      cov_data->resize(keep + cov_tail.size());
+      std::copy(cov_tail.begin(), cov_tail.end(),
+                cov_data->begin() + static_cast<std::ptrdiff_t>(keep));
+    }
+    for (int v = first_shift; v < size_; ++v)
+      offsets[static_cast<std::size_t>(v) + 1] =
+          offsets[static_cast<std::size_t>(v)] +
+          sizes[static_cast<std::size_t>(v - first_shift)];
+  };
+  patch(r_offsets_, r_data_, ar_off, ar_data, covers ? &cover_data_ : nullptr);
+  patch(e_offsets_, e_data_, ae_off, ae_data, nullptr);
+  last_invalidated_ = static_cast<int>(aff.size());
 }
 
 int NeighborhoodCache::build_ball_cover(const Graph& g,

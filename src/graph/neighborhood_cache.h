@@ -40,7 +40,17 @@ class NeighborhoodCache {
   /// Precompute, for every vertex v of g, the sorted r-hop ball J_r(v) and
   /// the sorted (2r+1)-hop election ball J_{2r+1}(v) (both include v).
   /// With `build_covers`, also memoize each r-ball's clique cover.
-  NeighborhoodCache(const Graph& g, int r, bool build_covers = false);
+  ///
+  /// `parallelism` fans the per-vertex BFS across worker threads with a
+  /// two-pass count-then-fill layout into the CSR arrays (pass 1 sizes
+  /// every ball, a prefix sum fixes each vertex's span, pass 2 re-runs the
+  /// BFS writing into its disjoint slice), so the built cache is
+  /// byte-identical at any worker count. 1 = the serial single-pass build;
+  /// 0 = the MHCA_CACHE_BUILD_WORKERS environment variable if set (CI uses
+  /// it to pin determinism across worker counts), else one worker per
+  /// hardware thread.
+  NeighborhoodCache(const Graph& g, int r, bool build_covers = false,
+                    int parallelism = 0);
 
   bool built() const { return !r_offsets_.empty(); }
   bool has_covers() const { return !cover_counts_.empty(); }
@@ -88,7 +98,10 @@ class NeighborhoodCache {
   /// vertices — hop distance is symmetric, so "t was within 2r+1 of v" is
   /// read off t's old ball — and (b) one multi-source BFS to 2r+1 hops from
   /// `touched` on the new graph. Only affected vertices re-run BFS (and
-  /// cover construction); every other span is copied over. The result is
+  /// cover construction), and only moved bytes are written: spans whose
+  /// size is unchanged — and every span before the first size change —
+  /// keep their offsets and are patched in place; the suffix from the
+  /// first size-changing vertex on is rewritten once. The result is
   /// byte-identical to a from-scratch rebuild
   /// (tests/dynamics_differential_test.cc fuzzes this claim).
   void apply_delta(const Graph& g, std::span<const int> touched);

@@ -91,8 +91,21 @@ DistributedRobustPtas::DistributedRobustPtas(const Graph& h,
   MHCA_ASSERT(cfg_.r >= 1, "r must be at least 1");
   MHCA_ASSERT(cfg_.max_mini_rounds >= 0, "negative mini-round budget");
   MHCA_ASSERT(cfg_.local_solve_parallelism >= 0, "negative parallelism");
-  if (cfg_.use_decision_cache)
-    cache_ = NeighborhoodCache(h, cfg_.r, cfg_.use_memoized_covers);
+  MHCA_ASSERT(cfg_.cache_build_parallelism >= 0, "negative parallelism");
+  if (cfg_.use_decision_cache) {
+    cache_ = NeighborhoodCache(h, cfg_.r, cfg_.use_memoized_covers,
+                               cfg_.cache_build_parallelism);
+    // SoA election state is allocated once here and epoch-reset per
+    // decision (see the header note); the graph's vertex count is fixed
+    // for the engine's lifetime.
+    const auto n = static_cast<std::size_t>(h.size());
+    election_keys_.assign(n, 0);
+    chain_head_.assign(n, -1);
+    chain_next_.assign(n, -1);
+    has_chain_.assign((n + 63) / 64, 0);
+    cursor_.assign(n, {});
+    soa_stamp_.assign(n, 0);
+  }
 }
 
 int DistributedRobustPtas::ball_size(int v, int radius) {
@@ -151,6 +164,19 @@ void DistributedRobustPtas::elect_by_cache(
     const std::vector<VertexStatus>& status, std::vector<int>& leaders,
     bool first_round) {
   const std::uint64_t* keys = election_keys_.data();
+
+  // Lazy per-decision reset: the first touch of a vertex this decision
+  // clears its chain head and scan cursors; later touches are no-ops. This
+  // replaces five O(n) array reassignments per decision with
+  // O(vertices actually classified or chained onto) stamped writes.
+  const auto touch = [&](int u) {
+    const auto ui = static_cast<std::size_t>(u);
+    if (soa_stamp_[ui] != soa_epoch_) {
+      soa_stamp_[ui] = soa_epoch_;
+      chain_head_[ui] = -1;
+      cursor_[ui] = {};
+    }
+  };
 
   // Scan candidate v for a blocking element and either record the blocker
   // (chaining v onto the blocker's rescan list) or crown v a leader.
@@ -219,11 +245,13 @@ void DistributedRobustPtas::elect_by_cache(
       return sz;
     };
     const auto chain_onto = [&](int b) {
+      touch(b);  // a stale chain head from a previous decision must not leak
       const auto bi = static_cast<std::size_t>(b);
       chain_next_[static_cast<std::size_t>(v)] = chain_head_[bi];
       chain_head_[bi] = v;
       has_chain_[bi / 64] |= std::uint64_t{1} << (bi % 64);
     };
+    touch(v);
     ScanCursor& cur = cursor_[static_cast<std::size_t>(v)];
     // Tier 0: immediate neighbors. Roughly deg/(deg+1) of all candidates
     // are outranked by a 1-hop neighbor, and the CSR row is a compact
@@ -289,6 +317,10 @@ void DistributedRobustPtas::elect_by_cache(
   for (const int c : died_) {
     const auto ci = static_cast<std::size_t>(c);
     if (((has_chain_[ci / 64] >> (ci % 64)) & 1u) == 0) continue;
+    // has_chain_ bits are never bulk-cleared, so one may survive from an
+    // earlier decision; a chain head is only meaningful where the vertex
+    // carries this decision's stamp (touch() resets the head on first use).
+    if (soa_stamp_[ci] != soa_epoch_) continue;
     has_chain_[ci / 64] &= ~(std::uint64_t{1} << (ci % 64));
     int w = chain_head_[ci];
     chain_head_[ci] = -1;
@@ -441,12 +473,26 @@ void DistributedRobustPtas::solve_local_instances(
 }
 
 void DistributedRobustPtas::on_graph_delta(std::span<const int> touched) {
-  ball_size_cache_.clear();
   if (cache_.built()) cache_.apply_delta(h_, touched);
+  // Scoped invalidation of the memoized flood ball sizes, mirroring the
+  // cache's: |J_k(v)| can only change if v is within k hops of a touched
+  // vertex on the old or the new graph, and one BFS on the new graph
+  // covers both — `touched` contains both endpoints of every removed
+  // edge, so an old-graph path from touched survives intact from its last
+  // removed edge on (whose far endpoint is itself touched), making
+  // old-graph reach a subset of new-graph reach. The former wholesale
+  // clear() re-derived every memoized size after a single-edge delta —
+  // O(n · ball) BFS work on the uncached seed path.
+  for (auto& [radius, sizes] : ball_size_cache_) {
+    scratch_.multi_source_k_hop(h_, touched, radius, reach_buf_);
+    for (int v : reach_buf_) sizes[static_cast<std::size_t>(v)] = -1;
+  }
 }
 
 DistributedPtasResult DistributedRobustPtas::run(
     std::span<const double> weights, std::span<const char> active) {
+  const auto t_entry = Clock::now();
+  DecisionStageTimes acc;  // this decision's buckets; folded in at the end
   const int n = h_.size();
   MHCA_ASSERT(static_cast<int>(weights.size()) == n, "weight vector mismatch");
   MHCA_ASSERT(active.empty() || static_cast<int>(active.size()) == n,
@@ -470,17 +516,20 @@ DistributedPtasResult DistributedRobustPtas::run(
   DistributedPtasResult res;
   std::vector<int> leaders;
 
-  // Cached path: materialize the SoA election keys and reset the blocker
-  // chains and scan cursors once per decision; elect_by_cache maintains
-  // them incrementally across mini-rounds, fed by the status flips the
-  // apply phase records in changed_/died_.
+  // Cached path: materialize the SoA election keys for this decision;
+  // elect_by_cache maintains them incrementally across mini-rounds, fed by
+  // the status flips the apply phase records in changed_/died_. The
+  // blocker chains and scan cursors are *not* reassigned here — bumping
+  // soa_epoch_ invalidates them all, and each vertex's entries reset
+  // lazily on first touch (five O(n) array fills used to dominate decision
+  // setup at 50k vertices). election_keys_ needs no stamp: it is all-zero
+  // between decisions, so the fill below writes candidate keys only.
   const bool cached = cache_.built();
   if (cached) {
-    election_keys_.assign(static_cast<std::size_t>(n), 0);
-    chain_head_.assign(static_cast<std::size_t>(n), -1);
-    chain_next_.assign(static_cast<std::size_t>(n), -1);
-    has_chain_.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
-    cursor_.assign(static_cast<std::size_t>(n), {});
+    if (++soa_epoch_ == 0) {  // wrap: stale stamps could alias the new epoch
+      std::fill(soa_stamp_.begin(), soa_stamp_.end(), 0);
+      soa_epoch_ = 1;
+    }
     died_.clear();
     for (int v = 0; v < n; ++v) {
       if (status[static_cast<std::size_t>(v)] == VertexStatus::kCandidate)
@@ -488,6 +537,7 @@ DistributedPtasResult DistributedRobustPtas::run(
             election_key(weights[static_cast<std::size_t>(v)]);
     }
   }
+  if (timed) acc.setup_ms = ms_since(t_entry);
 
   int mini_round = 0;
   while (candidates > 0 &&
@@ -507,7 +557,7 @@ DistributedPtasResult DistributedRobustPtas::run(
     MHCA_ASSERT(!leaders.empty(),
                 "a candidate of globally maximal weight must elect itself");
     rec.leaders = static_cast<int>(leaders.size());
-    if (timed) stage_times_.election_ms += ms_since(t0);
+    if (timed) acc.election_ms += ms_since(t0);
 
     // --- Local MWIS (LMWIS): gather instances, then solve. Leaders' balls
     // are pairwise disjoint and non-adjacent (Theorem 3), so no leader's
@@ -516,12 +566,12 @@ DistributedPtasResult DistributedRobustPtas::run(
     if (timed) t0 = Clock::now();
     gather_local_instances(leaders, status);
     if (timed) {
-      stage_times_.gather_ms += ms_since(t0);
+      acc.gather_ms += ms_since(t0);
       t0 = Clock::now();
     }
     solve_local_instances(leaders, weights);
     if (timed) {
-      stage_times_.solve_ms += ms_since(t0);
+      acc.solve_ms += ms_since(t0);
       t0 = Clock::now();
     }
 
@@ -590,7 +640,7 @@ DistributedPtasResult DistributedRobustPtas::run(
       }
       std::swap(died_, changed_);
     }
-    if (timed) stage_times_.apply_ms += ms_since(t0);
+    if (timed) acc.apply_ms += ms_since(t0);
 
     rec.candidates_remaining = candidates;
     rec.cumulative_weight = res.weight;
@@ -601,11 +651,38 @@ DistributedPtasResult DistributedRobustPtas::run(
     res.mini_rounds.push_back(rec);
   }
 
+  // An early exit on the mini-round budget leaves unmarked candidates with
+  // live keys; restore the all-zero invariant the next decision's key fill
+  // relies on.
+  if (cached && candidates > 0) {
+    for (int v = 0; v < n; ++v) {
+      if (status[static_cast<std::size_t>(v)] == VertexStatus::kCandidate)
+        election_keys_[static_cast<std::size_t>(v)] = 0;
+    }
+  }
+
   res.mini_rounds_used = mini_round;
   res.all_marked = candidates == 0;
+  const auto t_validate = Clock::now();
   std::sort(res.winners.begin(), res.winners.end());
   MHCA_ASSERT(h_.is_independent_set(res.winners),
               "distributed PTAS produced a conflicting strategy");
+  if (timed) {
+    acc.validate_ms = ms_since(t_validate);
+    // `other` is measured, not assumed: whatever this run spent outside
+    // the named buckets (loop bookkeeping, record pushes, timer overhead).
+    acc.other_ms =
+        std::max(0.0, ms_since(t_entry) - (acc.setup_ms + acc.election_ms +
+                                           acc.gather_ms + acc.solve_ms +
+                                           acc.apply_ms + acc.validate_ms));
+    stage_times_.setup_ms += acc.setup_ms;
+    stage_times_.election_ms += acc.election_ms;
+    stage_times_.gather_ms += acc.gather_ms;
+    stage_times_.solve_ms += acc.solve_ms;
+    stage_times_.apply_ms += acc.apply_ms;
+    stage_times_.validate_ms += acc.validate_ms;
+    stage_times_.other_ms += acc.other_ms;
+  }
   return res;
 }
 

@@ -91,6 +91,10 @@ struct DistributedPtasConfig {
   /// src/mwis/README.md); enable where cover construction dominates.
   bool use_memoized_covers = false;
   bool collect_stage_times = false;     ///< Accumulate per-stage timings.
+  /// Worker threads for the one-time NeighborhoodCache build (count-then-
+  /// fill, byte-identical at any setting). 0 = MHCA_CACHE_BUILD_WORKERS or
+  /// one per hardware thread, 1 = the serial single-pass build.
+  int cache_build_parallelism = 0;
 };
 
 /// Per-mini-round trace record (drives the Fig. 6 reproduction).
@@ -119,12 +123,27 @@ struct DistributedPtasResult {
 };
 
 /// Wall-clock spent per decision stage, accumulated across `run()` calls
-/// while `collect_stage_times` is set (see `stage_times()`).
+/// while `collect_stage_times` is set (see `stage_times()`). The buckets
+/// are *total*: `setup` + the four protocol stages + `validate` + `other`
+/// account for the whole `run()` call (`other` is the measured remainder —
+/// loop bookkeeping, record pushes, timer overhead), so Σ buckets ≈ the
+/// wall-clock a caller measures around `run()`. bench_decision_path asserts
+/// ≥95% coverage per cell; an untimed hot spot (like the former O(W²)
+/// winner validation, 742 ms of invisible time at 50k vertices) now shows
+/// up in `validate`/`other` instead of vanishing.
 struct DecisionStageTimes {
+  double setup_ms = 0.0;     ///< Status init + SoA election key fill.
   double election_ms = 0.0;  ///< Leader election.
   double gather_ms = 0.0;    ///< Ball lookup/BFS + candidate + cover gather.
   double solve_ms = 0.0;     ///< Local MWIS solves.
   double apply_ms = 0.0;     ///< Status updates + message accounting.
+  double validate_ms = 0.0;  ///< Winner sort + independent-set check.
+  double other_ms = 0.0;     ///< run() remainder outside the named buckets.
+
+  double total_ms() const {
+    return setup_ms + election_ms + gather_ms + solve_ms + apply_ms +
+           validate_ms + other_ms;
+  }
 };
 
 class DistributedRobustPtas {
@@ -150,9 +169,14 @@ class DistributedRobustPtas {
   /// The graph this engine reads just changed (src/dynamics): `touched` are
   /// the H vertices incident to an added/removed edge. Re-synchronizes the
   /// NeighborhoodCache by scoped invalidation (balls within 2r+1 hops of a
-  /// touched vertex, old or new graph) and drops the lazily computed flood
-  /// ball sizes. Decisions after this call are byte-identical to a freshly
-  /// constructed engine (fuzzed by tests/dynamics_differential_test.cc).
+  /// touched vertex, old or new graph), and scope-invalidates the lazily
+  /// memoized flood ball sizes the same way: only vertices within radius-k
+  /// hops of `touched` on the *new* graph can have a changed |J_k| (the
+  /// touched set contains both endpoints of every removed edge, so any
+  /// old-graph path from a touched vertex survives from its last removed
+  /// edge on — old-graph reach is a subset of new-graph reach). Decisions
+  /// after this call are byte-identical to a freshly constructed engine
+  /// (fuzzed by tests/dynamics_differential_test.cc).
   void on_graph_delta(std::span<const int> touched);
 
   /// Messages the Weight-Broadcast step of Algorithm 2 costs: each vertex of
@@ -217,6 +241,16 @@ class DistributedRobustPtas {
   std::vector<std::pair<double, int>> relax_;
   std::vector<std::pair<double, int>> relax_next_;
   // Incremental SoA election state (cached path; see elect_by_cache).
+  // Allocated once in the constructor and reset *lazily* per decision:
+  // run() bumps `soa_epoch_` instead of reassigning the arrays, and the
+  // first touch of a vertex in a decision (its classify() or its first
+  // blockee chaining on) stamps it and clears its chain head and cursors —
+  // so per-decision reset cost scales with the vertices actually touched,
+  // not O(n) writes across five arrays. `election_keys_` keeps a stronger
+  // invariant instead of a stamp: it is all-zero *between* decisions
+  // (every status flip zeroes its key in the apply phase; an early exit on
+  // the mini-round budget zeroes the leftover candidates before
+  // returning), so the per-decision fill writes only candidate keys.
   std::vector<std::uint64_t> election_keys_;  ///< 0 = not a candidate.
   std::vector<int> changed_;          ///< Status flips of this mini-round.
   std::vector<int> died_;             ///< Last round's flips (rescan seeds).
@@ -232,6 +266,11 @@ class DistributedRobustPtas {
     int eball = 0;
   };
   std::vector<ScanCursor> cursor_;
+  /// Per-vertex decision stamp: cursor_/chain_head_ entries are valid only
+  /// where soa_stamp_[v] == soa_epoch_ (see the lazy-reset note above).
+  std::vector<std::uint32_t> soa_stamp_;
+  std::uint32_t soa_epoch_ = 0;
+  std::vector<int> reach_buf_;           ///< on_graph_delta invalidation.
   std::vector<int> gather_cands_;        ///< Per-leader candidates, flat.
   std::vector<int> gather_cover_ids_;    ///< Aligned clique ids (memo mode).
   std::vector<std::size_t> gather_offsets_;

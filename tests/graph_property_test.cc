@@ -15,6 +15,7 @@
 #include "graph/independence.h"
 #include "graph/induced.h"
 #include "graph/spatial_grid.h"
+#include "mwis/distributed_ptas.h"
 #include "util/rng.h"
 
 namespace mhca {
@@ -272,6 +273,128 @@ TEST(GraphProperty, GridBackedFromPositionsMatchesNaiveSweep) {
               static_cast<std::int64_t>(naive.size()));
     for (const auto& [u, v] : naive)
       ASSERT_TRUE(cg.graph().has_edge(u, v)) << u << "," << v;
+  }
+}
+
+TEST(GraphProperty, IndependentSetCheckMatchesPairwiseOracle) {
+  // The O(|vs| + Σ deg) neighbor-mark validator (the one the engine assert
+  // and the net conflict detector run per decision) must return exactly the
+  // pairwise oracle's verdict on every input: random subsets both
+  // independent and conflicting, shuffled order, duplicate vertices, empty
+  // and singleton sets.
+  Rng rng(4242);
+  for (int trial = 0; trial < 150; ++trial) {
+    const int n = 1 + trial % 60;
+    ConflictGraph cg =
+        erdos_renyi(n, 0.05 + 0.12 * (trial % 4), rng);
+    const Graph& g = cg.graph();
+    for (int s = 0; s < 10; ++s) {
+      std::vector<int> vs;
+      const double keep = rng.uniform(0.05, 0.6);
+      for (int v = 0; v < n; ++v)
+        if (rng.bernoulli(keep)) vs.push_back(v);
+      std::shuffle(vs.begin(), vs.end(), rng.engine());
+      if (s % 3 == 2 && !vs.empty()) {
+        // Duplicate a member — the mark check must catch the second
+        // occurrence exactly like the pairwise vs[i] == vs[j] probe.
+        vs.push_back(vs[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(vs.size()) - 1))]);
+        std::shuffle(vs.begin(), vs.end(), rng.engine());
+      }
+      ASSERT_EQ(g.is_independent_set(vs), g.is_independent_set_pairwise(vs))
+          << "trial " << trial << " subset " << s;
+    }
+    // Exercise the accepting branch deliberately: every maximal IS must
+    // pass both checks (random subsets of a dense graph almost never do).
+    std::vector<std::vector<int>> sets;
+    if (enumerate_maximal_independent_sets(g, 2000, sets)) {
+      for (std::size_t i = 0; i < sets.size(); i += sets.size() / 4 + 1) {
+        ASSERT_TRUE(g.is_independent_set(sets[i]));
+        ASSERT_TRUE(g.is_independent_set_pairwise(sets[i]));
+      }
+    }
+  }
+}
+
+TEST(GraphProperty, IndependentSetCheckMatchesOracleOnSparseRowGraphs) {
+  // Same agreement beyond kAdjacencyMatrixLimit, where has_edge (the
+  // oracle's probe) binary-searches sharded sparse rows while the mark
+  // check walks CSR neighbor spans. Structure lives in a low-id core plus
+  // deliberate edges to top-of-range ids so subsets span the full universe.
+  const int n = Graph::kAdjacencyMatrixLimit + 64;
+  Rng rng(777);
+  Graph g(n);
+  const int core = 120;
+  for (int i = 0; i < core; ++i)
+    for (int j = i + 1; j < core; ++j)
+      if (rng.bernoulli(0.08)) g.add_edge(i, j);
+  for (int i = 0; i < core; ++i) g.add_edge(i, n - 1 - i);
+  g.finalize();
+  ASSERT_TRUE(g.has_sparse_rows());
+  ASSERT_FALSE(g.has_adjacency_matrix());
+
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<int> vs;
+    const int picks = rng.uniform_int(0, 24);
+    for (int p = 0; p < picks; ++p) {
+      // Mix core vertices (where the edges are), their high-id partners,
+      // and isolated mid-range ids.
+      switch (rng.uniform_int(0, 2)) {
+        case 0: vs.push_back(rng.uniform_int(0, core - 1)); break;
+        case 1: vs.push_back(n - 1 - rng.uniform_int(0, core - 1)); break;
+        default: vs.push_back(rng.uniform_int(core, n - core - 1)); break;
+      }
+    }
+    if (trial % 4 == 3 && !vs.empty())
+      vs.push_back(vs[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(vs.size()) - 1))]);
+    std::shuffle(vs.begin(), vs.end(), rng.engine());
+    ASSERT_EQ(g.is_independent_set(vs), g.is_independent_set_pairwise(vs))
+        << "trial " << trial;
+  }
+}
+
+TEST(GraphProperty, IndependentSetCheckOnSignedZeroWeightWinnerSets) {
+  // Decisions whose weights include +0.0/-0.0 produce winner sets through
+  // the election key path that collapses the two zeros; the winner set the
+  // engine validates must satisfy both checks, and perturbed versions
+  // (duplicated winner, winner plus one of its neighbors) must fail both
+  // identically.
+  Rng rng(909);
+  ConflictGraph cg = random_geometric_avg_degree(40, 5.0, rng, false);
+  ExtendedConflictGraph ecg(cg, 2);
+  const Graph& h = ecg.graph();
+  std::vector<double> w(static_cast<std::size_t>(h.size()));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    switch (i % 4) {
+      case 0: w[i] = 0.0; break;
+      case 1: w[i] = -0.0; break;
+      default: w[i] = rng.uniform(0.05, 1.0); break;
+    }
+  }
+  DistributedPtasConfig cfg;
+  cfg.r = 2;
+  DistributedRobustPtas engine(h, cfg);
+  const auto res = engine.run(w);
+  ASSERT_TRUE(h.is_independent_set(res.winners));
+  ASSERT_TRUE(h.is_independent_set_pairwise(res.winners));
+  ASSERT_FALSE(res.winners.empty());
+
+  std::vector<int> dup = res.winners;
+  dup.push_back(res.winners[res.winners.size() / 2]);
+  EXPECT_FALSE(h.is_independent_set(dup));
+  EXPECT_FALSE(h.is_independent_set_pairwise(dup));
+
+  for (int v : res.winners) {
+    for (int u : h.neighbors(v)) {
+      std::vector<int> bad = res.winners;
+      bad.push_back(u);
+      ASSERT_EQ(h.is_independent_set(bad),
+                h.is_independent_set_pairwise(bad));
+      ASSERT_FALSE(h.is_independent_set(bad));
+      break;  // one conflicting extension per winner is plenty
+    }
+    break;
   }
 }
 
