@@ -58,6 +58,10 @@ struct Cell {
   double msgs_per_round_burst = 0.0;  ///< Airtime while faults are live.
   double overhead = 0.0;              ///< burst / quiet ratio.
   double membership_share = 0.0;      ///< hello+view-change share of bill.
+  // Wire-level bill (net/wire.h encoded sizes, duplicates included).
+  double bytes_per_round_quiet = 0.0;
+  double bytes_per_round_burst = 0.0;
+  double membership_byte_share = 0.0;  ///< hello+view-change byte share.
   std::int64_t timeouts = 0;
   std::int64_t retries = 0;
   std::int64_t view_changes = 0;
@@ -108,10 +112,14 @@ Cell run_cell(int users, int channels, double churn_rate,
   const net::FaultProfile quiet{0.0, 0.0, 0.0, 0, 0x5eed};
   const net::FaultProfile faulty{f.drop, f.dup, f.reorder, f.delay, 0x5eed};
   std::int64_t round = 0;
+  struct WindowBill {
+    double msgs_per_round, bytes_per_round;
+  };
   const auto run_window = [&](const net::FaultProfile& p, int rounds,
-                              bool advance) {
+                              bool advance) -> WindowBill {
     rt.set_fault_profile(p);
     const std::int64_t before = rt.channel_stats().messages;
+    const std::int64_t before_bytes = rt.channel_stats().bytes_on_wire;
     for (int i = 0; i < rounds; ++i) {
       ++round;
       if (dyn && advance && round > 1) {
@@ -121,12 +129,19 @@ Cell run_cell(int users, int channels, double churn_rate,
       }
       rt.step();
     }
-    return static_cast<double>(rt.channel_stats().messages - before) /
-           static_cast<double>(rounds);
+    return {static_cast<double>(rt.channel_stats().messages - before) /
+                static_cast<double>(rounds),
+            static_cast<double>(rt.channel_stats().bytes_on_wire -
+                                before_bytes) /
+                static_cast<double>(rounds)};
   };
 
-  cell.msgs_per_round_quiet = run_window(quiet, warmup, true);
-  cell.msgs_per_round_burst = run_window(faulty, burst, true);
+  const WindowBill quiet_bill = run_window(quiet, warmup, true);
+  const WindowBill burst_bill = run_window(faulty, burst, true);
+  cell.msgs_per_round_quiet = quiet_bill.msgs_per_round;
+  cell.msgs_per_round_burst = burst_bill.msgs_per_round;
+  cell.bytes_per_round_quiet = quiet_bill.bytes_per_round;
+  cell.bytes_per_round_burst = burst_bill.bytes_per_round;
   cell.overhead = cell.msgs_per_round_quiet > 0.0
                       ? cell.msgs_per_round_burst / cell.msgs_per_round_quiet
                       : 0.0;
@@ -154,6 +169,12 @@ Cell run_cell(int users, int channels, double churn_rate,
           ? static_cast<double>(cs.of_type(net::MsgType::kHello) +
                                 cs.of_type(net::MsgType::kViewChange)) /
                 static_cast<double>(cs.messages)
+          : 0.0;
+  cell.membership_byte_share =
+      cs.bytes_on_wire > 0
+          ? static_cast<double>(cs.bytes_of_type(net::MsgType::kHello) +
+                                cs.bytes_of_type(net::MsgType::kViewChange)) /
+                static_cast<double>(cs.bytes_on_wire)
           : 0.0;
   const net::RuntimeCounters rc = rt.counters();
   cell.timeouts = rc.timeouts;
@@ -184,13 +205,16 @@ std::string json_of(const std::vector<Cell>& cells, int channels, int warmup,
         "    {\"faults\": \"%s\", \"churn_leave_prob\": %.3f, \"users\": %d, "
         "\"vertices\": %d, \"msgs_per_round_quiet\": %.1f, "
         "\"msgs_per_round_burst\": %.1f, \"control_overhead\": %.2f, "
-        "\"membership_msg_share\": %.3f, \"timeouts\": %lld, "
+        "\"membership_msg_share\": %.3f, "
+        "\"bytes_per_round_quiet\": %.1f, \"bytes_per_round_burst\": %.1f, "
+        "\"membership_byte_share\": %.3f, \"timeouts\": %lld, "
         "\"retries\": %lld, \"view_changes\": %lld, "
         "\"stale_decisions\": %lld, \"convergence_lag_rounds\": %d, "
         "\"identical_decisions\": %s}%s\n",
         c.faults.c_str(), c.churn, c.users, c.vertices,
         c.msgs_per_round_quiet, c.msgs_per_round_burst, c.overhead,
-        c.membership_share, static_cast<long long>(c.timeouts),
+        c.membership_share, c.bytes_per_round_quiet, c.bytes_per_round_burst,
+        c.membership_byte_share, static_cast<long long>(c.timeouts),
         static_cast<long long>(c.retries),
         static_cast<long long>(c.view_changes),
         static_cast<long long>(c.stale_decisions), c.convergence_lag,
@@ -236,8 +260,9 @@ int main(int argc, char** argv) {
 
   std::vector<Cell> cells;
   TablePrinter table({"faults", "churn", "|H|", "msgs/rnd quiet",
-                      "msgs/rnd burst", "overhead", "mem share", "timeouts",
-                      "view chg", "conv lag", "identical"});
+                      "msgs/rnd burst", "overhead", "KB/rnd burst",
+                      "mem share", "mem B share", "timeouts", "view chg",
+                      "conv lag", "identical"});
   for (double churn : churn_rates) {
     for (const FaultSpec& f : faults) {
       const Cell c =
@@ -246,8 +271,11 @@ int main(int argc, char** argv) {
       table.row(c.faults, fixed(c.churn, 3), c.vertices,
                 fixed(c.msgs_per_round_quiet, 1),
                 fixed(c.msgs_per_round_burst, 1), fixed(c.overhead, 2),
-                fixed(c.membership_share, 3), c.timeouts, c.view_changes,
-                c.convergence_lag, c.identical ? "yes" : "NO");
+                fixed(c.bytes_per_round_burst / 1024.0, 1),
+                fixed(c.membership_share, 3),
+                fixed(c.membership_byte_share, 3), c.timeouts,
+                c.view_changes, c.convergence_lag,
+                c.identical ? "yes" : "NO");
     }
   }
   table.print(std::cout);

@@ -58,6 +58,14 @@ ControlChannel::ControlChannel(const Graph& topology, double drop_prob,
     : ControlChannel(topology, FaultProfile{.drop_prob = drop_prob,
                                             .seed = drop_seed}) {}
 
+void ControlChannel::set_mtu(int mtu) {
+  MHCA_ASSERT(mtu >= wire::kMinMtu && mtu <= wire::kMaxMtu,
+              "mtu = " + std::to_string(mtu) + " is outside the supported [" +
+                  std::to_string(wire::kMinMtu) + ", " +
+                  std::to_string(wire::kMaxMtu) + "] range");
+  mtu_ = mtu;
+}
+
 double ControlChannel::fault_draw(int vertex, std::uint64_t salt) const {
   const std::uint64_t h = hash_combine(
       faults_.seed ^ salt,
@@ -66,10 +74,15 @@ double ControlChannel::fault_draw(int vertex, std::uint64_t salt) const {
   return hash_to_unit(splitmix64(h));
 }
 
-void ControlChannel::record_flood(const Message& msg, int ttl) {
+void ControlChannel::record_flood(const Message& msg, int ttl,
+                                  const std::vector<std::uint8_t>& bytes) {
   trace_hash_ = hash_combine(trace_hash_, 0xF100D);
   trace_hash_ = hash_combine(trace_hash_, message_digest(msg));
   trace_hash_ = hash_combine(trace_hash_, static_cast<std::uint64_t>(ttl));
+  // The wire-level fold: replays must agree on the exact bytes, not just on
+  // the struct fields they decode to.
+  trace_hash_ = hash_combine(trace_hash_,
+                             wire::bytes_digest(bytes.data(), bytes.size()));
 }
 
 void ControlChannel::record_delivery(int to, const Message& msg) {
@@ -78,8 +91,20 @@ void ControlChannel::record_delivery(int to, const Message& msg) {
   trace_hash_ = hash_combine(trace_hash_, message_digest(msg));
 }
 
+void ControlChannel::bill(MsgType type, std::size_t wire_size,
+                          std::int64_t transmissions) {
+  stats_.messages += transmissions;
+  stats_.messages_by_type[static_cast<std::size_t>(type)] += transmissions;
+  const auto bytes =
+      transmissions * static_cast<std::int64_t>(wire_size);
+  stats_.bytes_on_wire += bytes;
+  stats_.bytes_by_type[static_cast<std::size_t>(type)] += bytes;
+  stats_.fragments += transmissions * wire::fragments_of(wire_size, mtu_);
+}
+
 void ControlChannel::deliver_copies(
     int vertex, const Message& msg,
+    const std::shared_ptr<const std::vector<std::uint8_t>>& bytes,
     const std::function<void(int, const Message&)>& deliver,
     std::vector<Pending>& same_flood) {
   // Duplication: the duplicate is a real retransmission — billed, like any
@@ -89,8 +114,7 @@ void ControlChannel::deliver_copies(
       fault_draw(vertex, kSaltDup) < faults_.dup_prob) {
     copies = 2;
     ++stats_.duplicates;
-    ++stats_.messages;
-    ++stats_.messages_by_type[static_cast<std::size_t>(msg.type)];
+    bill(msg.type, bytes->size(), 1);
   }
   for (int c = 0; c < copies; ++c) {
     const std::uint64_t copy_salt = static_cast<std::uint64_t>(c) << 32;
@@ -103,7 +127,7 @@ void ControlChannel::deliver_copies(
                        static_cast<std::uint64_t>(vertex))));
       if (faults_.delay_slots_max == 0) {
         // Pure reordering: lands after this flood's in-order deliveries.
-        same_flood.push_back(Pending{round_, shuffle, vertex, msg});
+        same_flood.push_back(Pending{round_, shuffle, vertex, bytes});
       } else {
         const int d = 1 + static_cast<int>(
                               splitmix64(hash_combine(
@@ -113,7 +137,7 @@ void ControlChannel::deliver_copies(
                                       static_cast<std::uint64_t>(vertex)))) %
                               static_cast<std::uint64_t>(
                                   faults_.delay_slots_max));
-        pending_.push_back(Pending{round_ + d, shuffle, vertex, msg});
+        pending_.push_back(Pending{round_ + d, shuffle, vertex, bytes});
       }
       continue;
     }
@@ -125,21 +149,48 @@ void ControlChannel::deliver_copies(
 void ControlChannel::flood(
     const Message& msg, int ttl,
     const std::function<void(int, const Message&)>& deliver) {
+  // Marshal once per flood: the bytes are the unit of transfer everywhere
+  // below, and the decoded copy is what receivers actually see.
+  auto bytes = std::make_shared<std::vector<std::uint8_t>>();
+  wire::encode(msg, *bytes);
+  flood_impl(msg, std::move(bytes), ttl, deliver);
+}
+
+void ControlChannel::flood_encoded(
+    const std::shared_ptr<const std::vector<std::uint8_t>>& bytes, int ttl,
+    const std::function<void(int, const Message&)>& deliver) {
+  MHCA_ASSERT(bytes != nullptr && !bytes->empty(), "empty encoded flood");
+  const Message msg = wire::decode(bytes->data(), bytes->size());
+  flood_impl(msg, bytes, ttl, deliver);
+}
+
+void ControlChannel::flood_impl(
+    const Message& msg,
+    const std::shared_ptr<const std::vector<std::uint8_t>>& bytes, int ttl,
+    const std::function<void(int, const Message&)>& deliver) {
   MHCA_ASSERT(msg.origin >= 0 && msg.origin < topology_.size(),
               "flood origin out of range");
   MHCA_ASSERT(ttl >= 0, "negative ttl");
+  const std::size_t wire_size = bytes->size();
+  MHCA_ASSERT(wire_size == wire::encoded_size(msg),
+              "encoded flood size disagrees with encoded_size()");
   ++stats_.floods;
-  record_flood(msg, ttl);
+  record_flood(msg, ttl, *bytes);
+
+  // The always-on round-trip invariant: what receivers decode from the wire
+  // must be exactly what the sender marshalled. Deliveries below hand out
+  // this decoded copy, never the caller's struct.
+  const Message decoded = wire::decode(bytes->data(), wire_size);
+  MHCA_ASSERT(message_digest(decoded) == message_digest(msg),
+              "wire round-trip changed the message (encode/decode drift)");
 
   if (!faults_.any()) {
     scratch_.k_hop_neighborhood(topology_, msg.origin, ttl, reach_buf_);
-    stats_.messages += static_cast<std::int64_t>(reach_buf_.size());
-    stats_.messages_by_type[static_cast<std::size_t>(msg.type)] +=
-        static_cast<std::int64_t>(reach_buf_.size());
+    bill(msg.type, wire_size, static_cast<std::int64_t>(reach_buf_.size()));
     for (int v : reach_buf_) {
       if (v == msg.origin) continue;
-      record_delivery(v, msg);
-      deliver(v, msg);
+      record_delivery(v, decoded);
+      deliver(v, decoded);
     }
     return;
   }
@@ -172,11 +223,10 @@ void ControlChannel::flood(
         continue;
       }
       queue.push_back({u, it.depth + 1});
-      deliver_copies(u, msg, deliver, same_flood);
+      deliver_copies(u, decoded, bytes, deliver, same_flood);
     }
   }
-  stats_.messages += transmitters;
-  stats_.messages_by_type[static_cast<std::size_t>(msg.type)] += transmitters;
+  bill(msg.type, wire_size, transmitters);
 
   if (!same_flood.empty()) {
     std::sort(same_flood.begin(), same_flood.end(),
@@ -186,8 +236,9 @@ void ControlChannel::flood(
                 return a.to < b.to;
               });
     for (const Pending& p : same_flood) {
-      record_delivery(p.to, p.msg);
-      deliver(p.to, p.msg);
+      const Message m = wire::decode(p.bytes->data(), p.bytes->size());
+      record_delivery(p.to, m);
+      deliver(p.to, m);
     }
   }
 }
@@ -211,8 +262,10 @@ void ControlChannel::begin_slot(
     return a.to < b.to;
   });
   for (const Pending& p : due) {
-    record_delivery(p.to, p.msg);
-    dispatch(p.to, p.msg);
+    // Stragglers decode when they finally land — the queue held datagrams.
+    const Message m = wire::decode(p.bytes->data(), p.bytes->size());
+    record_delivery(p.to, m);
+    dispatch(p.to, m);
   }
 }
 

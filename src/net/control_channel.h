@@ -25,12 +25,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
 #include "graph/hop.h"
 #include "net/faults.h"
 #include "net/message.h"
+#include "net/wire.h"
 
 namespace mhca::net {
 
@@ -46,9 +48,20 @@ struct ChannelStats {
   /// Lets tests compare the real protocol's bill against the lockstep
   /// engine's analytic accounting, phase by phase.
   std::int64_t messages_by_type[kNumMsgTypes] = {0, 0, 0, 0, 0};
+  /// Encoded bytes on the wire (wire::encoded_size per transmission, dups
+  /// included) — airtime billed from the real marshalled size, not a count.
+  std::int64_t bytes_on_wire = 0;
+  /// Same bill broken out per message type.
+  std::int64_t bytes_by_type[kNumMsgTypes] = {0, 0, 0, 0, 0};
+  /// MTU fragments those transmissions occupy (wire::fragments_of); equals
+  /// the datagram count the UDP transport would send.
+  std::int64_t fragments = 0;
 
   std::int64_t of_type(MsgType t) const {
     return messages_by_type[static_cast<std::size_t>(t)];
+  }
+  std::int64_t bytes_of_type(MsgType t) const {
+    return bytes_by_type[static_cast<std::size_t>(t)];
   }
 };
 
@@ -69,8 +82,22 @@ class ControlChannel {
   /// (twice when the fault plane duplicates). Deliveries the fault plane
   /// delayed into a later slot are *not* delivered here — they surface from
   /// begin_slot() when their slot comes.
+  ///
+  /// Wire discipline: the flood's unit of transfer is the *encoded* message
+  /// (net/wire.h). Every flood marshals once, the fault plane operates on
+  /// those bytes, and every delivery hands receivers the *decoded* copy —
+  /// so in-process runs exercise the exact bytes a socket transport would
+  /// carry, airtime is billed from encoded_size, and an always-on invariant
+  /// asserts decode(encode(msg)) == msg.
   void flood(const Message& msg, int ttl,
              const std::function<void(int, const Message&)>& deliver);
+
+  /// Flood a message that already arrived as wire bytes (a sharded peer's
+  /// frame): identical fault/billing/trace behavior, minus the re-encode.
+  void flood_encoded(const std::shared_ptr<const std::vector<std::uint8_t>>&
+                         bytes,
+                     int ttl,
+                     const std::function<void(int, const Message&)>& deliver);
 
   /// Enter slot `round`: hands every delayed delivery that is now due to
   /// `dispatch(to, msg)`, in deterministic hash-shuffled order. Call once
@@ -89,6 +116,12 @@ class ControlChannel {
     faults_ = faults;
   }
 
+  /// MTU for fragment accounting (and the wire contract of any socket
+  /// transport layered on this channel). Rejects mtu outside
+  /// [wire::kMinMtu, wire::kMaxMtu] with an actionable error.
+  void set_mtu(int mtu);
+  int mtu() const { return mtu_; }
+
   double drop_prob() const { return faults_.drop_prob; }
   const FaultProfile& faults() const { return faults_; }
   const ChannelStats& stats() const { return stats_; }
@@ -104,24 +137,37 @@ class ControlChannel {
   std::uint64_t trace_hash() const { return trace_hash_; }
 
  private:
+  /// A deferred delivery holds the *encoded datagram* (shared across the
+  /// copies of one flood), not the struct: what sits in the fault plane's
+  /// queues is bytes on a wire, decoded only when finally delivered.
   struct Pending {
     std::int64_t due_round;
     std::uint64_t shuffle_key;  ///< Deterministic delivery-order key.
     int to;
-    Message msg;
+    std::shared_ptr<const std::vector<std::uint8_t>> bytes;
   };
 
   /// Per-(flood, vertex, salt) uniform [0,1) draw.
   double fault_draw(int vertex, std::uint64_t salt) const;
-  void record_flood(const Message& msg, int ttl);
+  void record_flood(const Message& msg, int ttl,
+                    const std::vector<std::uint8_t>& bytes);
   void record_delivery(int to, const Message& msg);
   void deliver_copies(
       int vertex, const Message& msg,
+      const std::shared_ptr<const std::vector<std::uint8_t>>& bytes,
       const std::function<void(int, const Message&)>& deliver,
       std::vector<Pending>& same_flood);
+  void flood_impl(const Message& msg,
+                  const std::shared_ptr<const std::vector<std::uint8_t>>&
+                      bytes,
+                  int ttl,
+                  const std::function<void(int, const Message&)>& deliver);
+  /// One transmission's airtime: message count, bytes, fragments, per type.
+  void bill(MsgType type, std::size_t wire_size, std::int64_t transmissions);
 
   const Graph& topology_;
   FaultProfile faults_;
+  int mtu_ = wire::kDefaultMtu;
   BfsScratch scratch_;
   std::vector<int> reach_buf_;
   std::vector<std::uint32_t> visit_stamp_;
@@ -129,7 +175,7 @@ class ControlChannel {
   std::int64_t round_ = 0;
   std::vector<Pending> pending_;
   ChannelStats stats_;
-  std::uint64_t trace_hash_ = 0x6d686361'6e657431ULL;  // "mhcanet1"
+  std::uint64_t trace_hash_ = 0x6d686361'6e657432ULL;  // "mhcanet2"
 };
 
 }  // namespace mhca::net

@@ -23,15 +23,36 @@ FaultProfile profile_of(const NetConfig& cfg) {
 DistributedRuntime::DistributedRuntime(const ExtendedConflictGraph& ecg,
                                        const ChannelModel& model,
                                        NetConfig cfg)
+    : DistributedRuntime(ecg, model, cfg, nullptr) {}
+
+DistributedRuntime::DistributedRuntime(const ExtendedConflictGraph& ecg,
+                                       const ChannelModel& model,
+                                       NetConfig cfg, Transport& transport)
+    : DistributedRuntime(ecg, model, cfg, &transport) {}
+
+DistributedRuntime::DistributedRuntime(const ExtendedConflictGraph& ecg,
+                                       const ChannelModel& model,
+                                       NetConfig cfg, Transport* transport)
     : ecg_(ecg),
       model_(model),
       cfg_(cfg),
       channel_(ecg.graph(), profile_of(cfg)),
-      exact_(cfg.bnb_node_cap) {
+      exact_(cfg.bnb_node_cap),
+      transport_(transport) {
   MHCA_ASSERT(ecg.num_nodes() == model.num_nodes() &&
                   ecg.num_channels() == model.num_channels(),
               "graph/model dimension mismatch");
   MHCA_ASSERT(cfg_.r >= 1, "r must be at least 1");
+  channel_.set_mtu(cfg_.mtu);
+  // Sharding replicates agent state and replays every flood in canonical
+  // order — which only lines up with a single-process run when no phase
+  // interleaves sends and receives within one flooding pass. Omniscient
+  // membership has that property; view-sync's membership phase (probes
+  // answered in the same pass) does not yet.
+  MHCA_ASSERT(transport_ == nullptr ||
+                  cfg_.membership == MembershipMode::kOmniscient,
+              "sharded runs require membership = omniscient (the view-sync "
+              "membership phase interleaves same-pass hello responses)");
   // Omniscient discovery finalizes each agent's table exactly once per
   // change; a hello the wire re-delivers out of order would arrive after
   // the finalize. Only view-sync membership absorbs late hellos.
@@ -103,6 +124,32 @@ void DistributedRuntime::route(int to, const Message& msg) {
   }
 }
 
+FloodFrame DistributedRuntime::make_frame(const Message& msg, int ttl) {
+  FloodFrame f;
+  f.origin = msg.origin;
+  f.seq = 0;  // one flood per origin per phase; canonical order = origin asc
+  f.ttl = ttl;
+  wire::encode(msg, f.bytes);
+  return f;
+}
+
+std::vector<int> DistributedRuntime::exchange_and_replay(
+    std::vector<FloodFrame> frames,
+    const std::function<void(int, const Message&)>& deliver,
+    const std::function<void(const Message&)>& on_origin) {
+  std::vector<FloodFrame> merged = transport_->exchange(std::move(frames));
+  std::vector<int> origins;
+  origins.reserve(merged.size());
+  for (FloodFrame& f : merged) {
+    origins.push_back(f.origin);
+    const auto bytes = std::make_shared<const std::vector<std::uint8_t>>(
+        std::move(f.bytes));
+    if (on_origin) on_origin(wire::decode(bytes->data(), bytes->size()));
+    channel_.flood_encoded(bytes, f.ttl, deliver);
+  }
+  return origins;
+}
+
 void DistributedRuntime::discover() {
   const Graph& h = ecg_.graph();
   const int horizon = 2 * cfg_.r + 1;
@@ -112,14 +159,22 @@ void DistributedRuntime::discover() {
         std::vector<int>(nb.begin(), nb.end()));
   }
   const bool view_sync = cfg_.membership == MembershipMode::kViewSync;
-  for (int v = 0; v < h.size(); ++v) {
-    const Message hello = make_hello(v);
-    channel_.flood(hello, horizon, [&](int to, const Message& m) {
-      if (view_sync)
-        agents_[static_cast<std::size_t>(to)].on_membership_message(m, t_);
-      else
-        agents_[static_cast<std::size_t>(to)].on_hello(m);
-    });
+  const auto deliver = [&](int to, const Message& m) {
+    if (view_sync)
+      agents_[static_cast<std::size_t>(to)].on_membership_message(m, t_);
+    else
+      agents_[static_cast<std::size_t>(to)].on_hello(m);
+  };
+  if (sharded()) {
+    // Owned hellos travel the transport; the canonical replay is the same
+    // ascending-origin order the classic loop below floods in.
+    std::vector<FloodFrame> frames;
+    for (int v = 0; v < h.size(); ++v)
+      if (owns(v)) frames.push_back(make_frame(make_hello(v), horizon));
+    exchange_and_replay(std::move(frames), deliver);
+  } else {
+    for (int v = 0; v < h.size(); ++v)
+      channel_.flood(make_hello(v), horizon, deliver);
   }
   for (auto& a : agents_) a.finalize_discovery();
 }
@@ -129,6 +184,9 @@ void DistributedRuntime::on_topology_change(
   MHCA_ASSERT(cfg_.membership == MembershipMode::kOmniscient,
               "on_topology_change is the omniscient delta feed; view-sync "
               "runs take on_wire_change");
+  MHCA_ASSERT(!sharded(),
+              "sharded runs support static graphs only (churn rediscovery "
+              "would need its own exchange barrier)");
   const Graph& h = ecg_.graph();
   const int horizon = 2 * cfg_.r + 1;
   MHCA_ASSERT(static_cast<int>(active_vertices.size()) == h.size(),
@@ -304,8 +362,11 @@ NetRoundResult DistributedRuntime::step() {
   if (view_sync) membership_phase();
 
   // --- WB: previous strategy's vertices flood refreshed statistics. ---
+  const auto deliver = [this](int to, const Message& m) { route(to, m); };
   if (t_ > 1) {
+    std::vector<FloodFrame> frames;  // sharded: owned weight updates
     for (int v : prev_strategy_) {
+      if (!owns(v)) continue;
       Message wu;
       wu.type = MsgType::kWeightUpdate;
       wu.origin = v;
@@ -313,9 +374,15 @@ NetRoundResult DistributedRuntime::step() {
       if (view_sync) wu.view = agents_[static_cast<std::size_t>(v)].view();
       wu.mean = agents_[static_cast<std::size_t>(v)].own_mean();
       wu.count = agents_[static_cast<std::size_t>(v)].own_count();
-      channel_.flood(wu, horizon,
-                     [this](int to, const Message& m) { route(to, m); });
+      if (sharded())
+        frames.push_back(make_frame(wu, horizon));
+      else
+        channel_.flood(wu, horizon, deliver);
     }
+    // prev_strategy_ is sorted, so the canonical replay order equals the
+    // classic flood order above. Every shard agrees t_ > 1, so every shard
+    // reaches this barrier.
+    if (sharded()) exchange_and_replay(std::move(frames), deliver);
   }
   for (auto& a : agents_) a.begin_round(*policy_, t_, k_arms);
 
@@ -338,10 +405,26 @@ NetRoundResult DistributedRuntime::step() {
     if (!any_candidate) break;
     ++mr;
 
-    // LS/LD: self-election + declaration flood.
+    // LS/LD: self-election + declaration flood. Sharded: each shard elects
+    // its owned candidates and learns the rest from the exchanged declares
+    // — the merged (ascending-origin) list equals the classic one, because
+    // should_lead() reads only replicated table state.
     std::vector<int> leaders;
-    for (const auto& a : agents_)
-      if (a.should_lead()) leaders.push_back(a.id());
+    if (sharded()) {
+      std::vector<FloodFrame> frames;
+      for (const auto& a : agents_) {
+        if (!a.should_lead() || !owns(a.id())) continue;
+        Message ld;
+        ld.type = MsgType::kLeaderDeclare;
+        ld.origin = a.id();
+        ld.round = t_;
+        frames.push_back(make_frame(ld, horizon));
+      }
+      leaders = exchange_and_replay(std::move(frames), deliver);
+    } else {
+      for (const auto& a : agents_)
+        if (a.should_lead()) leaders.push_back(a.id());
+    }
     // On a reliable omniscient channel the globally best candidate always
     // elects itself. Under message loss, stale tables can leave every
     // candidate believing a (long-marked) heavier neighbor is still in the
@@ -351,24 +434,52 @@ NetRoundResult DistributedRuntime::step() {
     MHCA_ASSERT(!leaders.empty() || unreliable(),
                 "a candidate of maximal weight must elect itself");
     if (leaders.empty()) break;
-    for (int v : leaders) {
-      Message ld;
-      ld.type = MsgType::kLeaderDeclare;
-      ld.origin = v;
-      ld.round = t_;
-      if (view_sync) ld.view = agents_[static_cast<std::size_t>(v)].view();
-      channel_.flood(ld, horizon,
-                     [this](int to, const Message& m) { route(to, m); });
+    if (!sharded()) {
+      for (int v : leaders) {
+        Message ld;
+        ld.type = MsgType::kLeaderDeclare;
+        ld.origin = v;
+        ld.round = t_;
+        if (view_sync) ld.view = agents_[static_cast<std::size_t>(v)].view();
+        channel_.flood(ld, horizon, deliver);
+      }
     }
     channel_.charge_timeslots(horizon);
 
     // LMWIS + LB. Under loss, an earlier leader's verdict this mini-round
     // may already have demoted a later "leader" (they can end up close
     // together when declarations were dropped) — it must then stand down.
+    // Sharded: that stand-down dependency forces one exchange *per leader*
+    // (an earlier leader's replayed verdict can demote a later one before
+    // its turn); the skip decision reads replicated status, so every shard
+    // agrees on which leaders reach their barrier.
     for (int v : leaders) {
       if (agents_[static_cast<std::size_t>(v)].status() !=
           VertexStatus::kCandidate)
         continue;
+      if (sharded()) {
+        std::vector<FloodFrame> frames;
+        if (owns(v)) {
+          // Only the owner runs the local MWIS solve; the verdict travels
+          // to every other shard as wire bytes.
+          Message det;
+          det.type = MsgType::kDetermination;
+          det.origin = v;
+          det.round = t_;
+          det.statuses =
+              cfg_.local_solver == LocalSolverKind::kExact
+                  ? agents_[static_cast<std::size_t>(v)].lead(
+                        exact_, lead_scratch_, cfg_.use_memoized_covers)
+                  : agents_[static_cast<std::size_t>(v)].lead(local_solver);
+          frames.push_back(make_frame(det, 3 * cfg_.r + 2));
+        }
+        exchange_and_replay(std::move(frames), deliver,
+                            [this](const Message& det) {
+                              agents_[static_cast<std::size_t>(det.origin)]
+                                  .on_determination(det);
+                            });
+        continue;
+      }
       Message det;
       det.type = MsgType::kDetermination;
       det.origin = v;
@@ -382,8 +493,7 @@ NetRoundResult DistributedRuntime::step() {
       agents_[static_cast<std::size_t>(v)].on_determination(det);
       // 3r+2: winner-adjacent losers sit up to r+1 hops from the leader and
       // must reach every holder of their status (2r+1 further hops).
-      channel_.flood(det, 3 * cfg_.r + 2,
-                     [this](int to, const Message& m) { route(to, m); });
+      channel_.flood(det, 3 * cfg_.r + 2, deliver);
     }
     channel_.charge_timeslots(3 * cfg_.r + 2);
   }

@@ -38,6 +38,7 @@
 #include "mwis/greedy.h"
 #include "net/agent.h"
 #include "net/control_channel.h"
+#include "net/transport.h"
 #include "net/view.h"
 
 namespace mhca::net {
@@ -54,6 +55,10 @@ struct NetConfig {
   /// Solve over each agent's memoized r-ball clique cover (mirrors
   /// DistributedPtasConfig::use_memoized_covers; see src/mwis/README.md).
   bool use_memoized_covers = false;
+  /// MTU for fragment accounting and the UDP transport's datagram size
+  /// (net/wire.h). Every flood's airtime is billed in encoded bytes and in
+  /// the MTU fragments a socket transport would actually send.
+  int mtu = wire::kDefaultMtu;
   // --- Fault-injection plane (net/faults.h; all seeded by drop_seed) ---
   /// Control-channel reception failure probability (the protocol's
   /// independence guarantee assumes 0 — see ControlChannel).
@@ -104,6 +109,24 @@ class DistributedRuntime {
   DistributedRuntime(const ExtendedConflictGraph& ecg,
                      const ChannelModel& model, NetConfig cfg);
 
+  /// Sharded: this process is shard `transport.shard_index()` of
+  /// `transport.shard_count()`. Every shard hosts *all* agents (same
+  /// scenario, same seed — replicated state), but only the owner shard of a
+  /// vertex (owner = vertex % shard_count) originates its floods and
+  /// computes its expensive payloads (a leader's local MWIS solve travels
+  /// as wire bytes). Each protocol phase deposits the owned floods into one
+  /// transport exchange and replays the merged union in canonical
+  /// (origin, seq) order through the local ControlChannel — which keeps the
+  /// global flood counter, every fault draw, the trace hash and every
+  /// decision identical across shards *and* identical to a single-process
+  /// run of the same scenario. v1 scope: omniscient membership and a static
+  /// graph (view-sync's same-phase hello interleaving needs finer barriers);
+  /// drop/dup faults are fine — the fault plane replays identically
+  /// everywhere. The transport must outlive the runtime.
+  DistributedRuntime(const ExtendedConflictGraph& ecg,
+                     const ChannelModel& model, NetConfig cfg,
+                     Transport& transport);
+
   /// Execute one full round of Algorithm 2.
   NetRoundResult step();
 
@@ -145,6 +168,8 @@ class DistributedRuntime {
   }
   const IndexPolicy& policy() const { return *policy_; }
   const NetConfig& config() const { return cfg_; }
+  /// Null in classic (single-process) mode.
+  const Transport* transport() const { return transport_; }
 
   /// Maximum agent table size — the per-vertex space bound O(m).
   std::size_t max_table_size() const;
@@ -153,6 +178,12 @@ class DistributedRuntime {
   RuntimeCounters counters() const;
 
  private:
+  /// The delegate both public constructors funnel into (transport may be
+  /// null); transport_ must be set before discovery floods anything.
+  DistributedRuntime(const ExtendedConflictGraph& ecg,
+                     const ChannelModel& model, NetConfig cfg,
+                     Transport* transport);
+
   void discover();
   /// One vertex's hello: id, direct neighbors, current (µ̃, m) — shared by
   /// initial discovery, scoped churn rediscovery, keep-alives and probes,
@@ -171,6 +202,27 @@ class DistributedRuntime {
     return channel_.faults().any() ||
            cfg_.membership == MembershipMode::kViewSync;
   }
+  bool sharded() const { return transport_ != nullptr; }
+  /// Does this shard originate vertex v's floods? (Always true classic.)
+  bool owns(int v) const {
+    return transport_ == nullptr ||
+           v % transport_->shard_count() == transport_->shard_index();
+  }
+  /// Encode `msg` as a FloodFrame this shard deposits into the next
+  /// exchange.
+  static FloodFrame make_frame(const Message& msg, int ttl);
+  /// Barrier-exchange the owned frames of one protocol phase and replay
+  /// the merged union — every shard's floods, this one's included — in
+  /// canonical order through the local channel. `deliver` as in
+  /// ControlChannel::flood; `on_origin`, when set, is applied to each
+  /// decoded message before its flood (floods never deliver to their own
+  /// origin, but a determination must mark the leader itself). Returns the
+  /// merged frames' origins in replay order so callers can recover e.g.
+  /// the global leader list.
+  std::vector<int> exchange_and_replay(
+      std::vector<FloodFrame> frames,
+      const std::function<void(int, const Message&)>& deliver,
+      const std::function<void(const Message&)>& on_origin = {});
 
   const ExtendedConflictGraph& ecg_;
   const ChannelModel& model_;
@@ -184,6 +236,7 @@ class DistributedRuntime {
   SolveScratch lead_scratch_;  ///< Reused across agents' exact local solves.
   std::vector<int> prev_strategy_;
   std::int64_t t_ = 0;
+  Transport* transport_ = nullptr;  ///< Null in classic mode.
 };
 
 }  // namespace mhca::net

@@ -1,0 +1,302 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "util/hash.h"
+
+namespace mhca::net::wire {
+
+namespace {
+
+// ------------------------------------------------------------- LE helpers
+// Explicit byte-at-a-time little-endian packing: no host-endianness or
+// alignment assumptions, and every read is bounds-checked by the cursor.
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+/// Bounds-checked read cursor over [data, data + len).
+struct Cursor {
+  const std::uint8_t* data;
+  std::size_t len;
+  std::size_t pos = 0;
+
+  std::size_t remaining() const { return len - pos; }
+
+  void need(std::size_t n, const char* what) const {
+    if (remaining() < n)
+      throw WireError(std::string("truncated buffer: reading ") + what +
+                      " needs " + std::to_string(n) + " bytes but only " +
+                      std::to_string(remaining()) + " remain (offset " +
+                      std::to_string(pos) + " of " + std::to_string(len) +
+                      ")");
+  }
+
+  std::uint8_t u8(const char* what) {
+    need(1, what);
+    return data[pos++];
+  }
+
+  std::uint16_t u16(const char* what) {
+    need(2, what);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i)
+      v |= static_cast<std::uint16_t>(data[pos++]) << (8 * i);
+    return v;
+  }
+
+  std::uint32_t u32(const char* what) {
+    need(4, what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64(const char* what) {
+    need(8, what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data[pos++]) << (8 * i);
+    return v;
+  }
+
+  std::int32_t i32(const char* what) {
+    return static_cast<std::int32_t>(u32(what));
+  }
+
+  std::int64_t i64(const char* what) {
+    return static_cast<std::int64_t>(u64(what));
+  }
+
+  double f64(const char* what) {
+    const std::uint64_t bits = u64(what);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+};
+
+// --------------------------------------------------------------- payloads
+
+bool carries_hello_payload(MsgType t) {
+  return t == MsgType::kHello || t == MsgType::kViewChange;
+}
+
+std::size_t payload_size(const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kHello:
+    case MsgType::kViewChange:
+      // mean + count + probe_target + solicit + n + neighbors
+      return 8 + 8 + 4 + 1 + 4 + 4 * msg.neighbor_list.size();
+    case MsgType::kWeightUpdate:
+      return 8 + 8;  // mean + count
+    case MsgType::kLeaderDeclare:
+      return 0;
+    case MsgType::kDetermination:
+      return 4 + 5 * msg.statuses.size();  // n + n x (vertex, status)
+  }
+  return 0;
+}
+
+void encode_payload(const Message& msg, std::vector<std::uint8_t>& out) {
+  switch (msg.type) {
+    case MsgType::kHello:
+    case MsgType::kViewChange:
+      put_f64(out, msg.mean);
+      put_i64(out, msg.count);
+      put_i32(out, msg.probe_target);
+      put_u8(out, msg.solicit ? 1 : 0);
+      put_u32(out, static_cast<std::uint32_t>(msg.neighbor_list.size()));
+      for (int v : msg.neighbor_list) put_i32(out, v);
+      break;
+    case MsgType::kWeightUpdate:
+      put_f64(out, msg.mean);
+      put_i64(out, msg.count);
+      break;
+    case MsgType::kLeaderDeclare:
+      break;
+    case MsgType::kDetermination:
+      put_u32(out, static_cast<std::uint32_t>(msg.statuses.size()));
+      for (const StatusEntry& e : msg.statuses) {
+        put_i32(out, e.vertex);
+        put_u8(out, static_cast<std::uint8_t>(e.status));
+      }
+      break;
+  }
+}
+
+void decode_payload(Cursor& c, Message& msg) {
+  if (carries_hello_payload(msg.type)) {
+    msg.mean = c.f64("hello.mean");
+    msg.count = c.i64("hello.count");
+    msg.probe_target = c.i32("hello.probe_target");
+    const std::uint8_t solicit = c.u8("hello.solicit");
+    if (solicit > 1)
+      throw WireError("hello.solicit byte = " + std::to_string(solicit) +
+                      " is not a bool (0 or 1)");
+    msg.solicit = solicit == 1;
+    const std::uint32_t n = c.u32("hello.n_neighbors");
+    // Guard the allocation against a lying count before reserving: the
+    // remaining bytes bound how many 4-byte entries can exist.
+    if (n > c.remaining() / 4)
+      throw WireError("hello.n_neighbors = " + std::to_string(n) +
+                      " exceeds the " + std::to_string(c.remaining()) +
+                      " payload bytes that remain");
+    msg.neighbor_list.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+      msg.neighbor_list.push_back(c.i32("hello.neighbor"));
+    return;
+  }
+  switch (msg.type) {
+    case MsgType::kWeightUpdate:
+      msg.mean = c.f64("weight_update.mean");
+      msg.count = c.i64("weight_update.count");
+      break;
+    case MsgType::kLeaderDeclare:
+      break;
+    case MsgType::kDetermination: {
+      const std::uint32_t n = c.u32("determination.n_statuses");
+      if (n > c.remaining() / 5)
+        throw WireError("determination.n_statuses = " + std::to_string(n) +
+                        " exceeds the " + std::to_string(c.remaining()) +
+                        " payload bytes that remain");
+      msg.statuses.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        StatusEntry e;
+        e.vertex = c.i32("determination.vertex");
+        const std::uint8_t s = c.u8("determination.status");
+        if (s > static_cast<std::uint8_t>(VertexStatus::kLoser))
+          throw WireError("determination.status byte = " +
+                          std::to_string(s) + " is not a VertexStatus");
+        e.status = static_cast<VertexStatus>(s);
+        msg.statuses.push_back(e);
+      }
+      break;
+    }
+    default:
+      break;  // hello/view_change handled above
+  }
+}
+
+}  // namespace
+
+std::size_t encoded_size(const Message& msg) {
+  return kHeaderSize + payload_size(msg);
+}
+
+void encode(const Message& msg, std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(encoded_size(msg));
+  put_u16(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, static_cast<std::uint8_t>(msg.type));
+  put_i32(out, msg.origin);
+  put_i64(out, msg.round);
+  put_i64(out, msg.view.seq);
+  put_i32(out, msg.view.representative);
+  put_u32(out, static_cast<std::uint32_t>(payload_size(msg)));
+  encode_payload(msg, out);
+}
+
+Message decode(const std::uint8_t* data, std::size_t len) {
+  Cursor c{data, len};
+  if (len < kHeaderSize)
+    throw WireError("truncated buffer: " + std::to_string(len) +
+                    " bytes is smaller than the " +
+                    std::to_string(kHeaderSize) + "-byte header");
+  const std::uint16_t magic = c.u16("magic");
+  if (magic != kMagic)
+    throw WireError("bad magic 0x" + std::to_string(magic) +
+                    " (expected 0x" + std::to_string(kMagic) +
+                    "); not a control-channel datagram");
+  const std::uint8_t version = c.u8("version");
+  if (version != kVersion)
+    throw WireError("unknown wire version " + std::to_string(version) +
+                    " (this build speaks version " +
+                    std::to_string(kVersion) + ")");
+  const std::uint8_t type = c.u8("type");
+  if (type >= static_cast<std::uint8_t>(kNumMsgTypes))
+    throw WireError("unknown message type " + std::to_string(type) +
+                    " (valid: 0.." + std::to_string(kNumMsgTypes - 1) + ")");
+  Message msg;
+  msg.type = static_cast<MsgType>(type);
+  msg.origin = c.i32("origin");
+  msg.round = c.i64("round");
+  msg.view.seq = c.i64("view.seq");
+  msg.view.representative = c.i32("view.representative");
+  const std::uint32_t payload_len = c.u32("payload_len");
+  if (payload_len != len - kHeaderSize)
+    throw WireError("payload_len = " + std::to_string(payload_len) +
+                    " does not match the " +
+                    std::to_string(len - kHeaderSize) +
+                    " bytes after the header (buffer " +
+                    (payload_len > len - kHeaderSize ? "truncated"
+                                                     : "has trailing bytes") +
+                    ")");
+  decode_payload(c, msg);
+  if (c.remaining() != 0)
+    throw WireError("payload has " + std::to_string(c.remaining()) +
+                    " trailing bytes after the last field");
+  return msg;
+}
+
+bool try_decode(const std::uint8_t* data, std::size_t len, Message& out,
+                std::string* error) {
+  try {
+    out = decode(data, len);
+    return true;
+  } catch (const WireError& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+}
+
+std::uint64_t bytes_digest(const std::uint8_t* data, std::size_t len) {
+  std::uint64_t h = hash_combine(0xB17E5ULL, len);
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    std::uint64_t chunk = 0;
+    std::memcpy(&chunk, data + i, 8);
+    h = hash_combine(h, chunk);
+  }
+  if (i < len) {
+    std::uint64_t tail = 0;
+    std::memcpy(&tail, data + i, len - i);
+    h = hash_combine(h, tail);
+  }
+  return h;
+}
+
+}  // namespace mhca::net::wire

@@ -1,0 +1,98 @@
+// Explicit wire format for control-channel messages (net/message.h).
+//
+// Every Message marshals to a fixed packed little-endian header followed by
+// a versioned, type-specific payload:
+//
+//   offset  size  field
+//        0     2  magic        0x4D48 ("HM" on the wire, LSB first)
+//        2     1  version      kVersion (currently 1)
+//        3     1  type         MsgType as uint8 (must be < kNumMsgTypes)
+//        4     4  origin       int32
+//        8     8  round        int64
+//       16     8  view.seq     int64
+//       24     4  view.repr    int32
+//       28     4  payload_len  uint32 (bytes after the header, exact)
+//       32     …  payload      (kHeaderSize = 32)
+//
+// Payload v1, by type (only the fields a type carries travel; decode leaves
+// the rest at Message defaults):
+//   hello / view_change   mean f64, count i64, probe_target i32,
+//                         solicit u8 (0|1), n u32, n x neighbor i32
+//   weight_update         mean f64, count i64
+//   leader_declare        (empty)
+//   determination         n u32, n x { vertex i32, status u8 (< 3) }
+//
+// Round-trip discipline (the galera read/write/size idiom): encoded_size()
+// == encode().size(), and decode(encode(m)) == m field for field. decode()
+// never reads past `len` and rejects — with an actionable error naming the
+// offending field and value — truncated buffers, trailing bytes, bad magic,
+// unknown versions/types, element counts that exceed the payload, and
+// invalid enum/bool bytes. Arbitrary bytes must never crash it (fuzzed
+// under ASan/UBSan by tests/wire_roundtrip_test.cc).
+//
+// Versioning rules: a payload change bumps kVersion; decoders reject
+// versions they don't speak rather than guessing (every shard of one run
+// is built from one source tree, so cross-version compatibility windows
+// are not worth their complexity here).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+
+namespace mhca::net::wire {
+
+inline constexpr std::uint16_t kMagic = 0x4D48;
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderSize = 32;
+
+/// Per-datagram framing overhead of the UDP transport (net/transport.h);
+/// fragment accounting everywhere uses the same constant so the in-process
+/// bill equals what the socket backend actually puts on the wire.
+inline constexpr std::size_t kDatagramHeaderSize = 24;
+/// Smallest supported MTU: one datagram must fit its header and a useful
+/// slice of payload.
+inline constexpr int kMinMtu = 128;
+inline constexpr int kDefaultMtu = 1400;
+/// Largest UDP payload a loopback datagram can carry.
+inline constexpr int kMaxMtu = 65507;
+
+/// Datagram fragments an encoded message of `wire_size` bytes occupies at
+/// `mtu` (each fragment spends kDatagramHeaderSize on framing).
+constexpr std::int64_t fragments_of(std::size_t wire_size, int mtu) {
+  const auto cap = static_cast<std::size_t>(mtu) - kDatagramHeaderSize;
+  if (wire_size <= cap) return 1;
+  return static_cast<std::int64_t>((wire_size + cap - 1) / cap);
+}
+
+/// Malformed buffer: truncated/oversized/bad magic/unknown version or type/
+/// lying element counts. The message names the offending field and value.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Exact encoded size of `msg` (header + payload).
+std::size_t encoded_size(const Message& msg);
+
+/// Serialize `msg` into `out` (replacing its contents). Postcondition:
+/// out.size() == encoded_size(msg).
+void encode(const Message& msg, std::vector<std::uint8_t>& out);
+
+/// Parse one message. Throws WireError on any malformation; never reads
+/// past data + len.
+Message decode(const std::uint8_t* data, std::size_t len);
+
+/// Non-throwing decode: returns false (and the reason, if asked) instead.
+bool try_decode(const std::uint8_t* data, std::size_t len, Message& out,
+                std::string* error = nullptr);
+
+/// Order-sensitive digest of an encoded buffer — the bytes-level fold the
+/// control channel mixes into trace_hash(), proving replays byte-identical
+/// at the wire level and not just at the struct level.
+std::uint64_t bytes_digest(const std::uint8_t* data, std::size_t len);
+
+}  // namespace mhca::net::wire

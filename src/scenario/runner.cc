@@ -38,6 +38,7 @@ net::NetConfig to_net_config(const Scenario& s, int num_nodes) {
   cfg.hello_timeout_slots = s.net.hello_timeout_slots;
   cfg.hello_max_retries = s.net.hello_max_retries;
   cfg.backoff_base = s.net.backoff_base;
+  cfg.mtu = s.net.mtu;
   return cfg;
 }
 
@@ -207,6 +208,25 @@ ReplicationReport ScenarioRunner::replicate() const {
 }
 
 NetRunSummary ScenarioRunner::run_net() const {
+  return run_net_impl(nullptr);
+}
+
+NetRunSummary ScenarioRunner::run_net_sharded(
+    net::Transport& transport) const {
+  if (is_dynamic(s_))
+    throw ScenarioError(
+        "run_net_sharded() supports static scenarios only (sharded churn "
+        "rediscovery would need its own exchange barrier)");
+  if (membership_mode_from_string(s_.net.membership) !=
+      net::MembershipMode::kOmniscient)
+    throw ScenarioError(
+        "run_net_sharded() requires net.membership = omniscient (the "
+        "sharded runtime cannot replay the view-sync membership phase's "
+        "same-pass hello responses yet)");
+  return run_net_impl(&transport);
+}
+
+NetRunSummary ScenarioRunner::run_net_impl(net::Transport* transport) const {
   if (!model_)
     throw ScenarioError("run_net() needs a scenario channel model");
   if (s_.run.update_period != 1)
@@ -218,6 +238,7 @@ NetRunSummary ScenarioRunner::run_net() const {
   const bool view_sync =
       net_cfg.membership == net::MembershipMode::kViewSync;
   NetRunSummary out;
+  out.decision_digest = 0xDEC15105;  // non-zero init: an empty run digests
   const auto drive = [&](net::DistributedRuntime& runtime,
                          dynamics::DynamicNetwork* dyn) {
     for (std::int64_t round = 1; round <= s_.run.slots; ++round) {
@@ -239,6 +260,13 @@ NetRunSummary ScenarioRunner::run_net() const {
       out.total_observed += res.observed_sum;
       if (res.conflict) ++out.conflicts;
       out.tx_abstained += res.tx_abstained;
+      // Every round's winner set, in round order: the decisions themselves,
+      // not just the wire traffic — shard runs must agree on this digest.
+      out.decision_digest = hash_combine(
+          out.decision_digest, static_cast<std::uint64_t>(res.round));
+      for (int v : res.strategy)
+        out.decision_digest =
+            hash_combine(out.decision_digest, static_cast<std::uint64_t>(v));
       out.last_strategy = std::move(res.strategy);
     }
     out.rounds = runtime.rounds_run();
@@ -253,12 +281,21 @@ NetRunSummary ScenarioRunner::run_net() const {
     out.drops = cs.drops;
     out.duplicates = cs.duplicates;
     out.deferred = cs.deferred;
+    out.bytes_on_wire = cs.bytes_on_wire;
+    out.fragments = cs.fragments;
+    for (int t = 0; t < net::kNumMsgTypes; ++t) {
+      out.messages_by_type[t] = cs.messages_by_type[t];
+      out.bytes_by_type[t] = cs.bytes_by_type[t];
+    }
     out.trace_hash = runtime.channel().trace_hash();
   };
   if (is_dynamic(s_)) {
     dynamics::DynamicNetwork dyn = make_dynamic_network(s_.run.seed);
     net::DistributedRuntime runtime(dyn.ecg(), *model_, net_cfg);
     drive(runtime, &dyn);
+  } else if (transport != nullptr) {
+    net::DistributedRuntime runtime(ecg_, *model_, net_cfg, *transport);
+    drive(runtime, nullptr);
   } else {
     net::DistributedRuntime runtime(ecg_, *model_, net_cfg);
     drive(runtime, nullptr);

@@ -56,9 +56,20 @@ struct NetRunSummary {
   std::int64_t drops = 0;            ///< Fault plane: receptions failed.
   std::int64_t duplicates = 0;       ///< Fault plane: duplicate deliveries.
   std::int64_t deferred = 0;         ///< Fault plane: reordered/delayed.
+  // --- Wire telemetry (net/wire.h; airtime in real marshalled bytes) ---
+  std::int64_t bytes_on_wire = 0;  ///< Encoded bytes billed, dups included.
+  std::int64_t fragments = 0;      ///< MTU fragments (= UDP datagram count).
+  /// Per-MsgType breakdown, indexed like net::ChannelStats (hello /
+  /// weight-update / leader-declare / determination / view-change).
+  std::int64_t messages_by_type[net::kNumMsgTypes] = {0, 0, 0, 0, 0};
+  std::int64_t bytes_by_type[net::kNumMsgTypes] = {0, 0, 0, 0, 0};
   /// Order-sensitive digest of every flood and delivery — two runs of the
   /// same (seed, schedule) must agree byte for byte.
   std::uint64_t trace_hash = 0;
+  /// Digest of every round's winner set, in round order — what a sharded
+  /// run must reproduce bit for bit against the single-process run of the
+  /// same scenario (CI greps it from both and compares).
+  std::uint64_t decision_digest = 0;
 };
 
 /// The net::NetConfig a scenario denotes (policy must be a built-in kind;
@@ -123,6 +134,15 @@ class ScenarioRunner {
   /// the model took offline stop participating until they rejoin.
   NetRunSummary run_net() const;
 
+  /// run_net() as one shard of a multi-process run: this process hosts all
+  /// agents but originates only the floods of its owned vertices, moving
+  /// them over `transport` (net/transport.h). The summary — decisions,
+  /// trace hash, decision digest, byte bill — is identical on every shard
+  /// and identical to run_net() of the same scenario. Static scenarios with
+  /// omniscient membership only (validate() enforces this for
+  /// net.transport = udp). The transport must outlive the call.
+  NetRunSummary run_net_sharded(net::Transport& transport) const;
+
   /// The step-API handle this scenario denotes: a ChannelAccessScheme over
   /// this runner's network, configured from the same SolverSpec — for
   /// user-owned radio environments that call decide()/report() themselves
@@ -137,6 +157,8 @@ class ScenarioRunner {
  private:
   struct Parts;  // built graph + model, carried into the delegate ctor
   explicit ScenarioRunner(Parts parts);
+  /// Shared body of run_net / run_net_sharded (transport null = classic).
+  NetRunSummary run_net_impl(net::Transport* transport) const;
   static Parts make_parts(Scenario s);
   static Parts make_parts(Scenario s, ConflictGraph network);
 

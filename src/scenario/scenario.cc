@@ -51,6 +51,8 @@ static_assert(NetSpec{}.hello_timeout_slots ==
               NetSpec{}.backoff_base == net::NetConfig{}.backoff_base);
 static_assert(net::NetConfig{}.membership ==
               net::MembershipMode::kOmniscient);
+static_assert(NetSpec{}.mtu == net::NetConfig{}.mtu &&
+              NetSpec{}.mtu == net::wire::kDefaultMtu);
 // The agent-side liveness defaults must agree with the runtime config's
 // (the runtime stamps NetConfig into LivenessParams agent by agent).
 static_assert(net::LivenessParams{}.hello_timeout_slots ==
@@ -172,6 +174,17 @@ const std::vector<FieldDef>& net_fields() {
       {"backoff_base",
        [](Scenario& s, const std::string& v, const std::string& w) {
          s.net.backoff_base = int32_field(v, w);
+       }},
+      {"transport",
+       [](Scenario& s, const std::string& v, const std::string&) {
+         transport_kind_from_string(v);  // reject bad values at parse time
+         s.net.transport = v;
+       }},
+      {"mtu", [](Scenario& s, const std::string& v, const std::string& w) {
+         s.net.mtu = int32_field(v, w);
+       }},
+      {"shard", [](Scenario& s, const std::string& v, const std::string& w) {
+         s.net.shard = int32_field(v, w);
        }},
   };
   return fields;
@@ -412,7 +425,10 @@ std::string serialize_scenario(const Scenario& s) {
      << "membership = " << s.net.membership << "\n"
      << "hello_timeout_slots = " << s.net.hello_timeout_slots << "\n"
      << "hello_max_retries = " << s.net.hello_max_retries << "\n"
-     << "backoff_base = " << s.net.backoff_base << "\n";
+     << "backoff_base = " << s.net.backoff_base << "\n"
+     << "transport = " << s.net.transport << "\n"
+     << "mtu = " << s.net.mtu << "\n"
+     << "shard = " << s.net.shard << "\n";
   os << "\n[replication]\n"
      << "replications = " << s.replication.replications << "\n"
      << "seed0 = " << s.replication.seed0 << "\n"
@@ -498,6 +514,34 @@ void validate_fields(const Scenario& s) {
   if (s.net.backoff_base < 1)
     throw ScenarioError("net.backoff_base must be >= 1 (got " +
                         std::to_string(s.net.backoff_base) + ")");
+  if (s.net.mtu < net::wire::kMinMtu || s.net.mtu > net::wire::kMaxMtu)
+    throw ScenarioError(
+        "net.mtu = " + std::to_string(s.net.mtu) + " is outside the "
+        "supported [" + std::to_string(net::wire::kMinMtu) + ", " +
+        std::to_string(net::wire::kMaxMtu) + "] range (header " +
+        std::to_string(net::wire::kHeaderSize) + " B must fit; UDP "
+        "payloads cap at 65507 B)");
+  if (s.net.shard < 1)
+    throw ScenarioError("net.shard must be >= 1 (got " +
+                        std::to_string(s.net.shard) + ")");
+  const TransportKind transport =
+      transport_kind_from_string(s.net.transport);
+  if (s.net.shard > 1 && transport != TransportKind::kUdp)
+    throw ScenarioError(
+        "net.shard = " + std::to_string(s.net.shard) + " requires "
+        "net.transport = udp (only the socket transport runs a scenario as "
+        "multiple processes)");
+  if (transport == TransportKind::kUdp) {
+    if (mode != net::MembershipMode::kOmniscient)
+      throw ScenarioError(
+          "net.transport = udp requires net.membership = omniscient "
+          "(the sharded runtime cannot replay the view-sync membership "
+          "phase's same-pass hello responses yet)");
+    if (is_dynamic(s))
+      throw ScenarioError(
+          "net.transport = udp requires static dynamics (sharded churn "
+          "rediscovery would need its own exchange barrier)");
+  }
 }
 
 void validate(const Scenario& s) {
@@ -651,6 +695,21 @@ const char* membership_mode_key(net::MembershipMode mode) {
   switch (mode) {
     case net::MembershipMode::kOmniscient: return "omniscient";
     case net::MembershipMode::kViewSync: return "view_sync";
+  }
+  return "?";
+}
+
+TransportKind transport_kind_from_string(const std::string& s) {
+  if (s == "inprocess") return TransportKind::kInProcess;
+  if (s == "udp") return TransportKind::kUdp;
+  throw ScenarioError("unknown net.transport '" + s +
+                      "'; valid: inprocess, udp");
+}
+
+const char* transport_kind_key(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kInProcess: return "inprocess";
+    case TransportKind::kUdp: return "udp";
   }
   return "?";
 }

@@ -112,6 +112,18 @@ struct NetSpec {
   int hello_timeout_slots = 4;  ///< Silence (slots) before suspicion.
   int hello_max_retries = 3;    ///< Liveness probes before eviction.
   int backoff_base = 2;         ///< Probe k waits backoff_base^k slots.
+  /// How the --net runtime moves encoded floods: "inprocess" (every flood
+  /// still round-trips through wire bytes) or "udp" (one real process per
+  /// shard on loopback sockets; see net/transport.h). String form of
+  /// TransportKind.
+  std::string transport = "inprocess";
+  /// Datagram size limit for fragment accounting and the UDP transport;
+  /// pinned to net::wire::kDefaultMtu / net::NetConfig by static_asserts.
+  int mtu = 1400;
+  /// Shard count for transport = udp: the scenario runs as `shard`
+  /// cooperating processes (`mhca_sim run --net --shard k/N`), each owning
+  /// the floods of vertices v with v % N == k. 1 = single process.
+  int shard = 1;
 
   bool operator==(const NetSpec&) const = default;
 };
@@ -195,5 +207,16 @@ const char* policy_kind_key(PolicyKind kind);
 /// Throws ScenarioError listing the valid keys on anything else.
 net::MembershipMode membership_mode_from_string(const std::string& s);
 const char* membership_mode_key(net::MembershipMode mode);
+
+/// How a --net run moves its encoded floods (net.transport).
+enum class TransportKind {
+  kInProcess,  ///< One process; floods still round-trip through wire bytes.
+  kUdp,        ///< One process per shard over loopback UDP sockets.
+};
+
+/// net.transport <-> TransportKind ("inprocess" | "udp").
+/// Throws ScenarioError listing the valid keys on anything else.
+TransportKind transport_kind_from_string(const std::string& s);
+const char* transport_kind_key(TransportKind kind);
 
 }  // namespace mhca::scenario

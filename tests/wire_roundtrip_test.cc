@@ -1,0 +1,314 @@
+// Fuzz + property tests for the wire codec (src/net/wire.h).
+//
+// The contract under test:
+//   * round trip — decode(encode(msg)) == msg, field for field, for every
+//     message type across 1000+ random messages each, including extreme
+//     payloads (empty and huge neighbor lists, negative rounds, max
+//     ViewIds, NaN-free but denormal/infinite means);
+//   * rejection — truncated, oversized, bit-mutated, bad-magic and
+//     unknown-version buffers raise WireError with an actionable message
+//     and never read out of bounds (this suite runs under ASan/UBSan in
+//     CI's sanitizer job — see .github/workflows/ci.yml);
+//   * encoded_size discipline — encode produces exactly encoded_size(msg)
+//     bytes for every generated message.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "net/wire.h"
+#include "util/rng.h"
+
+namespace mhca {
+namespace {
+
+using net::Message;
+using net::MsgType;
+using net::StatusEntry;
+namespace wire = net::wire;
+
+bool same_message(const Message& a, const Message& b) {
+  if (a.type != b.type || a.origin != b.origin || a.round != b.round)
+    return false;
+  if (a.view.seq != b.view.seq ||
+      a.view.representative != b.view.representative)
+    return false;
+  const bool hello_like =
+      a.type == MsgType::kHello || a.type == MsgType::kViewChange;
+  if (hello_like) {
+    // Bit-exact double comparison: the codec moves the f64 bit pattern,
+    // not a rounded value.
+    std::uint64_t am, bm;
+    static_assert(sizeof(am) == sizeof(a.mean));
+    __builtin_memcpy(&am, &a.mean, sizeof(am));
+    __builtin_memcpy(&bm, &b.mean, sizeof(bm));
+    if (am != bm || a.count != b.count || a.solicit != b.solicit ||
+        a.probe_target != b.probe_target ||
+        a.neighbor_list != b.neighbor_list)
+      return false;
+  }
+  if (a.type == MsgType::kWeightUpdate &&
+      (a.mean != b.mean || a.count != b.count))
+    return false;
+  if (a.type == MsgType::kDetermination) {
+    if (a.statuses.size() != b.statuses.size()) return false;
+    for (std::size_t i = 0; i < a.statuses.size(); ++i)
+      if (a.statuses[i].vertex != b.statuses[i].vertex ||
+          a.statuses[i].status != b.statuses[i].status)
+        return false;
+  }
+  return true;
+}
+
+Message random_message(MsgType type, Rng& rng, bool extreme) {
+  Message m;
+  m.type = type;
+  m.origin = static_cast<int>(rng.uniform_int(0, 1 << 20));
+  m.round = extreme && rng.bernoulli(0.3)
+                ? std::numeric_limits<std::int64_t>::min() +
+                      rng.uniform_int(0, 10)
+                : rng.uniform_int(-1000, 1'000'000);
+  if (rng.bernoulli(0.5)) {
+    m.view.seq = extreme ? std::numeric_limits<std::int64_t>::max() -
+                               rng.uniform_int(0, 10)
+                         : rng.uniform_int(0, 1 << 30);
+    m.view.representative = static_cast<int>(rng.uniform_int(-1, 1 << 20));
+  }
+  if (type == MsgType::kHello || type == MsgType::kViewChange) {
+    m.mean = extreme && rng.bernoulli(0.2)
+                 ? std::numeric_limits<double>::infinity()
+                 : rng.uniform(-1e9, 1e9);
+    m.count = rng.uniform_int(0, 1 << 30);
+    m.solicit = rng.bernoulli(0.5);
+    m.probe_target = static_cast<int>(rng.uniform_int(-1, 1 << 16));
+    const int n = extreme ? (rng.bernoulli(0.5)
+                                 ? 0
+                                 : static_cast<int>(rng.uniform_int(0, 5000)))
+                          : static_cast<int>(rng.uniform_int(0, 32));
+    m.neighbor_list.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      m.neighbor_list.push_back(
+          static_cast<int>(rng.uniform_int(-5, 1 << 24)));
+  } else if (type == MsgType::kWeightUpdate) {
+    m.mean = rng.uniform(0.0, 1.0);
+    m.count = extreme ? std::numeric_limits<std::int64_t>::max()
+                      : rng.uniform_int(0, 1 << 30);
+  } else if (type == MsgType::kDetermination) {
+    const int n = extreme ? (rng.bernoulli(0.5)
+                                 ? 0
+                                 : static_cast<int>(rng.uniform_int(0, 3000)))
+                          : static_cast<int>(rng.uniform_int(0, 24));
+    m.statuses.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      StatusEntry e;
+      e.vertex = static_cast<int>(rng.uniform_int(-1, 1 << 24));
+      e.status = static_cast<VertexStatus>(rng.uniform_int(0, 2));
+      m.statuses.push_back(e);
+    }
+  }
+  return m;
+}
+
+constexpr MsgType kAllTypes[] = {
+    MsgType::kHello, MsgType::kWeightUpdate, MsgType::kLeaderDeclare,
+    MsgType::kDetermination, MsgType::kViewChange};
+
+TEST(WireRoundTrip, ThousandRandomMessagesPerType) {
+  Rng rng(0xF00D5EED);
+  std::vector<std::uint8_t> buf;
+  for (MsgType type : kAllTypes) {
+    for (int i = 0; i < 1100; ++i) {
+      const Message m = random_message(type, rng, /*extreme=*/i % 10 == 0);
+      wire::encode(m, buf);
+      ASSERT_EQ(buf.size(), wire::encoded_size(m));
+      const Message back = wire::decode(buf.data(), buf.size());
+      ASSERT_TRUE(same_message(m, back))
+          << "round trip changed a type-"
+          << static_cast<int>(type) << " message (iteration " << i << ")";
+    }
+  }
+}
+
+TEST(WireRoundTrip, ExtremePayloadsSurvive) {
+  std::vector<std::uint8_t> buf;
+  Message m;
+  m.type = MsgType::kHello;
+  m.origin = 0;
+  m.round = std::numeric_limits<std::int64_t>::min();
+  m.view.seq = std::numeric_limits<std::int64_t>::max();
+  m.view.representative = std::numeric_limits<int>::max();
+  m.mean = -std::numeric_limits<double>::infinity();
+  m.count = std::numeric_limits<std::int64_t>::max();
+  m.neighbor_list.assign(50'000, std::numeric_limits<int>::min());
+  wire::encode(m, buf);
+  EXPECT_EQ(buf.size(), wire::encoded_size(m));
+  EXPECT_TRUE(same_message(m, wire::decode(buf.data(), buf.size())));
+
+  Message det;
+  det.type = MsgType::kDetermination;
+  det.origin = 7;
+  det.statuses.clear();  // empty verdict list is legal
+  wire::encode(det, buf);
+  EXPECT_TRUE(same_message(det, wire::decode(buf.data(), buf.size())));
+}
+
+TEST(WireRoundTrip, EveryTruncationIsRejectedWithoutUb) {
+  Rng rng(0xCAFE);
+  std::vector<std::uint8_t> buf;
+  for (MsgType type : kAllTypes) {
+    const Message m = random_message(type, rng, /*extreme=*/false);
+    wire::encode(m, buf);
+    // Every proper prefix must throw — never crash, never read past len.
+    for (std::size_t len = 0; len < buf.size(); ++len)
+      EXPECT_THROW((void)wire::decode(buf.data(), len), wire::WireError)
+          << "prefix of " << len << " bytes decoded without error";
+    // Trailing garbage must throw too (payload_len no longer matches).
+    std::vector<std::uint8_t> longer = buf;
+    longer.push_back(0xAB);
+    EXPECT_THROW((void)wire::decode(longer.data(), longer.size()),
+                 wire::WireError);
+  }
+}
+
+TEST(WireRoundTrip, MutatedHeadersAreRejected) {
+  Rng rng(0xBEEF);
+  std::vector<std::uint8_t> buf;
+  const Message m = random_message(MsgType::kHello, rng, false);
+  wire::encode(m, buf);
+
+  auto mutated = [&](std::size_t pos, std::uint8_t val) {
+    std::vector<std::uint8_t> b = buf;
+    b[pos] = val;
+    return b;
+  };
+  // Bad magic.
+  auto bad_magic = mutated(0, 0x00);
+  EXPECT_THROW((void)wire::decode(bad_magic.data(), bad_magic.size()),
+               wire::WireError);
+  // Unknown version: the versioning rule — any payload change bumps
+  // wire::kVersion, and decoders refuse versions they do not speak.
+  auto bad_version = mutated(2, wire::kVersion + 1);
+  EXPECT_THROW((void)wire::decode(bad_version.data(), bad_version.size()),
+               wire::WireError);
+  // Unknown message type.
+  auto bad_type = mutated(3, 0x7F);
+  EXPECT_THROW((void)wire::decode(bad_type.data(), bad_type.size()),
+               wire::WireError);
+  // Lying payload_len (offset 28, little-endian u32).
+  auto bad_len = mutated(28, static_cast<std::uint8_t>(buf[28] ^ 0xFF));
+  EXPECT_THROW((void)wire::decode(bad_len.data(), bad_len.size()),
+               wire::WireError);
+}
+
+TEST(WireRoundTrip, RandomMutationsNeverCrash) {
+  Rng rng(0xD00F);
+  std::vector<std::uint8_t> buf;
+  std::int64_t rejected = 0, survived = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const auto type =
+        kAllTypes[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+    const Message m = random_message(type, rng, /*extreme=*/false);
+    wire::encode(m, buf);
+    // Flip 1-4 random bytes anywhere in the buffer; decode must either
+    // throw WireError or return a (possibly different) message — anything
+    // but UB. ASan/UBSan make "anything but" checkable.
+    const int flips = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(buf.size()) - 1));
+      buf[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform_int(0, 254));
+    }
+    Message out;
+    std::string error;
+    if (wire::try_decode(buf.data(), buf.size(), out, &error)) {
+      ++survived;  // mutation hit a don't-care bit or a value field
+    } else {
+      ++rejected;
+      EXPECT_FALSE(error.empty());
+    }
+  }
+  // The corpus must actually exercise the rejection paths.
+  EXPECT_GT(rejected, 100);
+  EXPECT_GT(survived, 100);
+}
+
+TEST(WireRoundTrip, ArbitraryNoiseBuffersNeverCrash) {
+  Rng rng(0x9015E);
+  for (int i = 0; i < 4000; ++i) {
+    std::vector<std::uint8_t> noise(
+        static_cast<std::size_t>(rng.uniform_int(0, 300)));
+    for (auto& b : noise)
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    // Make a fraction look plausible so decoding gets past the header
+    // checks and into the payload readers.
+    if (noise.size() >= wire::kHeaderSize && rng.bernoulli(0.5)) {
+      noise[0] = static_cast<std::uint8_t>(wire::kMagic);
+      noise[1] = static_cast<std::uint8_t>(wire::kMagic >> 8);
+      noise[2] = wire::kVersion;
+      noise[3] = static_cast<std::uint8_t>(
+          rng.uniform_int(0, net::kNumMsgTypes - 1));
+    }
+    Message out;
+    (void)wire::try_decode(noise.data(), noise.size(), out, nullptr);
+  }
+}
+
+TEST(WireRoundTrip, ErrorMessagesNameTheProblem) {
+  Rng rng(1);
+  std::vector<std::uint8_t> buf;
+  const Message m = random_message(MsgType::kDetermination, rng, false);
+  wire::encode(m, buf);
+
+  try {
+    (void)wire::decode(buf.data(), 10);
+    FAIL() << "10-byte prefix decoded";
+  } catch (const wire::WireError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+  buf[2] = 99;  // version
+  try {
+    (void)wire::decode(buf.data(), buf.size());
+    FAIL() << "version 99 decoded";
+  } catch (const wire::WireError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version"), std::string::npos);
+    EXPECT_NE(what.find("99"), std::string::npos);
+  }
+}
+
+TEST(WireRoundTrip, LyingElementCountIsRejectedBeforeAllocating) {
+  // A determination claiming 2^31 statuses in a 40-byte buffer must be
+  // rejected by the count-vs-remaining guard, not by an OOM reserve.
+  Message m;
+  m.type = MsgType::kDetermination;
+  m.origin = 1;
+  std::vector<std::uint8_t> buf;
+  wire::encode(m, buf);
+  // Overwrite the payload's n_statuses (first 4 payload bytes) with a huge
+  // count, keeping the buffer size (and header payload_len) unchanged.
+  buf[wire::kHeaderSize + 0] = 0xFF;
+  buf[wire::kHeaderSize + 1] = 0xFF;
+  buf[wire::kHeaderSize + 2] = 0xFF;
+  buf[wire::kHeaderSize + 3] = 0x7F;
+  try {
+    (void)wire::decode(buf.data(), buf.size());
+    FAIL() << "lying element count decoded";
+  } catch (const wire::WireError& e) {
+    EXPECT_NE(std::string(e.what()).find("n_statuses"), std::string::npos);
+  }
+}
+
+TEST(WireRoundTrip, FragmentsOfMatchesCeilDivision) {
+  // mtu 128 leaves 104 payload bytes per datagram (24-byte header).
+  EXPECT_EQ(wire::fragments_of(0, 128), 1);
+  EXPECT_EQ(wire::fragments_of(104, 128), 1);
+  EXPECT_EQ(wire::fragments_of(105, 128), 2);
+  EXPECT_EQ(wire::fragments_of(1376, wire::kDefaultMtu), 1);
+  EXPECT_EQ(wire::fragments_of(1377, wire::kDefaultMtu), 2);
+}
+
+}  // namespace
+}  // namespace mhca

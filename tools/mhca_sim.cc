@@ -18,12 +18,14 @@
 // canonical serialized form (what a round-trip preserves). `list` shows
 // every registered topology / channel model / policy / dynamics model with
 // its accepted keys.
+#include <cstdio>
 #include <exception>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "dynamics/registries.h"
+#include "net/transport.h"
 #include "scenario/registries.h"
 #include "scenario/runner.h"
 #include "scenario/scenario.h"
@@ -40,8 +42,18 @@ using namespace mhca;
   std::cerr << "usage:\n"
             << "  mhca_sim run <scenario.ini> [--override SEC.KEY=VAL]..."
                " [--csv PATH] [--net]\n"
+            << "      [--transport inprocess|udp] [--shard K/N]"
+               " [--port-base PORT]\n"
             << "  mhca_sim print <scenario.ini> [--override SEC.KEY=VAL]...\n"
-            << "  mhca_sim list\n";
+            << "  mhca_sim list\n"
+            << "--transport/--shard/--port-base shape a --net run: "
+               "--transport X is sugar\n"
+            << "for --override net.transport=X; --shard K/N runs this "
+               "process as shard K of N\n"
+            << "(udp transport; every shard gets the same scenario and "
+               "seed); --port-base sets\n"
+            << "the first loopback port (shard k binds port+k, default "
+               "47310).\n";
   std::exit(2);
 }
 
@@ -51,7 +63,28 @@ struct Options {
   std::vector<std::string> overrides;
   std::string csv;
   bool net = false;
+  int shard_index = -1;  ///< --shard K/N; -1 = flag absent.
+  int port_base = 0;     ///< --port-base; 0 = UdpOptions default.
 };
+
+/// "K/N" with 0 <= K < N; N also lands in the overrides as net.shard.
+void parse_shard(const std::string& spec, Options& o) {
+  const std::size_t slash = spec.find('/');
+  std::size_t k_end = 0, n_end = 0;
+  int k = -1, n = -1;
+  try {
+    k = std::stoi(spec, &k_end);
+    if (slash != std::string::npos)
+      n = std::stoi(spec.substr(slash + 1), &n_end);
+  } catch (const std::exception&) {
+    // fall through to the usage error below
+  }
+  if (slash == std::string::npos || k_end != slash ||
+      n_end != spec.size() - slash - 1 || k < 0 || n < 1 || k >= n)
+    usage("--shard wants K/N with 0 <= K < N, got '" + spec + "'");
+  o.shard_index = k;
+  o.overrides.push_back("net.shard=" + std::to_string(n));
+}
 
 Options parse_args(int argc, char** argv) {
   if (argc < 2) usage("missing command");
@@ -73,11 +106,24 @@ Options parse_args(int argc, char** argv) {
     if (a == "--override" || a == "-O") o.overrides.push_back(next());
     else if (a == "--csv") o.csv = next();
     else if (a == "--net") o.net = true;
-    else usage("unknown flag '" + a + "'");
+    else if (a == "--transport")
+      o.overrides.push_back("net.transport=" + next());
+    else if (a == "--shard") parse_shard(next(), o);
+    else if (a == "--port-base") {
+      try {
+        o.port_base = std::stoi(next());
+      } catch (const std::exception&) {
+        o.port_base = -1;
+      }
+      if (o.port_base < 1 || o.port_base > 65535)
+        usage("--port-base wants a port in [1, 65535]");
+    } else usage("unknown flag '" + a + "'");
   }
   // Reject flags the command would silently ignore.
   if (o.command != "run" && (!o.csv.empty() || o.net))
     usage("--csv/--net only apply to 'run'");
+  if (!o.net && (o.shard_index >= 0 || o.port_base > 0))
+    usage("--shard/--port-base only apply to 'run --net'");
   if (o.command == "list" && !o.overrides.empty())
     usage("--override does not apply to 'list'");
   return o;
@@ -201,6 +247,18 @@ void print_net(const scenario::Scenario& s, const scenario::NetRunSummary& n,
   table.row("max agent table size", n.max_table_size);
   table.row("conflicting rounds", n.conflicts);
   table.row("control messages", n.messages);
+  table.row("bytes on wire", n.bytes_on_wire);
+  table.row("mtu fragments (mtu = " + std::to_string(s.net.mtu) + ")",
+            n.fragments);
+  static const char* kTypeNames[net::kNumMsgTypes] = {
+      "hello", "weight_update", "leader_declare", "determination",
+      "view_change"};
+  for (int t = 0; t < net::kNumMsgTypes; ++t) {
+    if (n.messages_by_type[t] == 0) continue;
+    table.row(std::string("  ") + kTypeNames[t] + " msgs / bytes",
+              std::to_string(n.messages_by_type[t]) + " / " +
+                  std::to_string(n.bytes_by_type[t]));
+  }
   // Robustness telemetry is only meaningful when the wire is unreliable or
   // membership is inferred from it; keep the clean-run table compact.
   const bool faulty = s.net.drop_prob > 0.0 || s.net.dup_prob > 0.0 ||
@@ -216,6 +274,15 @@ void print_net(const scenario::Scenario& s, const scenario::NetRunSummary& n,
     table.row("tx abstained (stale winners)", n.tx_abstained);
   }
   table.print(std::cout);
+  // Machine-greppable run fingerprints: CI compares these lines between a
+  // sharded UDP run and the in-process run of the same scenario.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "trace_hash = 0x%016llx\n",
+                static_cast<unsigned long long>(n.trace_hash));
+  std::cout << buf;
+  std::snprintf(buf, sizeof(buf), "decision_digest = 0x%016llx\n",
+                static_cast<unsigned long long>(n.decision_digest));
+  std::cout << buf;
 }
 
 int cmd_run(const Options& o) {
@@ -227,7 +294,37 @@ int cmd_run(const Options& o) {
     if (s.replication.replications >= 1)
       usage("--net runs a single protocol pass; this scenario replicates "
             "(set --override replication.replications=0)");
-    print_net(s, runner.run_net(), runner.model().rate_scale_kbps());
+    const auto transport = scenario::transport_kind_from_string(
+        s.net.transport);
+    if (transport == scenario::TransportKind::kUdp) {
+      int shard_index = o.shard_index;
+      if (shard_index < 0) {
+        if (s.net.shard != 1)
+          usage("net.transport=udp with net.shard=" +
+                std::to_string(s.net.shard) +
+                " needs --shard K/N to say which shard this process is");
+        shard_index = 0;  // degenerate single-shard socket run
+      }
+      net::UdpOptions opts;
+      if (o.port_base > 0) opts.port_base = o.port_base;
+      opts.mtu = s.net.mtu;
+      net::UdpTransport udp(shard_index, s.net.shard, opts);
+      const scenario::NetRunSummary n = runner.run_net_sharded(udp);
+      udp.finish();
+      const net::TransportStats& ts = udp.stats();
+      std::cout << "shard " << shard_index << "/" << s.net.shard
+                << ": exchanges " << ts.exchanges << ", frames "
+                << ts.frames_sent << " sent / " << ts.frames_received
+                << " received, datagrams " << ts.datagrams_sent
+                << " sent / " << ts.datagrams_received << " received, "
+                << ts.retransmit_requests << " retransmit requests, "
+                << ts.retransmissions << " retransmissions\n";
+      print_net(s, n, runner.model().rate_scale_kbps());
+    } else {
+      if (o.shard_index > 0)
+        usage("--shard K/N with K > 0 requires net.transport = udp");
+      print_net(s, runner.run_net(), runner.model().rate_scale_kbps());
+    }
   } else if (s.replication.replications >= 1) {
     if (!o.csv.empty())
       usage("--csv applies to single-simulation runs; this scenario "
