@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cstdio>
 #include <limits>
 #include <thread>
 #include <utility>
@@ -12,6 +13,7 @@
 #define MHCA_ELECTION_AVX2 1
 #endif
 
+#include "obs/trace.h"
 #include "util/assert.h"
 #include "util/parallel.h"
 
@@ -501,6 +503,16 @@ DistributedPtasResult DistributedRobustPtas::run(
   const int election_hops = 2 * r + 1;
   const bool timed = cfg_.collect_stage_times;
 
+  // Tracing (src/obs): one relaxed load per decision; every span below is
+  // purely observational — no branch of the protocol depends on `tr`.
+  obs::TraceRecorder* const tr = obs::trace();
+  if (tr) {
+    char a[64];
+    std::snprintf(a, sizeof(a), "{\"n\":%d,\"r\":%d}", n, r);
+    tr->begin(obs::kTidEngine, "ptas.decision", a);
+    tr->begin(obs::kTidEngine, "ptas.setup");
+  }
+
   std::vector<VertexStatus> status(static_cast<std::size_t>(n),
                                    VertexStatus::kCandidate);
   int candidates = n;
@@ -537,6 +549,7 @@ DistributedPtasResult DistributedRobustPtas::run(
             election_key(weights[static_cast<std::size_t>(v)]);
     }
   }
+  if (tr) tr->end(obs::kTidEngine);  // ptas.setup
   if (timed) acc.setup_ms = ms_since(t_entry);
 
   int mini_round = 0;
@@ -548,6 +561,11 @@ DistributedPtasResult DistributedRobustPtas::run(
 
     // --- LocalLeader selection (LS): max over the (2r+1)-hop ball. ---
     auto t0 = Clock::now();
+    if (tr) {
+      char a[48];
+      std::snprintf(a, sizeof(a), "{\"mini_round\":%d}", mini_round);
+      tr->begin(obs::kTidEngine, "ptas.election", a);
+    }
     leaders.clear();
     if (cached) {
       elect_by_cache(status, leaders, /*first_round=*/mini_round == 1);
@@ -557,6 +575,7 @@ DistributedPtasResult DistributedRobustPtas::run(
     MHCA_ASSERT(!leaders.empty(),
                 "a candidate of globally maximal weight must elect itself");
     rec.leaders = static_cast<int>(leaders.size());
+    if (tr) tr->end(obs::kTidEngine);  // ptas.election
     if (timed) acc.election_ms += ms_since(t0);
 
     // --- Local MWIS (LMWIS): gather instances, then solve. Leaders' balls
@@ -564,16 +583,25 @@ DistributedPtasResult DistributedRobustPtas::run(
     // verdict can change another's instance: gathering everything up front
     // and fanning the solves out is equivalent to the sequential protocol.
     if (timed) t0 = Clock::now();
+    if (tr) tr->begin(obs::kTidEngine, "ptas.gather");
     gather_local_instances(leaders, status);
+    if (tr) tr->end(obs::kTidEngine);  // ptas.gather
     if (timed) {
       acc.gather_ms += ms_since(t0);
       t0 = Clock::now();
     }
+    if (tr) {
+      char a[48];
+      std::snprintf(a, sizeof(a), "{\"leaders\":%d}", rec.leaders);
+      tr->begin(obs::kTidEngine, "ptas.solve", a);
+    }
     solve_local_instances(leaders, weights);
+    if (tr) tr->end(obs::kTidEngine);  // ptas.solve
     if (timed) {
       acc.solve_ms += ms_since(t0);
       t0 = Clock::now();
     }
+    if (tr) tr->begin(obs::kTidEngine, "ptas.apply");
 
     // --- Status determination (LB), applied in election order. ---
     changed_.clear();
@@ -640,6 +668,7 @@ DistributedPtasResult DistributedRobustPtas::run(
       }
       std::swap(died_, changed_);
     }
+    if (tr) tr->end(obs::kTidEngine);  // ptas.apply
     if (timed) acc.apply_ms += ms_since(t0);
 
     rec.candidates_remaining = candidates;
@@ -664,9 +693,11 @@ DistributedPtasResult DistributedRobustPtas::run(
   res.mini_rounds_used = mini_round;
   res.all_marked = candidates == 0;
   const auto t_validate = Clock::now();
+  if (tr) tr->begin(obs::kTidEngine, "ptas.validate");
   std::sort(res.winners.begin(), res.winners.end());
   MHCA_ASSERT(h_.is_independent_set(res.winners),
               "distributed PTAS produced a conflicting strategy");
+  if (tr) tr->end(obs::kTidEngine);  // ptas.validate
   if (timed) {
     acc.validate_ms = ms_since(t_validate);
     // `other` is measured, not assumed: whatever this run spent outside
@@ -682,7 +713,15 @@ DistributedPtasResult DistributedRobustPtas::run(
     stage_times_.apply_ms += acc.apply_ms;
     stage_times_.validate_ms += acc.validate_ms;
     stage_times_.other_ms += acc.other_ms;
+    // The seventh bucket is a remainder, not an interval — in the timeline
+    // it is the gap inside ptas.decision; the instant carries its size.
+    if (tr) {
+      char a[48];
+      std::snprintf(a, sizeof(a), "{\"other_ms\":%.3f}", acc.other_ms);
+      tr->instant(obs::kTidEngine, "ptas.other", a);
+    }
   }
+  if (tr) tr->end(obs::kTidEngine);  // ptas.decision
   return res;
 }
 

@@ -1,7 +1,9 @@
 #include "net/control_channel.h"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "obs/trace.h"
 #include "util/assert.h"
 #include "util/hash.h"
 
@@ -174,6 +176,23 @@ void ControlChannel::flood_impl(
   const std::size_t wire_size = bytes->size();
   MHCA_ASSERT(wire_size == wire::encoded_size(msg),
               "encoded flood size disagrees with encoded_size()");
+
+  // Per-flood trace span (src/obs): one relaxed load when tracing is off;
+  // nothing below branches on `tr`, so the flood — and the trace_hash folds
+  // in record_flood/record_delivery — is bit-identical either way.
+  static constexpr const char* kFloodSpanNames[kNumMsgTypes] = {
+      "flood.hello", "flood.weight_update", "flood.leader_declare",
+      "flood.determination", "flood.view_change"};
+  obs::TraceRecorder* const tr = obs::trace();
+  char targs[80];
+  if (tr)
+    std::snprintf(targs, sizeof(targs),
+                  "{\"origin\":%d,\"ttl\":%d,\"bytes\":%zu}", msg.origin, ttl,
+                  wire_size);
+  obs::ScopedSpan span(tr, obs::kTidChannel,
+                       kFloodSpanNames[static_cast<std::size_t>(msg.type)],
+                       tr ? std::string(targs) : std::string());
+
   ++stats_.floods;
   record_flood(msg, ttl, *bytes);
 

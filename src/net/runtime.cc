@@ -1,7 +1,10 @@
 #include "net/runtime.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 
+#include "obs/trace.h"
 #include "util/assert.h"
 
 namespace mhca::net {
@@ -60,6 +63,11 @@ DistributedRuntime::DistributedRuntime(const ExtendedConflictGraph& ecg,
                   (cfg_.reorder_prob == 0.0 && cfg_.delay_slots_max == 0),
               "reorder_prob/delay_slots_max require membership = view_sync "
               "(omniscient discovery cannot absorb a late hello)");
+  // Tag this thread's trace events with the shard index so a multi-process
+  // (or multi-thread mesh) run merges into one Perfetto timeline with one
+  // process track per shard. Purely observational.
+  obs::set_current_shard(transport_ != nullptr ? transport_->shard_index()
+                                               : 0);
   keepalive_interval_ = std::max(1, cfg_.hello_timeout_slots - 1);
   PolicyParams params = cfg_.policy_params;
   if (cfg_.policy == PolicyKind::kLlr && params.llr_max_strategy_len <= 1)
@@ -137,6 +145,14 @@ std::vector<int> DistributedRuntime::exchange_and_replay(
     std::vector<FloodFrame> frames,
     const std::function<void(int, const Message&)>& deliver,
     const std::function<void(const Message&)>& on_origin) {
+  obs::TraceRecorder* const tr = obs::trace();
+  char targs[96];
+  if (tr)
+    std::snprintf(targs, sizeof(targs),
+                  "{\"shard\":%d,\"frames_out\":%zu}",
+                  transport_->shard_index(), frames.size());
+  obs::ScopedSpan span(tr, obs::kTidTransport, "transport.exchange",
+                       tr ? std::string(targs) : std::string());
   std::vector<FloodFrame> merged = transport_->exchange(std::move(frames));
   std::vector<int> origins;
   origins.reserve(merged.size());
@@ -297,6 +313,8 @@ void DistributedRuntime::flood_pending_hellos(bool include_keepalives) {
 
 void DistributedRuntime::membership_phase() {
   const int horizon = 2 * cfg_.r + 1;
+  obs::TraceRecorder* const tr = obs::trace();
+  obs::ScopedSpan span(tr, obs::kTidRuntime, "net.hello");
   // Delayed deliveries of earlier slots land first: the membership phase is
   // where a faulty wire's stragglers surface.
   channel_.begin_slot(t_, [this](int to, const Message& m) { route(to, m); });
@@ -308,6 +326,12 @@ void DistributedRuntime::membership_phase() {
   for (auto& a : agents_) {
     if (!a.active()) continue;
     for (int target : a.liveness_pass(t_)) {
+      if (tr) {
+        char b[72];
+        std::snprintf(b, sizeof(b), "{\"agent\":%d,\"suspect\":%d}", a.id(),
+                      target);
+        tr->instant(obs::kTidRuntime, "net.suspect_probe", b);
+      }
       Message probe = make_hello(a.id());
       probe.probe_target = target;
       channel_.flood(probe, horizon,
@@ -326,6 +350,15 @@ void DistributedRuntime::membership_phase() {
     Message vc = make_hello(a.id());
     vc.type = MsgType::kViewChange;
     vc.view = a.view();
+    // Evictions surface here: each completed probe cycle ends in a view
+    // bump announced by this flood.
+    if (tr) {
+      char b[96];
+      std::snprintf(b, sizeof(b),
+                    "{\"agent\":%d,\"view_seq\":%" PRId64 ",\"rep\":%d}",
+                    a.id(), vc.view.seq, vc.view.representative);
+      tr->instant(obs::kTidRuntime, "net.view_change", b);
+    }
     channel_.flood(vc, horizon,
                    [this](int to, const Message& m) { route(to, m); });
   }
@@ -359,11 +392,19 @@ NetRoundResult DistributedRuntime::step() {
   const int horizon = 2 * cfg_.r + 1;
   const bool view_sync = cfg_.membership == MembershipMode::kViewSync;
 
+  obs::TraceRecorder* const tr = obs::trace();
+  char targs[48];
+  if (tr)
+    std::snprintf(targs, sizeof(targs), "{\"round\":%" PRId64 "}", t_);
+  obs::ScopedSpan round_span(tr, obs::kTidRuntime, "net.round",
+                             tr ? std::string(targs) : std::string());
+
   if (view_sync) membership_phase();
 
   // --- WB: previous strategy's vertices flood refreshed statistics. ---
   const auto deliver = [this](int to, const Message& m) { route(to, m); };
   if (t_ > 1) {
+    obs::ScopedSpan wb_span(tr, obs::kTidRuntime, "net.weight_broadcast");
     std::vector<FloodFrame> frames;  // sharded: owned weight updates
     for (int v : prev_strategy_) {
       if (!owns(v)) continue;
@@ -410,6 +451,10 @@ NetRoundResult DistributedRuntime::step() {
     // — the merged (ascending-origin) list equals the classic one, because
     // should_lead() reads only replicated table state.
     std::vector<int> leaders;
+    {  // election span scope (a `break` below unwinds it correctly)
+    if (tr) std::snprintf(targs, sizeof(targs), "{\"mini_round\":%d}", mr);
+    obs::ScopedSpan election_span(tr, obs::kTidRuntime, "net.election",
+                                  tr ? std::string(targs) : std::string());
     if (sharded()) {
       std::vector<FloodFrame> frames;
       for (const auto& a : agents_) {
@@ -445,6 +490,7 @@ NetRoundResult DistributedRuntime::step() {
       }
     }
     channel_.charge_timeslots(horizon);
+    }  // election span scope
 
     // LMWIS + LB. Under loss, an earlier leader's verdict this mini-round
     // may already have demoted a later "leader" (they can end up close
@@ -453,6 +499,11 @@ NetRoundResult DistributedRuntime::step() {
     // (an earlier leader's replayed verdict can demote a later one before
     // its turn); the skip decision reads replicated status, so every shard
     // agrees on which leaders reach their barrier.
+    if (tr)
+      std::snprintf(targs, sizeof(targs), "{\"leaders\":%zu}",
+                    leaders.size());
+    obs::ScopedSpan det_span(tr, obs::kTidRuntime, "net.determination",
+                             tr ? std::string(targs) : std::string());
     for (int v : leaders) {
       if (agents_[static_cast<std::size_t>(v)].status() !=
           VertexStatus::kCandidate)
@@ -500,6 +551,7 @@ NetRoundResult DistributedRuntime::step() {
   out.mini_rounds = mr;
 
   // --- Data transmission + observation. ---
+  obs::ScopedSpan tx_span(tr, obs::kTidRuntime, "net.tx");
   out.all_marked = true;
   for (auto& a : agents_) {
     if (a.status() == VertexStatus::kWinner) {

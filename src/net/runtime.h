@@ -170,6 +170,12 @@ class DistributedRuntime {
   const NetConfig& config() const { return cfg_; }
   /// Null in classic (single-process) mode.
   const Transport* transport() const { return transport_; }
+  /// Transport-layer counters for the telemetry registry (obs/publish.h);
+  /// null in classic mode — the publisher then registers the transport
+  /// domain as zeros.
+  const TransportStats* transport_stats() const {
+    return transport_ != nullptr ? &transport_->stats() : nullptr;
+  }
 
   /// Maximum agent table size — the per-vertex space bound O(m).
   std::size_t max_table_size() const;

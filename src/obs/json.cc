@@ -1,0 +1,66 @@
+#include "obs/json.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace mhca::obs {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  append_json_string(out, s);
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15)
+    return json_number(static_cast<std::int64_t>(v));
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shorter %.15g form when it round-trips.
+  char short_buf[40];
+  std::snprintf(short_buf, sizeof(short_buf), "%.15g", v);
+  double back = 0.0;
+  if (std::sscanf(short_buf, "%lf", &back) == 1 && back == v)
+    return short_buf;
+  return buf;
+}
+
+std::string json_number(std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+std::string json_hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, v);
+  return buf;
+}
+
+}  // namespace mhca::obs

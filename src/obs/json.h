@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+// Tiny JSON emission helpers shared by the metrics snapshot, the trace
+// recorder and the CLI `--json` output. Emission only — parsing (needed by
+// the validators) lives in obs/validate.h.
+
+namespace mhca::obs {
+
+/// Appends `s` to `out` as a JSON string literal, quotes included.
+void append_json_string(std::string& out, std::string_view s);
+
+/// `s` as a JSON string literal (quotes included).
+std::string json_quote(std::string_view s);
+
+/// Shortest-ish decimal form that round-trips a double through JSON.
+/// Integral values (within int64 range) are printed without a fraction.
+std::string json_number(double v);
+
+std::string json_number(std::int64_t v);
+
+/// 64-bit hashes must never enter JSON as numbers — doubles lose precision
+/// above 2^53. This renders them the way the CLI always has: "0x%016llx".
+std::string json_hex64(std::uint64_t v);
+
+}  // namespace mhca::obs

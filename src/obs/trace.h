@@ -1,0 +1,118 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// The tracing half of the telemetry spine (src/obs/README.md).
+//
+// TraceRecorder collects Chrome trace-event JSON — the format Perfetto and
+// chrome://tracing load directly. Producers emit RAII ScopedSpans (B/E
+// duration pairs) and instant events ("i") onto fixed tracks:
+//
+//   pid = shard id (0 for unsharded runs; a multi-process UDP run written
+//         as one file per shard merges into a single timeline in Perfetto
+//         because each process tags its own pid),
+//   tid = subsystem track (engine / runtime / channel / transport below).
+//
+// Disabled-path contract: tracing is compiled in but off by default. Every
+// instrumentation site loads the global recorder pointer once (one relaxed
+// atomic load) and does nothing when it is null; sites exist only at
+// decision-stage / round-phase / flood / exchange granularity, never in
+// inner loops. Decisions, `trace_hash` and `decision_digest` are
+// bit-identical with tracing on or off — the recorder observes timing, it
+// never touches protocol or RNG state.
+
+namespace mhca::obs {
+
+// Track (tid) assignments — stable small ints so traces diff cleanly.
+inline constexpr int kTidEngine = 1;     // DistributedRobustPtas stages
+inline constexpr int kTidRuntime = 2;    // net round phases + instants
+inline constexpr int kTidChannel = 3;    // per-flood spans
+inline constexpr int kTidTransport = 4;  // per-exchange spans
+
+class TraceRecorder {
+ public:
+  TraceRecorder() : t0_(std::chrono::steady_clock::now()) {}
+
+  /// Opens a duration span ("B"). `args_json` must be empty or a complete
+  /// JSON object (e.g. R"({"round":3})") — built only by enabled sites.
+  void begin(int tid, const char* name, std::string args_json = {});
+
+  /// Closes the most recent span on this (pid, tid) track ("E").
+  void end(int tid);
+
+  /// Point event ("i", thread scope).
+  void instant(int tid, const char* name, std::string args_json = {});
+
+  std::size_t event_count() const;
+
+  /// Drops all recorded events (benchmarks reuse one recorder across reps).
+  void clear();
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"}
+  std::string to_json() const;
+
+  /// Returns false (and writes nothing) if the file cannot be opened.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    char ph;  // 'B' | 'E' | 'i'
+    int pid;
+    int tid;
+    double ts_us;
+    const char* name;  // static string; null for 'E'
+    std::string args;  // pre-rendered JSON object or empty
+  };
+
+  double now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+  std::chrono::steady_clock::time_point t0_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+/// Process-global recorder (null = tracing off). Not owned.
+void set_trace(TraceRecorder* rec);
+TraceRecorder* trace();
+
+/// Thread-local shard tag stamped into every event's pid. Runtimes running
+/// over a sharded Transport set this to their shard index; everything else
+/// stays 0.
+void set_current_shard(int shard);
+int current_shard();
+
+/// RAII span: no-op when constructed with a null recorder. Capture the
+/// recorder pointer once per scope — `obs::ScopedSpan span(obs::trace(),
+/// obs::kTidRuntime, "phase.hello");`.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* rec, int tid, const char* name)
+      : rec_(rec), tid_(tid) {
+    if (rec_) rec_->begin(tid_, name);
+  }
+  ScopedSpan(TraceRecorder* rec, int tid, const char* name,
+             std::string args_json)
+      : rec_(rec), tid_(tid) {
+    if (rec_) rec_->begin(tid_, name, std::move(args_json));
+  }
+  ~ScopedSpan() {
+    if (rec_) rec_->end(tid_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* rec_;
+  int tid_;
+};
+
+}  // namespace mhca::obs

@@ -1,0 +1,427 @@
+#include "obs/validate.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+namespace mhca::obs {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : fields)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string* error) {
+    skip_ws();
+    if (!parse_value(out)) {
+      if (error) *error = error_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing data after top-level value");
+      if (error) *error = error_;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool fail(const std::string& what) {
+    if (error_.empty())
+      error_ = what + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.kind = JsonValue::Kind::String;
+        return parse_string(out.str);
+      case 't':
+      case 'f': return parse_bool(out);
+      case 'n': return parse_null(out);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected object key string");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':')
+        return fail("expected ':' after object key");
+      ++pos_;
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.fields.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.items.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        const char e = text_[pos_];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return fail("bad hex digit in \\u escape");
+            }
+            pos_ += 4;
+            // UTF-8 encode (surrogate pairs not needed for our artifacts;
+            // lone surrogates pass through as replacement-free code units).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return fail("unknown escape character");
+        }
+        ++pos_;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      out.push_back(c);
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_bool(JsonValue& out) {
+    out.kind = JsonValue::Kind::Bool;
+    if (text_.substr(pos_, 4) == "true") {
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      out.boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_null(JsonValue& out) {
+    out.kind = JsonValue::Kind::Null;
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_number(JsonValue& out) {
+    out.kind = JsonValue::Kind::Number;
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return fail("expected a JSON value");
+    const std::string token(text_.substr(start, pos_ - start));
+    // strtod is laxer than JSON: reject the leading zeros ("01") and bare
+    // signs it would accept.
+    const std::size_t digits = token[0] == '-' ? 1 : 0;
+    if (token.size() == digits ||
+        (token[digits] == '0' && token.size() > digits + 1 &&
+         std::isdigit(static_cast<unsigned char>(token[digits + 1])))) {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    char* endp = nullptr;
+    out.number = std::strtod(token.c_str(), &endp);
+    if (endp == nullptr || *endp != '\0') {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+/// `domain.name` key discipline: lowercase/digit/underscore segments
+/// separated by dots, at least two segments.
+bool well_formed_key(const std::string& key) {
+  int segments = 0;
+  std::size_t seg_len = 0;
+  for (const char c : key) {
+    if (c == '.') {
+      if (seg_len == 0) return false;
+      ++segments;
+      seg_len = 0;
+      continue;
+    }
+    if (!(std::islower(static_cast<unsigned char>(c)) ||
+          std::isdigit(static_cast<unsigned char>(c)) || c == '_'))
+      return false;
+    ++seg_len;
+  }
+  if (seg_len == 0) return false;
+  return segments >= 1;
+}
+
+std::string domain_of(const std::string& key) {
+  const std::size_t dot = key.find('.');
+  return dot == std::string::npos ? key : key.substr(0, dot);
+}
+
+}  // namespace
+
+bool parse_json(std::string_view text, JsonValue& out, std::string* error) {
+  Parser p(text);
+  return p.parse(out, error);
+}
+
+std::vector<std::string> validate_chrome_trace(std::string_view text) {
+  std::vector<std::string> errors;
+  JsonValue root;
+  std::string perr;
+  if (!parse_json(text, root, &perr)) {
+    errors.push_back("trace does not parse as JSON: " + perr);
+    return errors;
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::Array) {
+    errors.push_back("trace has no \"traceEvents\" array");
+    return errors;
+  }
+  // Per-(pid, tid) track state: last timestamp and open-B depth.
+  std::map<std::pair<int, int>, std::pair<double, int>> tracks;
+  std::size_t idx = 0;
+  for (const JsonValue& e : events->items) {
+    const std::string where = "event #" + std::to_string(idx++);
+    if (e.kind != JsonValue::Kind::Object) {
+      errors.push_back(where + ": not an object");
+      continue;
+    }
+    const JsonValue* ph = e.find("ph");
+    const JsonValue* ts = e.find("ts");
+    const JsonValue* pid = e.find("pid");
+    const JsonValue* tid = e.find("tid");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::String ||
+        ph->str.size() != 1) {
+      errors.push_back(where + ": missing or malformed \"ph\"");
+      continue;
+    }
+    if (ts == nullptr || ts->kind != JsonValue::Kind::Number ||
+        pid == nullptr || pid->kind != JsonValue::Kind::Number ||
+        tid == nullptr || tid->kind != JsonValue::Kind::Number) {
+      errors.push_back(where + ": missing ts/pid/tid");
+      continue;
+    }
+    const char kind = ph->str[0];
+    if (kind != 'E' && e.find("name") == nullptr)
+      errors.push_back(where + ": missing \"name\"");
+    const auto track = std::make_pair(static_cast<int>(pid->number),
+                                      static_cast<int>(tid->number));
+    auto [it, inserted] =
+        tracks.try_emplace(track, std::make_pair(ts->number, 0));
+    if (!inserted) {
+      if (ts->number < it->second.first) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s: ts %.3f goes backwards (track pid=%d tid=%d was "
+                      "at %.3f)",
+                      where.c_str(), ts->number, track.first, track.second,
+                      it->second.first);
+        errors.push_back(buf);
+      }
+      it->second.first = std::max(it->second.first, ts->number);
+    }
+    if (kind == 'B') {
+      ++it->second.second;
+    } else if (kind == 'E') {
+      if (it->second.second == 0)
+        errors.push_back(where + ": \"E\" with no open \"B\" on its track");
+      else
+        --it->second.second;
+    }
+  }
+  for (const auto& [track, state] : tracks) {
+    if (state.second != 0) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "track pid=%d tid=%d ends with %d unclosed \"B\" events",
+                    track.first, track.second, state.second);
+      errors.push_back(buf);
+    }
+  }
+  return errors;
+}
+
+std::vector<std::string> validate_metrics_snapshot(std::string_view snapshot,
+                                                   std::string_view schema) {
+  std::vector<std::string> errors;
+  JsonValue snap, sch;
+  std::string perr;
+  if (!parse_json(snapshot, snap, &perr)) {
+    errors.push_back("snapshot does not parse as JSON: " + perr);
+    return errors;
+  }
+  if (!parse_json(schema, sch, &perr)) {
+    errors.push_back("schema does not parse as JSON: " + perr);
+    return errors;
+  }
+
+  std::set<std::string> seen_domains;
+  const auto check_section = [&](const char* section, bool numbers) {
+    const JsonValue* sec = snap.find(section);
+    if (sec == nullptr || sec->kind != JsonValue::Kind::Object) {
+      errors.push_back(std::string("snapshot missing \"") + section +
+                       "\" object");
+      return;
+    }
+    for (const auto& [key, v] : sec->fields) {
+      if (!well_formed_key(key))
+        errors.push_back(std::string(section) + " key \"" + key +
+                         "\" violates the domain.name scheme");
+      else
+        seen_domains.insert(domain_of(key));
+      if (numbers && v.kind != JsonValue::Kind::Number)
+        errors.push_back(std::string(section) + " key \"" + key +
+                         "\" is not a number");
+    }
+  };
+  check_section("counters", true);
+  check_section("gauges", true);
+  check_section("histograms", false);
+  if (!errors.empty() && snap.find("counters") == nullptr) return errors;
+
+  const auto require_keys = [&](const char* list_name, const char* section) {
+    const JsonValue* list = sch.find(list_name);
+    if (list == nullptr) return;
+    const JsonValue* sec = snap.find(section);
+    for (const JsonValue& k : list->items) {
+      if (k.kind != JsonValue::Kind::String) continue;
+      if (sec == nullptr || sec->find(k.str) == nullptr)
+        errors.push_back(std::string("required ") + section + " key \"" +
+                         k.str + "\" missing from snapshot");
+    }
+  };
+  require_keys("required_counters", "counters");
+  require_keys("required_gauges", "gauges");
+  require_keys("required_histograms", "histograms");
+
+  if (const JsonValue* domains = sch.find("required_domains")) {
+    for (const JsonValue& d : domains->items) {
+      if (d.kind != JsonValue::Kind::String) continue;
+      if (seen_domains.count(d.str) == 0)
+        errors.push_back("required domain \"" + d.str +
+                         "\" has no keys in the snapshot");
+    }
+  }
+  return errors;
+}
+
+}  // namespace mhca::obs

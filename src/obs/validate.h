@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Self-contained validators for the telemetry artifacts the spine emits:
+//   - Chrome trace-event JSON (obs/trace.h): parses, ts is monotonically
+//     non-decreasing within each (pid, tid) track, every "B" has an "E".
+//   - Metrics snapshots (MetricsRegistry::to_json) against a checked-in
+//     schema (tools/metrics_schema.json): required keys present, every key
+//     follows the `domain.name` scheme, required domains covered.
+//
+// Backed by a minimal recursive-descent JSON parser (no dependencies) that
+// the CI gate and tests/obs_test.cc both use via tools/mhca_obs_validate.
+
+namespace mhca::obs {
+
+/// Parsed JSON value. Objects preserve insertion order.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                           // Array
+  std::vector<std::pair<std::string, JsonValue>> fields;  // Object
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses strict JSON. On failure returns false and sets `error` (if
+/// non-null) to a message with a byte offset.
+bool parse_json(std::string_view text, JsonValue& out, std::string* error);
+
+/// Empty result = valid. Each string is one human-readable violation.
+std::vector<std::string> validate_chrome_trace(std::string_view text);
+
+/// Validates a MetricsRegistry::to_json snapshot against a schema document:
+/// {"required_domains": [...], "required_counters": [...],
+///  "required_gauges": [...]}. Empty result = valid.
+std::vector<std::string> validate_metrics_snapshot(std::string_view snapshot,
+                                                   std::string_view schema);
+
+}  // namespace mhca::obs

@@ -4,6 +4,8 @@
 
 #include "dynamics/dynamic_network.h"
 #include "dynamics/registries.h"
+#include "obs/metrics.h"
+#include "obs/publish.h"
 #include "scenario/registries.h"
 #include "util/assert.h"
 #include "util/hash.h"
@@ -237,10 +239,25 @@ NetRunSummary ScenarioRunner::run_net_impl(net::Transport* transport) const {
   const net::NetConfig net_cfg = to_net_config(s_, network_.num_nodes());
   const bool view_sync =
       net_cfg.membership == net::MembershipMode::kViewSync;
+  // The telemetry registry is the single source of truth for every numeric
+  // field of the summary: the run publishes into it, and the summary below
+  // is *derived* from registry lookups — no field-by-field mirror to drift.
+  // When no session registry is installed (obs::set_metrics), a local
+  // scratch registry plays the same role, so the data flow — and therefore
+  // every decision — is identical with observability on or off.
+  obs::MetricsRegistry local_registry;
+  obs::MetricsRegistry* const reg =
+      obs::metrics() != nullptr ? obs::metrics() : &local_registry;
   NetRunSummary out;
   out.decision_digest = 0xDEC15105;  // non-zero init: an empty run digests
   const auto drive = [&](net::DistributedRuntime& runtime,
                          dynamics::DynamicNetwork* dyn) {
+    obs::Counter& conflicts = reg->counter("decision.conflicts");
+    obs::Counter& tx_abstained = reg->counter("decision.tx_abstained");
+    obs::Histogram& round_observed = reg->histogram("decision.round_observed");
+    obs::Histogram& round_strategy_size =
+        reg->histogram("decision.round_strategy_size");
+    double total_observed = 0.0;
     for (std::int64_t round = 1; round <= s_.run.slots; ++round) {
       if (dyn != nullptr && round > 1) {
         const dynamics::SlotChange& ch = dyn->advance(round);
@@ -257,9 +274,11 @@ NetRunSummary ScenarioRunner::run_net_impl(net::Transport* transport) const {
         }
       }
       net::NetRoundResult res = runtime.step();
-      out.total_observed += res.observed_sum;
-      if (res.conflict) ++out.conflicts;
-      out.tx_abstained += res.tx_abstained;
+      total_observed += res.observed_sum;
+      round_observed.observe(res.observed_sum);
+      round_strategy_size.observe(static_cast<double>(res.strategy.size()));
+      if (res.conflict) conflicts.inc();
+      tx_abstained.add(res.tx_abstained);
       // Every round's winner set, in round order: the decisions themselves,
       // not just the wire traffic — shard runs must agree on this digest.
       out.decision_digest = hash_combine(
@@ -269,23 +288,40 @@ NetRunSummary ScenarioRunner::run_net_impl(net::Transport* transport) const {
             hash_combine(out.decision_digest, static_cast<std::uint64_t>(v));
       out.last_strategy = std::move(res.strategy);
     }
-    out.rounds = runtime.rounds_run();
-    out.max_table_size = runtime.max_table_size();
-    const net::RuntimeCounters rc = runtime.counters();
-    out.retries = rc.retries;
-    out.timeouts = rc.timeouts;
-    out.view_changes = rc.view_changes;
-    out.stale_decisions = rc.stale_decisions;
-    const net::ChannelStats& cs = runtime.channel_stats();
-    out.messages = cs.messages;
-    out.drops = cs.drops;
-    out.duplicates = cs.duplicates;
-    out.deferred = cs.deferred;
-    out.bytes_on_wire = cs.bytes_on_wire;
-    out.fragments = cs.fragments;
+    reg->counter("decision.rounds").add(runtime.rounds_run());
+    reg->gauge("decision.total_observed").set(total_observed);
+    reg->gauge("decision.strategy_size")
+        .set(static_cast<double>(out.last_strategy.size()));
+    reg->gauge("decision.max_table_size")
+        .set(static_cast<double>(runtime.max_table_size()));
+    obs::publish_membership_counters(*reg, runtime.counters());
+    obs::publish_channel_stats(*reg, runtime.channel_stats());
+    obs::publish_transport_stats(*reg, runtime.transport_stats());
+    // ---- The summary, read back out of the registry. The two 64-bit
+    // digests stay direct: they are identities, not measurements, and a
+    // registry of doubles cannot hold them exactly (> 2^53).
+    out.rounds = reg->counter_value("decision.rounds");
+    out.conflicts = static_cast<int>(reg->counter_value("decision.conflicts"));
+    out.tx_abstained = reg->counter_value("decision.tx_abstained");
+    out.total_observed = reg->gauge_value("decision.total_observed");
+    out.max_table_size = static_cast<std::size_t>(
+        reg->gauge_value("decision.max_table_size"));
+    out.retries = reg->counter_value("membership.retries");
+    out.timeouts = reg->counter_value("membership.timeouts");
+    out.view_changes = reg->counter_value("membership.view_changes");
+    out.stale_decisions = reg->counter_value("membership.stale_decisions");
+    out.messages = reg->counter_value("channel.messages");
+    out.drops = reg->counter_value("channel.drops");
+    out.duplicates = reg->counter_value("channel.duplicates");
+    out.deferred = reg->counter_value("channel.deferred");
+    out.bytes_on_wire = reg->counter_value("channel.bytes_on_wire");
+    out.fragments = reg->counter_value("channel.fragments");
     for (int t = 0; t < net::kNumMsgTypes; ++t) {
-      out.messages_by_type[t] = cs.messages_by_type[t];
-      out.bytes_by_type[t] = cs.bytes_by_type[t];
+      const char* label = obs::msg_type_label(t);
+      out.messages_by_type[t] =
+          reg->counter_value(std::string("channel.messages.") + label);
+      out.bytes_by_type[t] =
+          reg->counter_value(std::string("channel.bytes.") + label);
     }
     out.trace_hash = runtime.channel().trace_hash();
   };

@@ -65,8 +65,8 @@ static_assert(net::LivenessParams{}.hello_timeout_slots ==
 namespace {
 
 const std::vector<std::string> kSections{
-    "topology", "channel", "policy",      "dynamics", "solver",
-    "run",      "net",     "replication", "timing"};
+    "topology", "channel",     "policy", "dynamics", "solver",
+    "run",      "net",         "replication", "timing", "obs"};
 
 /// One fixed-schema field: the key plus its parse-and-assign action.
 /// Routing and the valid-keys error message both come from this table, so
@@ -229,6 +229,18 @@ const std::vector<FieldDef>& timing_fields() {
   return fields;
 }
 
+const std::vector<FieldDef>& obs_fields() {
+  static const std::vector<FieldDef> fields{
+      {"trace", [](Scenario& s, const std::string& v, const std::string&) {
+         s.obs.trace = v;
+       }},
+      {"metrics", [](Scenario& s, const std::string& v, const std::string&) {
+         s.obs.metrics = v;
+       }},
+  };
+  return fields;
+}
+
 /// nullptr for the component sections (topology/channel/policy), which mix
 /// reserved keys with free-form factory params and are routed by hand.
 const std::vector<FieldDef>* fixed_section(const std::string& section) {
@@ -237,6 +249,7 @@ const std::vector<FieldDef>* fixed_section(const std::string& section) {
   if (section == "net") return &net_fields();
   if (section == "replication") return &replication_fields();
   if (section == "timing") return &timing_fields();
+  if (section == "obs") return &obs_fields();
   return nullptr;
 }
 
@@ -439,6 +452,10 @@ std::string serialize_scenario(const Scenario& s) {
      << "tb_ms = " << format_double(s.timing.tb_ms) << "\n"
      << "tl_ms = " << format_double(s.timing.tl_ms) << "\n"
      << "decision_mini_rounds = " << s.timing.decision_mini_rounds << "\n";
+  // Empty paths round-trip: `trace = ` parses back to "" (off).
+  os << "\n[obs]\n"
+     << "trace = " << s.obs.trace << "\n"
+     << "metrics = " << s.obs.metrics << "\n";
   return os.str();
 }
 

@@ -128,6 +128,18 @@ struct NetSpec {
   bool operator==(const NetSpec&) const = default;
 };
 
+/// Observability ([obs] section; src/obs/README.md): where to write the
+/// Chrome trace-event timeline and the metrics snapshot. Empty paths (the
+/// default) leave observability off — the compiled-in-but-disabled fast
+/// path whose overhead bench_decision_path gates. `mhca_sim run
+/// --trace=PATH --metrics=PATH` is sugar for overriding these.
+struct ObsSpec {
+  std::string trace;    ///< Trace-event JSON output path ("" = off).
+  std::string metrics;  ///< Metrics snapshot path; .csv = CSV, else JSON.
+
+  bool operator==(const ObsSpec&) const = default;
+};
+
 /// Multi-seed replication. replications = 0 means a plain single run.
 struct ReplicationSpec {
   int replications = 0;
@@ -150,6 +162,7 @@ struct Scenario {
   RunSpec run;
   ReplicationSpec replication;
   RoundTiming timing;
+  ObsSpec obs;
 
   bool operator==(const Scenario&) const = default;
 };

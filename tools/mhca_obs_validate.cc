@@ -1,0 +1,78 @@
+// Standalone validator for the telemetry artifacts mhca_sim emits:
+//
+//   mhca_obs_validate trace TRACE.json
+//       well-formed Chrome trace-event JSON: parses, ts monotonically
+//       non-decreasing within each (pid, tid) track, every "B" closed by
+//       an "E".
+//
+//   mhca_obs_validate metrics SNAPSHOT.json SCHEMA.json
+//       MetricsRegistry snapshot against a checked-in schema
+//       (tools/metrics_schema.json): required keys/domains present, every
+//       key `domain.name`-shaped, all values numeric.
+//
+// Exit 0 when valid; exit 1 with one violation per line otherwise. CI runs
+// both against a traced scenario on every push (.github/workflows/ci.yml).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/validate.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mhca_obs_validate trace TRACE.json\n"
+               "       mhca_obs_validate metrics SNAPSHOT.json SCHEMA.json\n");
+  return 2;
+}
+
+int report(const char* what, const std::string& path,
+           const std::vector<std::string>& errors) {
+  if (errors.empty()) {
+    std::printf("%s OK: %s\n", what, path.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "%s INVALID: %s\n", what, path.c_str());
+  for (const std::string& e : errors)
+    std::fprintf(stderr, "  - %s\n", e.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string mode = argv[1];
+  std::string text;
+  if (!read_file(argv[2], text)) {
+    std::fprintf(stderr, "cannot read %s\n", argv[2]);
+    return 1;
+  }
+  if (mode == "trace") {
+    return report("trace", argv[2], mhca::obs::validate_chrome_trace(text));
+  }
+  if (mode == "metrics") {
+    if (argc < 4) return usage();
+    std::string schema;
+    if (!read_file(argv[3], schema)) {
+      std::fprintf(stderr, "cannot read %s\n", argv[3]);
+      return 1;
+    }
+    return report("metrics", argv[2],
+                  mhca::obs::validate_metrics_snapshot(text, schema));
+  }
+  return usage();
+}
