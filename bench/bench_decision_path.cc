@@ -32,6 +32,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -41,6 +42,7 @@
 
 #include "graph/extended_graph.h"
 #include "graph/generators.h"
+#include "graph/neighborhood_cache.h"
 #include "mwis/distributed_ptas.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -83,18 +85,50 @@ struct Cell {
   double obs_off_ms = 0.0;
   double obs_on_ms = 0.0;
   bool obs_overhead_ok = true;  ///< Disabled path within 2% of the headline.
+  // Memory accounting for the cached path's NeighborhoodCache: the bytes it
+  // actually keeps resident, what the same contents would cost in the
+  // all-explicit (pre-tiered) layout, and the resulting reduction ratio.
+  const char* eball_tier = "explicit";
+  long long cache_resident_bytes = 0;
+  long long cache_explicit_bytes = 0;
+  double cache_bytes_ratio = 1.0;
+  bool cache_bytes_ok = true;  ///< Implicit-tier cells must shrink >= 4x.
+  int cache_build_workers = 1;  ///< Effective worker count of the build.
+  double peak_rss_mb = 0.0;     ///< Process VmHWM after this cell (monotonic).
 };
 
-/// Byte-identical cache contents: same per-vertex r-/election-ball spans
-/// (span equality over the whole CSR implies identical offsets and data).
+/// Peak resident set size of this process so far, in MB (Linux VmHWM;
+/// 0 where /proc is unavailable). Monotonic over the run, so per-cell
+/// values record the high-water mark as the grid walks up in size — the
+/// 1M-vertex cell's figure is the number that matters.
+double read_peak_rss_mb() {
+  std::ifstream st("/proc/self/status");
+  std::string line;
+  while (std::getline(st, line))
+    if (line.rfind("VmHWM:", 0) == 0)
+      return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
+  return 0.0;
+}
+
+/// Byte-identical cache contents: same per-vertex r-ball spans (span
+/// equality over the whole CSR implies identical offsets and data) and the
+/// same e-ball side for the tier both caches landed on — explicit spans
+/// when stored, the per-vertex size array when the tier keeps only sizes.
 bool caches_identical(const NeighborhoodCache& a, const NeighborhoodCache& b) {
-  if (a.size() != b.size() || a.r() != b.r()) return false;
+  if (a.size() != b.size() || a.r() != b.r() ||
+      a.eball_tier() != b.eball_tier())
+    return false;
+  const bool expl = a.eball_tier() == NeighborhoodCache::EballTier::kExplicit;
   for (int v = 0; v < a.size(); ++v) {
     const auto ra = a.r_ball(v), rb = b.r_ball(v);
-    const auto ea = a.election_ball(v), eb = b.election_ball(v);
-    if (!std::equal(ra.begin(), ra.end(), rb.begin(), rb.end()) ||
-        !std::equal(ea.begin(), ea.end(), eb.begin(), eb.end()))
+    if (!std::equal(ra.begin(), ra.end(), rb.begin(), rb.end())) return false;
+    if (expl) {
+      const auto ea = a.election_ball(v), eb = b.election_ball(v);
+      if (!std::equal(ea.begin(), ea.end(), eb.begin(), eb.end()))
+        return false;
+    } else if (a.election_ball_size(v) != b.election_ball_size(v)) {
       return false;
+    }
   }
   return true;
 }
@@ -181,6 +215,26 @@ Cell run_cell(int users, int r, int channels, int decisions) {
   cell.cache_build_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - tc0).count();
 
+  // Memory accounting: what the cache keeps resident at the tier the
+  // per-graph selection rule picked, vs the all-explicit layout cost of the
+  // same contents. Implicit-tier cells gate the reduction at >= 4x (the
+  // explicit tier makes no footprint claim — it IS the explicit layout).
+  {
+    const NeighborhoodCache& cache = cached_engine.neighborhood_cache();
+    const bool implicit =
+        cache.eball_tier() == NeighborhoodCache::EballTier::kImplicit;
+    cell.eball_tier = implicit ? "implicit" : "explicit";
+    cell.cache_resident_bytes = cache.resident_bytes();
+    cell.cache_explicit_bytes = cache.explicit_layout_bytes();
+    cell.cache_bytes_ratio =
+        cell.cache_resident_bytes > 0
+            ? static_cast<double>(cell.cache_explicit_bytes) /
+                  static_cast<double>(cell.cache_resident_bytes)
+            : 1.0;
+    cell.cache_bytes_ok = !implicit || cell.cache_bytes_ratio >= 4.0;
+    cell.cache_build_workers = NeighborhoodCache::build_workers(0, h.size());
+  }
+
   // Correctness first: identical winners and weight on every decision, and
   // solver-effort accounting (nodes are identical across paths — same
   // search — so one side's count is the cell's count).
@@ -196,11 +250,15 @@ Cell run_cell(int users, int r, int channels, int decisions) {
   cell.nodes_per_decision =
       static_cast<double>(nodes) / static_cast<double>(decisions);
 
-  // Warmed-up best-of-3 timing over the same weight sequence.
+  // Warmed-up best-of-3 timing over the same weight sequence. The huge
+  // cells (250k / 1M vertices) run a single rep — at tens of seconds per
+  // seed decision, best-of-N buys noise reduction nobody needs and the
+  // headline there is the memory column, not microsecond stability.
+  const bool huge = users >= 62500;
   const auto [seed_ms, cached_ms] = time_paths_ms(
       [&](int d) { seed_engine.run(weights[static_cast<std::size_t>(d)]); },
       [&](int d) { cached_engine.run(weights[static_cast<std::size_t>(d)]); },
-      decisions, /*reps=*/3);
+      decisions, /*reps=*/huge ? 1 : 3);
   cell.seed_ms = seed_ms;
   cell.cached_ms = cached_ms;
   cell.speedup = cell.cached_ms > 0.0 ? cell.seed_ms / cell.cached_ms : 0.0;
@@ -225,7 +283,7 @@ Cell run_cell(int users, int r, int channels, int decisions) {
   // timing loops above — interleaving the engines per decision would let
   // the seed path's full-graph sweeps evict the cached path's ball arrays
   // between decisions and charge the misses to the wrong stage.
-  const int stage_reps = users <= 800 ? 7 : 3;
+  const int stage_reps = huge ? 1 : (users <= 800 ? 7 : 3);
   // Coverage pairs each rep's Σ buckets with an external wall clock around
   // that same rep's decision streak: the question "did run() spend time no
   // bucket saw?" only makes sense within one pass. Comparing against the
@@ -334,7 +392,7 @@ Cell run_cell(int users, int r, int channels, int decisions) {
   // worker counts must produce byte-identical balls (the count-then-fill
   // layout's determinism contract); the timings show how the one-time
   // build scales with cores (on a single-core CI box they simply tie).
-  if (users >= 3200) {
+  if (users >= 3200 && !huge) {
     cell.build_swept = true;
     const int counts[] = {1, 2, 4};
     double* build_ms[] = {&cell.build_ms_w1, &cell.build_ms_w2,
@@ -350,6 +408,7 @@ Cell run_cell(int users, int r, int channels, int decisions) {
       prev = std::move(cur);
     }
   }
+  cell.peak_rss_mb = read_peak_rss_mb();
   return cell;
 }
 
@@ -394,6 +453,16 @@ std::string json_of(const std::vector<Cell>& cells, int channels) {
         c.cached_ms, c.speedup, c.identical ? "true" : "false",
         c.nodes_per_decision, c.all_solves_exact ? "true" : "false",
         c.seed_coverage, c.cached_coverage, c.coverage_ok ? "true" : "false");
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "     \"eball_tier\": \"%s\", \"cache_resident_bytes\": %lld, "
+        "\"cache_explicit_bytes\": %lld, \"cache_bytes_ratio\": %.2f, "
+        "\"cache_bytes_ok\": %s, \"cache_build_workers\": %d, "
+        "\"peak_rss_mb\": %.1f,\n",
+        c.eball_tier, c.cache_resident_bytes, c.cache_explicit_bytes,
+        c.cache_bytes_ratio, c.cache_bytes_ok ? "true" : "false",
+        c.cache_build_workers, c.peak_rss_mb);
     out += buf;
     if (c.build_swept) {
       std::snprintf(buf, sizeof(buf),
@@ -463,6 +532,12 @@ int main(int argc, char** argv) {
     grid.push_back({3200, 3, 4});
     grid.push_back({12500, 2, 3});
     grid.push_back({25000, 2, 2});
+    // The road to 1M: 250k- and 1M-vertex cells exist because the implicit
+    // e-ball tier made their caches affordable (sizes only, 4 B/vertex,
+    // membership re-enumerated by the election's early-exit BFS). One
+    // decision each — the point is footprint and feasibility, not variance.
+    grid.push_back({62500, 2, 1});
+    grid.push_back({250000, 2, 1});
   }
 
   std::vector<Cell> cells;
@@ -483,6 +558,22 @@ int main(int argc, char** argv) {
               c.all_solves_exact ? "yes" : "capped");
   }
   table.print(std::cout);
+
+  std::cout << "\n--- cache memory (resident vs all-explicit layout; "
+               "implicit-tier cells gate the reduction at >= 4x) ---\n";
+  TablePrinter mem({"users", "r", "|H|", "tier", "resident MB",
+                    "explicit MB", "ratio", "workers", "peak RSS MB"});
+  const auto mb = [](long long bytes) {
+    return fixed(static_cast<double>(bytes) / (1024.0 * 1024.0), 2);
+  };
+  for (const Cell& c : cells)
+    mem.row(std::to_string(c.users), std::to_string(c.r),
+            std::to_string(c.vertices), c.eball_tier,
+            mb(c.cache_resident_bytes), mb(c.cache_explicit_bytes),
+            fixed(c.cache_bytes_ratio, 2) + "x" +
+                (c.cache_bytes_ok ? "" : " LOW"),
+            std::to_string(c.cache_build_workers), fixed(c.peak_rss_mb, 1));
+  mem.print(std::cout);
 
   std::cout << "\n--- per-stage breakdown, ms/decision (setup / election / "
                "gather / solve / apply / validate / other) ---\n";
@@ -536,17 +627,20 @@ int main(int argc, char** argv) {
   }
 
   bool all_identical = true, all_covered = true, builds_identical = true,
-       obs_ok = true;
+       obs_ok = true, bytes_ok = true;
   for (const Cell& c : cells) {
     all_identical = all_identical && c.identical;
     all_covered = all_covered && c.coverage_ok;
     builds_identical = builds_identical && c.build_identical;
     obs_ok = obs_ok && c.obs_overhead_ok;
+    bytes_ok = bytes_ok && c.cache_bytes_ok;
   }
   std::cout << "\nresults identical across paths: "
             << (all_identical ? "yes" : "NO — BUG") << "\n"
             << "stage coverage >= 95% in every cell: "
-            << (all_covered ? "yes" : "NO — untimed decision cost") << "\n";
+            << (all_covered ? "yes" : "NO — untimed decision cost") << "\n"
+            << "implicit-tier cache footprint >= 4x below explicit: "
+            << (bytes_ok ? "yes" : "NO — layout regression") << "\n";
   if (any_swept)
     std::cout << "cache builds byte-identical at all worker counts: "
               << (builds_identical ? "yes" : "NO — BUG") << "\n";
@@ -563,5 +657,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "wrote " << json_path << "\n";
-  return all_identical && all_covered && builds_identical && obs_ok ? 0 : 1;
+  return all_identical && all_covered && builds_identical && obs_ok &&
+                 bytes_ok
+             ? 0
+             : 1;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/assert.h"
 
 namespace mhca {
 
@@ -47,6 +48,43 @@ class BfsScratch {
   /// can differ (see NeighborhoodCache::apply_delta).
   void multi_source_k_hop(const Graph& g, std::span<const int> sources, int k,
                           std::vector<int>& out);
+
+  /// Early-exit bounded BFS: visit the vertices of J_k(v) (v included) in
+  /// BFS order and return the first one satisfying `pred`, or -1 when none
+  /// does. Nothing is materialized or sorted — this is the enumeration
+  /// primitive of the NeighborhoodCache's *implicit* election-ball tier,
+  /// where the (2r+1)-ball is walked on demand instead of stored (see
+  /// src/graph/README.md). The visited set is exactly the stored ball, so
+  /// any existence test over it (e.g. the election blocker predicate, whose
+  /// verdict is scan-order independent) answers identically to a scan of
+  /// the explicit span.
+  template <class Pred>
+  int k_hop_find(const Graph& g, int v, int k, Pred&& pred) {
+    MHCA_ASSERT(v >= 0 && v < g.size(), "vertex out of range");
+    MHCA_ASSERT(k >= 0, "hop count must be non-negative");
+    if (static_cast<int>(stamp_.size()) != g.size()) resize(g.size());
+    ++epoch_;
+    queue_.clear();
+    queue_.push_back(v);
+    stamp_[static_cast<std::size_t>(v)] = epoch_;
+    dist_[static_cast<std::size_t>(v)] = 0;
+    std::size_t head = 0;
+    while (head < queue_.size()) {
+      const int x = queue_[head++];
+      if (pred(x)) return x;
+      const int dx = dist_[static_cast<std::size_t>(x)];
+      if (dx == k) continue;
+      for (int u : g.neighbors(x)) {
+        const auto ui = static_cast<std::size_t>(u);
+        if (stamp_[ui] != epoch_) {
+          stamp_[ui] = epoch_;
+          dist_[ui] = dx + 1;
+          queue_.push_back(u);
+        }
+      }
+    }
+    return -1;
+  }
 
   /// Hop distance between u and v, or `unreachable()` if no path within
   /// `cap` hops exists.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "graph/hop.h"
@@ -9,9 +10,8 @@
 #include "util/parallel.h"
 
 namespace mhca {
-namespace {
 
-int resolve_build_workers(int parallelism, int n) {
+int NeighborhoodCache::build_workers(int parallelism, int n) {
   if (parallelism == 0) {
     if (const char* env = std::getenv("MHCA_CACHE_BUILD_WORKERS"))
       parallelism = std::atoi(env);
@@ -23,32 +23,49 @@ int resolve_build_workers(int parallelism, int n) {
   return std::min(parallelism, std::max(n, 1));
 }
 
-}  // namespace
+NeighborhoodCache::EballTier NeighborhoodCache::select_eball_tier(int n) {
+  if (const char* env = std::getenv("MHCA_EBALL_TIER")) {
+    if (std::strcmp(env, "explicit") == 0) return EballTier::kExplicit;
+    if (std::strcmp(env, "implicit") == 0) return EballTier::kImplicit;
+  }
+  return n <= Graph::kAdjacencyMatrixLimit ? EballTier::kExplicit
+                                           : EballTier::kImplicit;
+}
 
 NeighborhoodCache::NeighborhoodCache(const Graph& g, int r, bool build_covers,
                                      int parallelism)
-    : r_(r), size_(g.size()) {
+    : r_(r), size_(g.size()), tier_(select_eball_tier(g.size())) {
   MHCA_ASSERT(r >= 1, "r must be at least 1");
   const auto n = static_cast<std::size_t>(size_);
+  const bool implicit = tier_ == EballTier::kImplicit;
   r_offsets_.assign(n + 1, 0);
-  e_offsets_.assign(n + 1, 0);
+  if (implicit)
+    e_sizes_.assign(n, 0);
+  else
+    e_offsets_.assign(n + 1, 0);
   if (build_covers) cover_counts_.assign(n, 0);
 
-  const int workers = resolve_build_workers(parallelism, size_);
+  const int workers = build_workers(parallelism, size_);
   if (workers <= 1) {
     // Serial single-pass build: one BFS to 2r+1 hops per vertex yields both
     // balls (the r-ball is the distance-<= r subset of the election ball),
-    // appended as they are produced.
+    // appended as they are produced. The implicit tier keeps only the
+    // election ball's size.
     BfsScratch scratch(size_);
     std::vector<int> r_ball;
     std::vector<int> e_ball;
     std::vector<int> clique_of;
     for (int v = 0; v < size_; ++v) {
       scratch.two_radius_neighborhood(g, v, r_, 2 * r_ + 1, r_ball, e_ball);
-      e_offsets_[static_cast<std::size_t>(v) + 1] =
-          e_offsets_[static_cast<std::size_t>(v)] +
-          static_cast<std::int64_t>(e_ball.size());
-      e_data_.insert(e_data_.end(), e_ball.begin(), e_ball.end());
+      if (implicit) {
+        e_sizes_[static_cast<std::size_t>(v)] =
+            static_cast<int>(e_ball.size());
+      } else {
+        e_offsets_[static_cast<std::size_t>(v) + 1] =
+            e_offsets_[static_cast<std::size_t>(v)] +
+            static_cast<std::int64_t>(e_ball.size());
+        e_data_.insert(e_data_.end(), e_ball.begin(), e_ball.end());
+      }
       r_offsets_[static_cast<std::size_t>(v) + 1] =
           r_offsets_[static_cast<std::size_t>(v)] +
           static_cast<std::int64_t>(r_ball.size());
@@ -70,7 +87,9 @@ NeighborhoodCache::NeighborhoodCache(const Graph& g, int r, bool build_covers,
   // vertex (no sort, no materialization) into the disjoint offset slots;
   // pass 2, after a serial prefix sum, re-runs the BFS and writes each ball
   // into its final CSR span — two BFS sweeps, but no transient second copy
-  // of the multi-hundred-MB ball arrays.
+  // of the multi-hundred-MB ball arrays. On the implicit tier the e-ball
+  // count lands directly in e_sizes_ and the fill pass only cross-checks
+  // it against the re-enumerated ball.
   std::vector<BfsScratch> scratches(static_cast<std::size_t>(workers));
   const auto slice = [&](int j) {
     const std::int64_t lo = static_cast<std::int64_t>(j) * size_ / workers;
@@ -84,19 +103,24 @@ NeighborhoodCache::NeighborhoodCache(const Graph& g, int r, bool build_covers,
         auto& scratch = scratches[static_cast<std::size_t>(j)];
         scratch.resize(size_);
         const auto [lo, hi] = slice(j);
-        for (int v = lo; v < hi; ++v)
-          scratch.two_radius_sizes(
-              g, v, r_, 2 * r_ + 1,
-              r_offsets_[static_cast<std::size_t>(v) + 1],
-              e_offsets_[static_cast<std::size_t>(v) + 1]);
+        for (int v = lo; v < hi; ++v) {
+          std::int64_t e_size = 0;
+          scratch.two_radius_sizes(g, v, r_, 2 * r_ + 1,
+                                   r_offsets_[static_cast<std::size_t>(v) + 1],
+                                   e_size);
+          if (implicit)
+            e_sizes_[static_cast<std::size_t>(v)] = static_cast<int>(e_size);
+          else
+            e_offsets_[static_cast<std::size_t>(v) + 1] = e_size;
+        }
       },
       workers);
   for (std::size_t v = 0; v < n; ++v) {
     r_offsets_[v + 1] += r_offsets_[v];
-    e_offsets_[v + 1] += e_offsets_[v];
+    if (!implicit) e_offsets_[v + 1] += e_offsets_[v];
   }
   r_data_.resize(static_cast<std::size_t>(r_offsets_[n]));
-  e_data_.resize(static_cast<std::size_t>(e_offsets_[n]));
+  if (!implicit) e_data_.resize(static_cast<std::size_t>(e_offsets_[n]));
   if (build_covers) cover_data_.resize(r_data_.size());
   parallel_run(
       workers,
@@ -110,17 +134,20 @@ NeighborhoodCache::NeighborhoodCache(const Graph& g, int r, bool build_covers,
           const auto vi = static_cast<std::size_t>(v);
           scratch.two_radius_neighborhood(g, v, r_, 2 * r_ + 1, r_ball,
                                           e_ball);
+          const std::int64_t e_counted =
+              implicit ? e_sizes_[vi] : e_offsets_[vi + 1] - e_offsets_[vi];
           MHCA_ASSERT(static_cast<std::int64_t>(r_ball.size()) ==
                               r_offsets_[vi + 1] - r_offsets_[vi] &&
                           static_cast<std::int64_t>(e_ball.size()) ==
-                              e_offsets_[vi + 1] - e_offsets_[vi],
+                              e_counted,
                       "count pass disagrees with fill pass");
           std::copy(r_ball.begin(), r_ball.end(),
                     r_data_.begin() +
                         static_cast<std::ptrdiff_t>(r_offsets_[vi]));
-          std::copy(e_ball.begin(), e_ball.end(),
-                    e_data_.begin() +
-                        static_cast<std::ptrdiff_t>(e_offsets_[vi]));
+          if (!implicit)
+            std::copy(e_ball.begin(), e_ball.end(),
+                      e_data_.begin() +
+                          static_cast<std::ptrdiff_t>(e_offsets_[vi]));
           if (build_covers) {
             cover_counts_[vi] = build_ball_cover(g, r_ball, clique_of);
             std::copy(clique_of.begin(), clique_of.end(),
@@ -132,6 +159,28 @@ NeighborhoodCache::NeighborhoodCache(const Graph& g, int r, bool build_covers,
       workers);
 }
 
+std::int64_t NeighborhoodCache::resident_bytes() const {
+  const auto bytes = [](const auto& vec) {
+    return static_cast<std::int64_t>(vec.size() * sizeof(vec[0]));
+  };
+  return bytes(r_offsets_) + bytes(r_data_) + bytes(e_offsets_) +
+         bytes(e_data_) + bytes(e_sizes_) + bytes(cover_data_) +
+         bytes(cover_counts_);
+}
+
+std::int64_t NeighborhoodCache::explicit_layout_bytes() const {
+  if (tier_ == EballTier::kExplicit) return resident_bytes();
+  std::int64_t e_entries = 0;
+  for (const int s : e_sizes_) e_entries += s;
+  const auto bytes = [](const auto& vec) {
+    return static_cast<std::int64_t>(vec.size() * sizeof(vec[0]));
+  };
+  return resident_bytes() - bytes(e_sizes_) +
+         static_cast<std::int64_t>(size_ + 1) *
+             static_cast<std::int64_t>(sizeof(std::int64_t)) +
+         e_entries * static_cast<std::int64_t>(sizeof(int));
+}
+
 void NeighborhoodCache::apply_delta(const Graph& g,
                                     std::span<const int> touched) {
   MHCA_ASSERT(built(), "apply_delta on an unbuilt cache");
@@ -141,15 +190,15 @@ void NeighborhoodCache::apply_delta(const Graph& g,
     return;
   }
 
-  // Affected = within 2r+1 hops of a touched vertex, before OR after the
-  // change. "Before" reads the stored election balls of the touched
-  // vertices (d(u,v) = d(v,u), so v ∈ old-ball(t) ⟺ t ∈ old-ball(v));
-  // "after" is one multi-source BFS on the already-patched graph.
+  // Affected = within 2r+1 hops of a touched vertex on the already-patched
+  // graph — one multi-source BFS. Complete per the argument in the header:
+  // a ball gained a member only through an added (touched-endpoint) edge,
+  // and lost one only through a removed edge whose surviving old-path
+  // prefix ends at a touched vertex; either way the owner is within 2r+1
+  // *new-graph* hops of `touched`.
   std::vector<char> affected(static_cast<std::size_t>(size_), 0);
-  for (int t : touched) {
+  for (int t : touched)
     MHCA_ASSERT(t >= 0 && t < size_, "touched vertex out of range");
-    for (int v : election_ball(t)) affected[static_cast<std::size_t>(v)] = 1;
-  }
   BfsScratch scratch(size_);
   std::vector<int> reach;
   scratch.multi_source_k_hop(g, touched, 2 * r_ + 1, reach);
@@ -163,9 +212,11 @@ void NeighborhoodCache::apply_delta(const Graph& g,
   // only the suffix from the first size-changing vertex on shifts and gets
   // rewritten. A single touched vertex used to cost a full ~O(total
   // entries) copy (~120 MB at 50k vertices, r=2); now it costs the
-  // recomputed balls plus whatever suffix actually moved.
+  // recomputed balls plus whatever suffix actually moved. On the implicit
+  // tier the e-ball side degenerates to overwriting the affected sizes.
   const auto n = static_cast<std::size_t>(size_);
   const bool covers = has_covers();
+  const bool implicit = tier_ == EballTier::kImplicit;
   std::vector<int> aff;                      // affected ids, ascending
   std::vector<std::int64_t> ar_off{0}, ae_off{0};  // per-affected offsets
   std::vector<int> ar_data, ae_data, acov_data;
@@ -176,9 +227,14 @@ void NeighborhoodCache::apply_delta(const Graph& g,
     scratch.two_radius_neighborhood(g, v, r_, 2 * r_ + 1, r_ball_buf,
                                     e_ball_buf);
     ar_data.insert(ar_data.end(), r_ball_buf.begin(), r_ball_buf.end());
-    ae_data.insert(ae_data.end(), e_ball_buf.begin(), e_ball_buf.end());
     ar_off.push_back(static_cast<std::int64_t>(ar_data.size()));
-    ae_off.push_back(static_cast<std::int64_t>(ae_data.size()));
+    if (implicit) {
+      e_sizes_[static_cast<std::size_t>(v)] =
+          static_cast<int>(e_ball_buf.size());
+    } else {
+      ae_data.insert(ae_data.end(), e_ball_buf.begin(), e_ball_buf.end());
+      ae_off.push_back(static_cast<std::int64_t>(ae_data.size()));
+    }
     if (covers) {
       cover_counts_[static_cast<std::size_t>(v)] =
           build_ball_cover(g, r_ball_buf, clique_of);
@@ -264,7 +320,7 @@ void NeighborhoodCache::apply_delta(const Graph& g,
           sizes[static_cast<std::size_t>(v - first_shift)];
   };
   patch(r_offsets_, r_data_, ar_off, ar_data, covers ? &cover_data_ : nullptr);
-  patch(e_offsets_, e_data_, ae_off, ae_data, nullptr);
+  if (!implicit) patch(e_offsets_, e_data_, ae_off, ae_data, nullptr);
   last_invalidated_ = static_cast<int>(aff.size());
 }
 

@@ -8,6 +8,25 @@
 // instead of re-flooding max-relaxation rounds and re-running BFS per
 // leader.
 //
+// The election-ball layer is *tiered*, selected per graph the same way
+// `Graph::finalize()` selects dense-vs-sparse adjacency:
+//
+//   - kExplicit (n <= Graph::kAdjacencyMatrixLimit): every (2r+1)-ball is a
+//     stored int32 CSR span, as the r-balls always are. Fast to scan, and
+//     cheap at small n.
+//   - kImplicit (larger graphs): only the per-vertex ball *size* is stored
+//     (4 bytes/vertex); membership is re-enumerated on demand by bounded
+//     BFS (`BfsScratch::k_hop_find`). At 50k vertices / r = 2 the explicit
+//     e-ball spans are ~100 MB and dwarf everything else in the cache;
+//     dropping them is what lets the cached decision path reach 10^6
+//     vertices on a normal dev box. The election only ever runs an
+//     existence scan (first blocker) over the ball, and its verdict is
+//     scan-order independent, so decisions are byte-identical across tiers
+//     (fuzzed by tests/tiered_simd_differential_test.cc).
+//
+// `MHCA_EBALL_TIER=explicit|implicit` overrides the size rule (read per
+// construction — tests force both tiers on the same graph).
+//
 // Optionally (`build_covers`) the cache also memoizes, per vertex, a greedy
 // clique cover of its r-ball computed in the weight-free id-ascending order
 // (`build_ball_cover`): the ball's clique *structure* never changes between
@@ -21,8 +40,8 @@
 // Reuse contract: the cache borrows the graph; the graph must be finalized
 // first. When the graph *does* change (dynamics, src/dynamics/README.md),
 // `apply_delta` re-synchronizes the cache by recomputing only the balls
-// that can have moved — vertices within 2r+1 hops of a touched vertex in
-// the old or new graph — instead of re-running one BFS per vertex.
+// that can have moved — vertices within 2r+1 hops of a touched vertex —
+// instead of re-running one BFS per vertex.
 #pragma once
 
 #include <cstdint>
@@ -30,25 +49,32 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/assert.h"
 
 namespace mhca {
 
 class NeighborhoodCache {
  public:
+  enum class EballTier { kExplicit, kImplicit };
+
   NeighborhoodCache() = default;
 
-  /// Precompute, for every vertex v of g, the sorted r-hop ball J_r(v) and
-  /// the sorted (2r+1)-hop election ball J_{2r+1}(v) (both include v).
-  /// With `build_covers`, also memoize each r-ball's clique cover.
+  /// Precompute, for every vertex v of g, the sorted r-hop ball J_r(v)
+  /// (always an explicit CSR span) and the (2r+1)-hop election ball
+  /// J_{2r+1}(v) — stored per the selected tier (see file comment). Both
+  /// include v. With `build_covers`, also memoize each r-ball's clique
+  /// cover.
   ///
   /// `parallelism` fans the per-vertex BFS across worker threads with a
   /// two-pass count-then-fill layout into the CSR arrays (pass 1 sizes
   /// every ball, a prefix sum fixes each vertex's span, pass 2 re-runs the
   /// BFS writing into its disjoint slice), so the built cache is
-  /// byte-identical at any worker count. 1 = the serial single-pass build;
-  /// 0 = the MHCA_CACHE_BUILD_WORKERS environment variable if set (CI uses
-  /// it to pin determinism across worker counts), else one worker per
-  /// hardware thread.
+  /// byte-identical at any worker count *and* at either tier (the implicit
+  /// tier keeps both passes; its fill pass checks the re-enumerated e-ball
+  /// size against the count pass and simply doesn't store the members).
+  /// 1 = the serial single-pass build; 0 = the MHCA_CACHE_BUILD_WORKERS
+  /// environment variable if set (CI uses it to pin determinism across
+  /// worker counts), else one worker per hardware thread.
   NeighborhoodCache(const Graph& g, int r, bool build_covers = false,
                     int parallelism = 0);
 
@@ -56,14 +82,31 @@ class NeighborhoodCache {
   bool has_covers() const { return !cover_counts_.empty(); }
   int r() const { return r_; }
   int size() const { return size_; }
+  EballTier eball_tier() const { return tier_; }
+
+  /// Tier the constructor will pick for an n-vertex graph: the
+  /// MHCA_EBALL_TIER override if set, else explicit iff
+  /// n <= Graph::kAdjacencyMatrixLimit (the same threshold that selects the
+  /// dense adjacency representation).
+  static EballTier select_eball_tier(int n);
+
+  /// Effective worker count the build will use for `parallelism` on an
+  /// n-vertex graph (resolves 0 via MHCA_CACHE_BUILD_WORKERS, then
+  /// hardware_concurrency, clamped to n). Exposed so benches can report
+  /// the value actually used.
+  static int build_workers(int parallelism, int n);
 
   /// Sorted vertices within r hops of v, including v.
   std::span<const int> r_ball(int v) const {
     return span_of(r_offsets_, r_data_, v);
   }
 
-  /// Sorted vertices within 2r+1 hops of v, including v.
+  /// Sorted vertices within 2r+1 hops of v, including v. Explicit tier
+  /// only — the implicit tier stores no membership; enumerate with
+  /// `BfsScratch::k_hop_find` / `k_hop_neighborhood` instead.
   std::span<const int> election_ball(int v) const {
+    MHCA_ASSERT(tier_ == EballTier::kExplicit,
+                "election_ball spans exist only on the explicit tier");
     return span_of(e_offsets_, e_data_, v);
   }
 
@@ -80,30 +123,53 @@ class NeighborhoodCache {
   int r_ball_size(int v) const {
     return static_cast<int>(r_ball(v).size());
   }
+
+  /// |J_{2r+1}(v)| — stored on both tiers (the protocol's message
+  /// accounting needs it every round; 4 bytes/vertex is the whole price of
+  /// the implicit tier).
   int election_ball_size(int v) const {
+    if (tier_ == EballTier::kImplicit)
+      return e_sizes_[static_cast<std::size_t>(v)];
     return static_cast<int>(election_ball(v).size());
   }
 
-  /// Total stored ball entries (memory introspection).
+  /// Total stored ball entries (memory introspection; the implicit tier
+  /// contributes no e-ball entries).
   std::int64_t total_entries() const {
     return static_cast<std::int64_t>(r_data_.size() + e_data_.size() +
                                      cover_data_.size());
   }
 
+  /// Bytes actually held by the cache's arrays.
+  std::int64_t resident_bytes() const;
+
+  /// Bytes the cache would hold with the e-ball layer stored explicitly
+  /// (the pre-tiered layout): equals resident_bytes() on the explicit
+  /// tier. bench_decision_path gates explicit_layout_bytes() /
+  /// resident_bytes() >= 4 at the 50k / r=2 cell (`cache_bytes_ok`).
+  std::int64_t explicit_layout_bytes() const;
+
   /// Re-synchronize with a graph that just changed. `touched` are the
   /// vertices incident to an added/removed edge (the graph must already be
-  /// patched). A vertex's k-ball can only change if it lies within k hops
-  /// of a touched vertex either before or after the change, so the affected
-  /// set is the union of (a) the *stored* election balls of the touched
-  /// vertices — hop distance is symmetric, so "t was within 2r+1 of v" is
-  /// read off t's old ball — and (b) one multi-source BFS to 2r+1 hops from
-  /// `touched` on the new graph. Only affected vertices re-run BFS (and
-  /// cover construction), and only moved bytes are written: spans whose
-  /// size is unchanged — and every span before the first size change —
-  /// keep their offsets and are patched in place; the suffix from the
-  /// first size-changing vertex on is rewritten once. The result is
-  /// byte-identical to a from-scratch rebuild
-  /// (tests/dynamics_differential_test.cc fuzzes this claim).
+  /// patched). Affected = one multi-source BFS to 2r+1 hops from `touched`
+  /// on the new graph. That single new-graph sweep is complete: touched
+  /// holds both endpoints of every changed edge, so (a) a vertex entering
+  /// some ball got there via an added edge whose endpoints are touched,
+  /// and (b) a vertex leaving one had an old path through a removed edge —
+  /// the prefix of that path up to the *first* removed edge survives in
+  /// the new graph and ends at a touched vertex. Either way the ball's
+  /// owner is within 2r+1 new-graph hops of `touched`. (Earlier revisions
+  /// also unioned the stored old election balls of the touched vertices;
+  /// that added only vertices whose balls hadn't changed — and the
+  /// implicit tier has no stored balls to read.)
+  ///
+  /// Only affected vertices re-run BFS (and cover construction), and only
+  /// moved bytes are written: spans whose size is unchanged — and every
+  /// span before the first size change — keep their offsets and are
+  /// patched in place; the suffix from the first size-changing vertex on
+  /// is rewritten once. On the implicit tier the e-ball update is just the
+  /// affected sizes. The result is byte-identical to a from-scratch
+  /// rebuild (tests/dynamics_differential_test.cc fuzzes this claim).
   void apply_delta(const Graph& g, std::span<const int> touched);
 
   /// Affected vertices of the last apply_delta (introspection for benches).
@@ -130,10 +196,12 @@ class NeighborhoodCache {
 
   int r_ = 0;
   int size_ = 0;
+  EballTier tier_ = EballTier::kExplicit;
   std::vector<std::int64_t> r_offsets_;  ///< size_+1.
   std::vector<int> r_data_;
-  std::vector<std::int64_t> e_offsets_;  ///< size_+1.
-  std::vector<int> e_data_;
+  std::vector<std::int64_t> e_offsets_;  ///< size_+1; explicit tier only.
+  std::vector<int> e_data_;              ///< Explicit tier only.
+  std::vector<int> e_sizes_;             ///< size_; implicit tier only.
   std::vector<int> cover_data_;          ///< Aligned with r_data_ when built.
   std::vector<int> cover_counts_;        ///< Cliques per r-ball when built.
   int last_invalidated_ = 0;

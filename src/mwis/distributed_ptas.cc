@@ -8,14 +8,11 @@
 #include <thread>
 #include <utility>
 
-#if defined(__x86_64__) && defined(__GNUC__)
-#include <immintrin.h>
-#define MHCA_ELECTION_AVX2 1
-#endif
-
 #include "obs/trace.h"
 #include "util/assert.h"
+#include "util/cpufeatures.h"
 #include "util/parallel.h"
+#include "util/simd_scan.h"
 
 namespace mhca {
 namespace {
@@ -47,40 +44,6 @@ using Clock = std::chrono::steady_clock;
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
-
-#ifdef MHCA_ELECTION_AVX2
-/// Advance i (in steps of 4) to the first block of arr[i..i+4) containing a
-/// key >= kv, or to the last position where a full block no longer fits.
-/// Pure filter — the caller inspects the block scalar, so results are
-/// bit-identical to the scalar loop. AVX2 (vpgatherqq) only; dispatched
-/// behind a runtime cpu check. Keys are unsigned; biasing both sides by
-/// 2^63 turns the signed 64-bit compare into the unsigned one.
-__attribute__((target("avx2"))) std::size_t
-avx2_skip_below(const std::uint64_t* keys, const int* arr, std::size_t i,
-                std::size_t sz, std::uint64_t kv) {
-  const __m256i bias = _mm256_set1_epi64x(
-      static_cast<long long>(0x8000000000000000ULL));
-  // kb >= biased(kv) ⟺ kb > biased(kv) - 1; kv is a live candidate key,
-  // far above 0, so the decrement cannot wrap.
-  const __m256i threshold = _mm256_set1_epi64x(
-      static_cast<long long>((kv ^ 0x8000000000000000ULL) - 1));
-  for (; i + 4 <= sz; i += 4) {
-    const __m128i idx =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(arr + i));
-    const __m256i k = _mm256_i32gather_epi64(
-        reinterpret_cast<const long long*>(keys), idx, 8);
-    const __m256i ge = _mm256_cmpgt_epi64(_mm256_xor_si256(k, bias),
-                                          threshold);
-    if (!_mm256_testz_si256(ge, ge)) break;
-  }
-  return i;
-}
-
-bool have_avx2() {
-  static const bool ok = __builtin_cpu_supports("avx2");
-  return ok;
-}
-#endif
 
 }  // namespace
 
@@ -166,6 +129,13 @@ void DistributedRobustPtas::elect_by_cache(
     const std::vector<VertexStatus>& status, std::vector<int>& leaders,
     bool first_round) {
   const std::uint64_t* keys = election_keys_.data();
+  // SIMD dispatch level, resolved once per election (one relaxed load). The
+  // vector kernels are pure block filters — every flagged block is
+  // re-inspected scalar with the exact predicate — so the blocker positions
+  // (hence decisions) are byte-identical at every level
+  // (tests/tiered_simd_differential_test.cc sweeps them).
+  const util::SimdLevel simd = util::simd_level();
+  const std::size_t simd_bw = util::simd_block_width(simd);
 
   // Lazy per-decision reset: the first touch of a vertex this decision
   // clears its chain head and scan cursors; later touches are no-ops. This
@@ -212,22 +182,20 @@ void DistributedRobustPtas::elect_by_cache(
         if (k < kv) continue;
         if (k > kv || arr[i] < v) return i;
       }
-#ifdef MHCA_ELECTION_AVX2
-      if (have_avx2()) {
+      if (simd_bw != 0) {
         while (true) {
-          i = avx2_skip_below(keys, arr.data(), i, sz, kv);
-          if (i + 4 > sz) break;
+          i = util::simd_skip_below(keys, arr.data(), i, sz, kv, simd);
+          if (i + simd_bw > sz) break;
           // The block holds some key >= kv: inspect it scalar (a tie that
           // is v itself, or a higher id, does not block — keep going).
-          for (std::size_t j = i; j < i + 4; ++j) {
+          for (std::size_t j = i; j < i + simd_bw; ++j) {
             const std::uint64_t k = keys[arr[j]];
             if (k < kv) continue;
             if (k > kv || arr[j] < v) return j;
           }
-          i += 4;
+          i += simd_bw;
         }
       } else
-#endif
       for (; i + 4 <= sz; i += 4) {
         const std::uint64_t m01 = std::max(keys[arr[i]], keys[arr[i + 1]]);
         const std::uint64_t m23 =
@@ -282,15 +250,37 @@ void DistributedRobustPtas::elect_by_cache(
         return;
       }
     }
-    const auto ball = cache_.election_ball(v);
-    const std::size_t pos =
-        scan_for_blocker(ball, static_cast<std::size_t>(cur.eball));
-    if (pos == ball.size()) {
-      leaders.push_back(v);
-    } else {
-      cur.eball = static_cast<int>(pos);
-      chain_onto(ball[pos]);
+    if (cache_.eball_tier() == NeighborhoodCache::EballTier::kExplicit) {
+      const auto ball = cache_.election_ball(v);
+      const std::size_t pos =
+          scan_for_blocker(ball, static_cast<std::size_t>(cur.eball));
+      if (pos == ball.size()) {
+        leaders.push_back(v);
+      } else {
+        cur.eball = static_cast<int>(pos);
+        chain_onto(ball[pos]);
+      }
+      return;
     }
+    // Implicit e-ball tier: the (2r+1)-ball is not stored — enumerate it
+    // with an early-exit BFS and stop at the first blocker. No resume
+    // cursor here (the traversal is fresh each time), but verdicts are
+    // unchanged: a candidate leads iff *no* live ball member outranks it,
+    // which is scan-order independent, and whichever blocker gets chained
+    // only schedules the rescan — keys only decrease within a decision, so
+    // v is re-examined no later than the death of its last blocker either
+    // way. Tier 2 is rare (the r-ball already blocks nearly everyone), so
+    // the BFS re-walk trades a negligible slice of election time for the
+    // ~n·|J_{2r+1}| ints the explicit spans would occupy.
+    const int blocker = scratch_.k_hop_find(
+        h_, v, 2 * cfg_.r + 1, [&](int u) {
+          const std::uint64_t k = keys[u];
+          return k > kv || (k == kv && u < v);
+        });
+    if (blocker < 0)
+      leaders.push_back(v);
+    else
+      chain_onto(blocker);
   };
 
   if (first_round) {

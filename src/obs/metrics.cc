@@ -39,6 +39,28 @@ Histogram::Snapshot Histogram::snapshot() const {
   return s_;
 }
 
+double Histogram::Snapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(count);
+  std::int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (static_cast<double>(seen) + in_bucket >= target) {
+      // Bucket i spans [2^(i-1), 2^i) (bucket 0 starts at 0); walk the
+      // target rank's fraction of the way through it.
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, i - 1);
+      const double hi = std::ldexp(1.0, i);
+      double frac = (target - static_cast<double>(seen)) / in_bucket;
+      frac = std::min(std::max(frac, 0.0), 1.0);
+      const double v = lo + frac * (hi - lo);
+      return std::min(std::max(v, min), max);
+    }
+    seen += buckets[i];
+  }
+  return max;
+}
+
 Counter& MetricsRegistry::counter(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[key];
@@ -106,6 +128,9 @@ std::string MetricsRegistry::to_json() const {
     out += ", \"sum\": " + json_number(s.sum);
     out += ", \"min\": " + json_number(s.min);
     out += ", \"max\": " + json_number(s.max);
+    out += ", \"p50\": " + json_number(s.percentile(50.0));
+    out += ", \"p90\": " + json_number(s.percentile(90.0));
+    out += ", \"p99\": " + json_number(s.percentile(99.0));
     out += ", \"buckets\": [";
     int last = Histogram::kBuckets - 1;
     while (last > 0 && s.buckets[last] == 0) --last;
@@ -133,6 +158,12 @@ std::string MetricsRegistry::to_csv() const {
     out += "histogram_sum," + key + "," + json_number(s.sum) + "\n";
     out += "histogram_min," + key + "," + json_number(s.min) + "\n";
     out += "histogram_max," + key + "," + json_number(s.max) + "\n";
+    out += "histogram_p50," + key + "," + json_number(s.percentile(50.0)) +
+           "\n";
+    out += "histogram_p90," + key + "," + json_number(s.percentile(90.0)) +
+           "\n";
+    out += "histogram_p99," + key + "," + json_number(s.percentile(99.0)) +
+           "\n";
   }
   return out;
 }

@@ -75,6 +75,13 @@ class Histogram {
     double min = 0.0;
     double max = 0.0;
     std::array<std::int64_t, kBuckets> buckets{};
+
+    /// Estimated p-th percentile (p in [0, 100]) from the power-of-two
+    /// buckets: linear interpolation across the bucket holding the rank,
+    /// clamped to the exact [min, max] the histogram tracked. Power-of-two
+    /// bounds cap the relative error at 2x; the observed extremes pin the
+    /// tails (p0 == min, p100 == max exactly). 0 when empty.
+    double percentile(double p) const;
   };
 
   void observe(double v);
@@ -102,7 +109,8 @@ class MetricsRegistry {
   /// in sorted order (stable diffs, schema-checkable).
   std::string to_json() const;
 
-  /// `kind,key,value` rows (histograms flatten to count/sum/min/max).
+  /// `kind,key,value` rows (histograms flatten to count/sum/min/max plus
+  /// interpolated p50/p90/p99).
   std::string to_csv() const;
 
  private:

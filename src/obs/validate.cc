@@ -1,10 +1,13 @@
 #include "obs/validate.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <set>
+
+#include "obs/json.h"
 
 namespace mhca::obs {
 
@@ -413,6 +416,32 @@ std::vector<std::string> validate_metrics_snapshot(std::string_view snapshot,
   require_keys("required_gauges", "gauges");
   require_keys("required_histograms", "histograms");
 
+  // Every histogram object must carry the full summary-field set (count /
+  // sum / min / max / p50 / p90 / p99 / buckets) — a producer that forgets
+  // the percentile step ships a snapshot consumers can't chart.
+  if (const JsonValue* fields = sch.find("required_histogram_fields")) {
+    const JsonValue* hists = snap.find("histograms");
+    if (hists != nullptr && hists->kind == JsonValue::Kind::Object) {
+      for (const auto& [key, h] : hists->fields) {
+        if (h.kind != JsonValue::Kind::Object) {
+          errors.push_back("histogram \"" + key + "\" is not an object");
+          continue;
+        }
+        for (const JsonValue& f : fields->items) {
+          if (f.kind != JsonValue::Kind::String) continue;
+          const JsonValue* v = h.find(f.str);
+          if (v == nullptr)
+            errors.push_back("histogram \"" + key + "\" missing field \"" +
+                             f.str + "\"");
+          else if (f.str == "buckets" ? v->kind != JsonValue::Kind::Array
+                                      : v->kind != JsonValue::Kind::Number)
+            errors.push_back("histogram \"" + key + "\" field \"" + f.str +
+                             "\" has the wrong type");
+        }
+      }
+    }
+  }
+
   if (const JsonValue* domains = sch.find("required_domains")) {
     for (const JsonValue& d : domains->items) {
       if (d.kind != JsonValue::Kind::String) continue;
@@ -422,6 +451,97 @@ std::vector<std::string> validate_metrics_snapshot(std::string_view snapshot,
     }
   }
   return errors;
+}
+
+namespace {
+
+/// Serializes a parsed JsonValue back to compact JSON. Objects keep their
+/// insertion order, so merged events re-emit with the fields the recorder
+/// wrote in the positions it wrote them.
+void serialize_json(const JsonValue& v, std::string& out) {
+  switch (v.kind) {
+    case JsonValue::Kind::Null: out += "null"; return;
+    case JsonValue::Kind::Bool: out += v.boolean ? "true" : "false"; return;
+    case JsonValue::Kind::Number: out += json_number(v.number); return;
+    case JsonValue::Kind::String: append_json_string(out, v.str); return;
+    case JsonValue::Kind::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < v.items.size(); ++i) {
+        if (i) out += ", ";
+        serialize_json(v.items[i], out);
+      }
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::Object: {
+      out += '{';
+      for (std::size_t i = 0; i < v.fields.size(); ++i) {
+        if (i) out += ", ";
+        append_json_string(out, v.fields[i].first);
+        out += ": ";
+        serialize_json(v.fields[i].second, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string merge_chrome_traces(
+    const std::vector<std::pair<std::string, std::string>>& inputs,
+    std::vector<std::string>& errors) {
+  struct Shard {
+    JsonValue root;
+    std::set<int> pids;
+  };
+  std::vector<Shard> shards;
+  shards.reserve(inputs.size());
+  std::map<int, const std::string*> pid_owner;
+  for (const auto& [label, text] : inputs) {
+    // Full per-input validation first: merging can only launder a broken
+    // trace into a broken timeline.
+    for (const std::string& e : validate_chrome_trace(text))
+      errors.push_back(label + ": " + e);
+    Shard s;
+    std::string perr;
+    if (!parse_json(text, s.root, &perr)) continue;  // already reported
+    const JsonValue* events = s.root.find("traceEvents");
+    if (events == nullptr) continue;
+    for (const JsonValue& e : events->items)
+      if (const JsonValue* pid = e.find("pid"))
+        s.pids.insert(static_cast<int>(pid->number));
+    for (const int pid : s.pids) {
+      const auto [it, inserted] = pid_owner.try_emplace(pid, &label);
+      if (!inserted)
+        errors.push_back(label + ": pid " + std::to_string(pid) +
+                         " already used by " + *it->second +
+                         " — shards must tag distinct pids");
+    }
+    shards.push_back(std::move(s));
+  }
+  if (!errors.empty()) return {};
+
+  // Stable order by ts across shards: each (pid, tid) track is already
+  // non-decreasing (validated above) and lives in exactly one input, so a
+  // stable sort cannot reorder a track's B/E pairs at equal timestamps.
+  std::vector<const JsonValue*> merged;
+  for (const Shard& s : shards)
+    for (const JsonValue& e : s.root.find("traceEvents")->items)
+      merged.push_back(&e);
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const JsonValue* a, const JsonValue* b) {
+                     return a->find("ts")->number < b->find("ts")->number;
+                   });
+
+  std::string out = "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    out += i ? ",\n" : "\n";
+    serialize_json(*merged[i], out);
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
 }
 
 }  // namespace mhca::obs

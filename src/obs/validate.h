@@ -2,6 +2,7 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 // Self-contained validators for the telemetry artifacts the spine emits:
@@ -40,8 +41,22 @@ std::vector<std::string> validate_chrome_trace(std::string_view text);
 
 /// Validates a MetricsRegistry::to_json snapshot against a schema document:
 /// {"required_domains": [...], "required_counters": [...],
-///  "required_gauges": [...]}. Empty result = valid.
+///  "required_gauges": [...], "required_histograms": [...],
+///  "required_histogram_fields": [...]}. Empty result = valid.
 std::vector<std::string> validate_metrics_snapshot(std::string_view snapshot,
                                                    std::string_view schema);
+
+/// Merges per-shard Chrome traces into one timeline. Each input is
+/// (label, full trace JSON text); labels only decorate error messages.
+/// Every event keeps its (pid, tid) track identity — shards already tag
+/// their own pid (obs/trace.h), so the merged file opens in Perfetto as one
+/// timeline with one process lane per shard. Inputs whose pid sets overlap
+/// are rejected (two shards claiming one lane would interleave into a
+/// nonsense track), and events are stably ordered by ts across shards,
+/// which preserves each track's internal B/E order. On any error the
+/// returned text is empty.
+std::string merge_chrome_traces(
+    const std::vector<std::pair<std::string, std::string>>& inputs,
+    std::vector<std::string>& errors);
 
 }  // namespace mhca::obs

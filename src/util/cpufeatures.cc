@@ -1,0 +1,67 @@
+#include "util/cpufeatures.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace mhca::util {
+namespace {
+
+SimdLevel detect_max() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512vl"))
+    return SimdLevel::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel requested_from_env(SimdLevel best) {
+  if (const char* f = std::getenv("MHCA_FORCE_SCALAR");
+      f != nullptr && f[0] == '1')
+    return SimdLevel::kScalar;
+  const char* s = std::getenv("MHCA_SIMD");
+  if (s == nullptr) return best;
+  if (std::strcmp(s, "scalar") == 0) return SimdLevel::kScalar;
+  if (std::strcmp(s, "avx2") == 0) return SimdLevel::kAvx2;
+  if (std::strcmp(s, "avx512") == 0) return SimdLevel::kAvx512;
+  return best;  // unknown value: ignore, keep CPU best
+}
+
+// -1 = not yet initialized from CPU + environment.
+std::atomic<int> g_level{-1};
+
+}  // namespace
+
+SimdLevel max_simd_level() {
+  static const SimdLevel best = detect_max();
+  return best;
+}
+
+SimdLevel simd_level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v >= 0) return static_cast<SimdLevel>(v);
+  const SimdLevel best = max_simd_level();
+  SimdLevel req = requested_from_env(best);
+  if (static_cast<int>(req) > static_cast<int>(best)) req = best;
+  // Racing first calls compute the same value; the exchange is idempotent.
+  g_level.store(static_cast<int>(req), std::memory_order_relaxed);
+  return req;
+}
+
+void set_simd_level(SimdLevel level) {
+  const SimdLevel best = max_simd_level();
+  if (static_cast<int>(level) > static_cast<int>(best)) level = best;
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kAvx2: return "avx2";
+    case SimdLevel::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+}  // namespace mhca::util

@@ -1,0 +1,166 @@
+#pragma once
+
+// Vector kernels for the two election-path hot loops, dispatched at runtime
+// by util::simd_level() (cpufeatures.h):
+//
+//   - simd_skip_below: advance a scan over an index array past full blocks
+//     whose gathered 64-bit keys are all unsigned-< a threshold. This is a
+//     PURE FILTER — it never decides anything; the caller inspects the
+//     stopping block with the exact scalar predicate, so the blocker
+//     position returned by the full scan is bit-identical to the scalar
+//     loop at every dispatch level.
+//   - simd_any_stamp_equal: "does any stamp[arr[i]] equal epoch" over a CSR
+//     neighbor row (the winner-validation neighbor-mark check). The result
+//     is a bool over an unordered existence test, so vectorizing it cannot
+//     change the answer.
+//
+// The scalar paths are always compiled (and are the only paths on non-x86
+// or non-GNU toolchains, where simd_level() reports kScalar). AVX2 gathers
+// are 4-wide over u64 keys / 8-wide over u32 stamps; AVX-512 doubles both
+// and uses native unsigned mask compares instead of the 2^63 bias trick.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/cpufeatures.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MHCA_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace mhca::util {
+
+/// Block width of the skip-below kernel at `level` (0 = no vector kernel;
+/// the caller falls back to its scalar loop).
+inline constexpr std::size_t simd_block_width(SimdLevel level) {
+#ifdef MHCA_SIMD_X86
+  switch (level) {
+    case SimdLevel::kScalar: return 0;
+    case SimdLevel::kAvx2: return 4;
+    case SimdLevel::kAvx512: return 8;
+  }
+#else
+  (void)level;
+#endif
+  return 0;
+}
+
+#ifdef MHCA_SIMD_X86
+
+/// Advance i (in steps of 4) to the first block of arr[i..i+4) containing a
+/// key >= kv, or to the last position where a full block no longer fits.
+/// Keys are unsigned; biasing both sides by 2^63 turns the signed 64-bit
+/// compare into the unsigned one. kv is a live candidate key, far above 0,
+/// so the `- 1` cannot wrap.
+__attribute__((target("avx2"))) inline std::size_t avx2_skip_below(
+    const std::uint64_t* keys, const int* arr, std::size_t i, std::size_t sz,
+    std::uint64_t kv) {
+  const __m256i bias =
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  const __m256i threshold = _mm256_set1_epi64x(
+      static_cast<long long>((kv ^ 0x8000000000000000ULL) - 1));
+  for (; i + 4 <= sz; i += 4) {
+    const __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(arr + i));
+    const __m256i k = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(keys), idx, 8);
+    const __m256i ge =
+        _mm256_cmpgt_epi64(_mm256_xor_si256(k, bias), threshold);
+    if (!_mm256_testz_si256(ge, ge)) break;
+  }
+  return i;
+}
+
+/// 8-wide AVX-512 variant; _mm512_cmpge_epu64_mask compares unsigned
+/// natively, no bias needed.
+__attribute__((target("avx512f"))) inline std::size_t avx512_skip_below(
+    const std::uint64_t* keys, const int* arr, std::size_t i, std::size_t sz,
+    std::uint64_t kv) {
+  const __m512i limit = _mm512_set1_epi64(static_cast<long long>(kv));
+  for (; i + 8 <= sz; i += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(arr + i));
+    // Masked gather with a zeroed pass-through: the plain gather's
+    // undefined source register trips -Wmaybe-uninitialized inside the
+    // intrinsic header.
+    const __m512i k = _mm512_mask_i32gather_epi64(
+        _mm512_setzero_si512(), static_cast<__mmask8>(0xff), idx, keys, 8);
+    if (_mm512_cmpge_epu64_mask(k, limit) != 0) break;
+  }
+  return i;
+}
+
+__attribute__((target("avx2"))) inline bool avx2_any_stamp_equal(
+    const std::uint32_t* stamp, const int* arr, std::size_t sz,
+    std::uint32_t epoch) {
+  const __m256i e = _mm256_set1_epi32(static_cast<int>(epoch));
+  std::size_t i = 0;
+  for (; i + 8 <= sz; i += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(arr + i));
+    const __m256i s = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(stamp), idx, 4);
+    const __m256i eq = _mm256_cmpeq_epi32(s, e);
+    if (!_mm256_testz_si256(eq, eq)) return true;
+  }
+  for (; i < sz; ++i)
+    if (stamp[arr[i]] == epoch) return true;
+  return false;
+}
+
+__attribute__((target("avx512f"))) inline bool avx512_any_stamp_equal(
+    const std::uint32_t* stamp, const int* arr, std::size_t sz,
+    std::uint32_t epoch) {
+  const __m512i e = _mm512_set1_epi32(static_cast<int>(epoch));
+  std::size_t i = 0;
+  for (; i + 16 <= sz; i += 16) {
+    const __m512i idx =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(arr + i));
+    const __m512i s = _mm512_mask_i32gather_epi32(
+        _mm512_setzero_si512(), static_cast<__mmask16>(0xffff), idx, stamp,
+        4);
+    if (_mm512_cmpeq_epi32_mask(s, e) != 0) return true;
+  }
+  for (; i < sz; ++i)
+    if (stamp[arr[i]] == epoch) return true;
+  return false;
+}
+
+#endif  // MHCA_SIMD_X86
+
+/// Dispatching front end for the skip-below filter. Only meaningful when
+/// simd_block_width(level) != 0; returns i unchanged otherwise.
+inline std::size_t simd_skip_below(const std::uint64_t* keys, const int* arr,
+                                   std::size_t i, std::size_t sz,
+                                   std::uint64_t kv, SimdLevel level) {
+#ifdef MHCA_SIMD_X86
+  if (level == SimdLevel::kAvx512) return avx512_skip_below(keys, arr, i, sz, kv);
+  if (level == SimdLevel::kAvx2) return avx2_skip_below(keys, arr, i, sz, kv);
+#else
+  (void)keys;
+  (void)arr;
+  (void)sz;
+  (void)kv;
+  (void)level;
+#endif
+  return i;
+}
+
+/// True iff stamp[arr[i]] == epoch for some i in [0, sz). Complete at every
+/// level (tails run scalar inside the kernels).
+inline bool simd_any_stamp_equal(const std::uint32_t* stamp, const int* arr,
+                                 std::size_t sz, std::uint32_t epoch,
+                                 SimdLevel level) {
+#ifdef MHCA_SIMD_X86
+  if (level == SimdLevel::kAvx512)
+    return avx512_any_stamp_equal(stamp, arr, sz, epoch);
+  if (level == SimdLevel::kAvx2)
+    return avx2_any_stamp_equal(stamp, arr, sz, epoch);
+#endif
+  for (std::size_t i = 0; i < sz; ++i)
+    if (stamp[arr[i]] == epoch) return true;
+  return false;
+}
+
+}  // namespace mhca::util

@@ -232,6 +232,11 @@ TEST(DynamicsDifferential, SparseRowGraphMatchesFreshBuildBeyondMatrixLimit) {
       ASSERT_TRUE(std::equal(ball.begin(), ball.end(), cached.begin(),
                              cached.end()))
           << "ball " << v << " diverged at delta " << d;
+      // This graph is past the matrix limit, so the cache runs the
+      // implicit e-ball tier: apply_delta maintains sizes, not spans.
+      scratch.k_hop_neighborhood(g, v, 2 * 1 + 1, ball);
+      ASSERT_EQ(cache.election_ball_size(v), static_cast<int>(ball.size()))
+          << "e-ball size " << v << " diverged at delta " << d;
     }
   }
 }

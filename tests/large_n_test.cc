@@ -15,17 +15,28 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
 #include "graph/extended_graph.h"
 #include "graph/generators.h"
+#include "graph/hop.h"
 #include "graph/neighborhood_cache.h"
 #include "mwis/distributed_ptas.h"
 #include "util/rng.h"
 
 namespace mhca {
 namespace {
+
+/// Scoped MHCA_EBALL_TIER override (the cache reads it per construction).
+class EballTierOverride {
+ public:
+  explicit EballTierOverride(const char* tier) {
+    ::setenv("MHCA_EBALL_TIER", tier, /*overwrite=*/1);
+  }
+  ~EballTierOverride() { ::unsetenv("MHCA_EBALL_TIER"); }
+};
 
 TEST(LargeN, RepresentationSelectionRule) {
   Rng rng(5);
@@ -57,6 +68,48 @@ TEST(LargeN, RepresentationSelectionRule) {
     ASSERT_TRUE(std::equal(nb.begin(), nb.end(), from_sparse.begin(),
                            from_sparse.end()))
         << "vertex " << v;
+  }
+}
+
+TEST(LargeN, EballTierSelectionRule) {
+  // The election-ball layer is tiered by the same n <= kAdjacencyMatrixLimit
+  // threshold that picks the dense adjacency matrix, with MHCA_EBALL_TIER
+  // as a per-construction override — and the two tiers describe the same
+  // balls: identical r-ball spans, identical election-ball sizes, and the
+  // implicit tier's sizes match a fresh BFS enumeration.
+  Rng rng(91);
+  ConflictGraph small_cg = random_geometric_avg_degree(
+      300, 5.0, rng, /*force_connected=*/false);
+  const Graph& small = small_cg.graph();
+  EXPECT_EQ(NeighborhoodCache::select_eball_tier(small.size()),
+            NeighborhoodCache::EballTier::kExplicit);
+  EXPECT_EQ(
+      NeighborhoodCache::select_eball_tier(Graph::kAdjacencyMatrixLimit + 1),
+      NeighborhoodCache::EballTier::kImplicit);
+
+  const NeighborhoodCache exp(small, 2, /*build_covers=*/false,
+                              /*parallelism=*/1);
+  ASSERT_EQ(exp.eball_tier(), NeighborhoodCache::EballTier::kExplicit);
+  EXPECT_EQ(exp.explicit_layout_bytes(), exp.resident_bytes());
+
+  EballTierOverride force("implicit");
+  const NeighborhoodCache imp(small, 2, /*build_covers=*/false,
+                              /*parallelism=*/1);
+  ASSERT_EQ(imp.eball_tier(), NeighborhoodCache::EballTier::kImplicit);
+  EXPECT_LT(imp.resident_bytes(), exp.resident_bytes());
+  EXPECT_EQ(imp.explicit_layout_bytes(), exp.resident_bytes());
+
+  BfsScratch scratch(small.size());
+  std::vector<int> ball;
+  for (int v = 0; v < small.size(); ++v) {
+    const auto re = exp.r_ball(v), ri = imp.r_ball(v);
+    ASSERT_TRUE(std::equal(re.begin(), re.end(), ri.begin(), ri.end()))
+        << "r-ball of " << v;
+    ASSERT_EQ(imp.election_ball_size(v), exp.election_ball_size(v))
+        << "e-ball size of " << v;
+    scratch.k_hop_neighborhood(small, v, 2 * 2 + 1, ball);
+    ASSERT_EQ(imp.election_ball_size(v), static_cast<int>(ball.size()))
+        << "e-ball size of " << v << " vs BFS";
   }
 }
 
@@ -148,25 +201,94 @@ TEST(LargeN, ParallelCacheBuildByteIdenticalAcrossWorkerCounts) {
   const Graph& h = ecg.graph();
   ASSERT_GT(h.size(), Graph::kAdjacencyMatrixLimit);
 
+  // This graph is past the matrix limit, so both tiers are exercised: the
+  // default implicit tier here, the explicit tier forced below.
   const NeighborhoodCache serial(h, 2, /*build_covers=*/true,
                                  /*parallelism=*/1);
-  for (int workers : {2, 4}) {
-    const NeighborhoodCache par(h, 2, /*build_covers=*/true, workers);
+  ASSERT_EQ(serial.eball_tier(), NeighborhoodCache::EballTier::kImplicit);
+  const auto check = [&](const NeighborhoodCache& par, int workers) {
     ASSERT_EQ(par.size(), serial.size());
     ASSERT_TRUE(par.has_covers());
+    const bool spans =
+        par.eball_tier() == NeighborhoodCache::EballTier::kExplicit &&
+        serial.eball_tier() == NeighborhoodCache::EballTier::kExplicit;
     for (int v = 0; v < h.size(); ++v) {
       const auto rs = serial.r_ball(v), rp = par.r_ball(v);
       ASSERT_TRUE(std::equal(rs.begin(), rs.end(), rp.begin(), rp.end()))
           << "r-ball of " << v << " at workers=" << workers;
-      const auto es = serial.election_ball(v), ep = par.election_ball(v);
-      ASSERT_TRUE(std::equal(es.begin(), es.end(), ep.begin(), ep.end()))
-          << "election ball of " << v << " at workers=" << workers;
+      ASSERT_EQ(serial.election_ball_size(v), par.election_ball_size(v))
+          << "election ball size of " << v << " at workers=" << workers;
+      if (spans) {
+        const auto es = serial.election_ball(v), ep = par.election_ball(v);
+        ASSERT_TRUE(std::equal(es.begin(), es.end(), ep.begin(), ep.end()))
+            << "election ball of " << v << " at workers=" << workers;
+      }
       const auto cs = serial.r_ball_cover(v), cp = par.r_ball_cover(v);
       ASSERT_TRUE(std::equal(cs.begin(), cs.end(), cp.begin(), cp.end()))
           << "cover of " << v << " at workers=" << workers;
       ASSERT_EQ(serial.r_ball_clique_count(v), par.r_ball_clique_count(v));
     }
+  };
+  for (int workers : {2, 4}) {
+    const NeighborhoodCache par(h, 2, /*build_covers=*/true, workers);
+    ASSERT_EQ(par.eball_tier(), serial.eball_tier());
+    check(par, workers);
   }
+  {
+    // Same claim with explicit e-ball spans: the count-then-fill layout is
+    // worker-count independent on both tiers.
+    EballTierOverride force("explicit");
+    const NeighborhoodCache eser(h, 2, /*build_covers=*/true,
+                                 /*parallelism=*/1);
+    ASSERT_EQ(eser.eball_tier(), NeighborhoodCache::EballTier::kExplicit);
+    const NeighborhoodCache epar(h, 2, /*build_covers=*/true,
+                                 /*parallelism=*/4);
+    ASSERT_EQ(epar.eball_tier(), NeighborhoodCache::EballTier::kExplicit);
+    for (int v = 0; v < h.size(); ++v) {
+      const auto es = eser.election_ball(v), ep = epar.election_ball(v);
+      ASSERT_TRUE(std::equal(es.begin(), es.end(), ep.begin(), ep.end()))
+          << "explicit election ball of " << v;
+      ASSERT_EQ(serial.election_ball_size(v), eser.election_ball_size(v))
+          << "tiers disagree on e-ball size of " << v;
+    }
+  }
+}
+
+TEST(LargeN, CachedDecisionMatchesSeedAtQuarterMillionVertices) {
+  // 62500 users x 4 channels = 250k H vertices. One decision, seed path
+  // (max-relaxation election + per-leader BFS) against the cached path
+  // (implicit-tier NeighborhoodCache + SoA election): byte-identical
+  // winners and weight. This is the scale gate on the road to 1M — the
+  // explicit e-ball spans would hold ~10^8 entries here; the implicit tier
+  // stores 4 bytes per vertex.
+  Rng rng(250250);
+  ConflictGraph cg = random_geometric_avg_degree(
+      62500, 6.0, rng, /*force_connected=*/false);
+  ExtendedConflictGraph ecg(cg, 4);
+  const Graph& h = ecg.graph();
+  ASSERT_EQ(h.size(), 250000);
+
+  DistributedPtasConfig seed_cfg;
+  seed_cfg.r = 2;
+  seed_cfg.use_decision_cache = false;
+  seed_cfg.local_solve_parallelism = 1;
+  DistributedPtasConfig cached_cfg = seed_cfg;
+  cached_cfg.use_decision_cache = true;
+  cached_cfg.local_solve_parallelism = 0;
+
+  DistributedRobustPtas seed_engine(h, seed_cfg);
+  DistributedRobustPtas cached_engine(h, cached_cfg);
+  ASSERT_EQ(cached_engine.neighborhood_cache().eball_tier(),
+            NeighborhoodCache::EballTier::kImplicit);
+
+  std::vector<double> w(static_cast<std::size_t>(h.size()));
+  for (auto& x : w) x = rng.uniform(0.05, 1.0);
+  const DistributedPtasResult a = seed_engine.run(w);
+  const DistributedPtasResult b = cached_engine.run(w);
+  ASSERT_EQ(a.winners, b.winners);
+  ASSERT_EQ(a.weight, b.weight);
+  ASSERT_EQ(a.mini_rounds_used, b.mini_rounds_used);
+  ASSERT_TRUE(h.is_independent_set(b.winners));
 }
 
 TEST(LargeN, ApplyDeltaKeepsSparseRowsExact) {

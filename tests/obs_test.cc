@@ -12,6 +12,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "net/transport.h"
@@ -121,6 +122,54 @@ TEST(Metrics, CsvFlattensEveryKind) {
   EXPECT_NE(csv.find("counter,a.b,1"), std::string::npos) << csv;
   EXPECT_NE(csv.find("gauge,c.d,"), std::string::npos) << csv;
   EXPECT_NE(csv.find("e.f"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("histogram_p50,e.f,"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("histogram_p90,e.f,"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("histogram_p99,e.f,"), std::string::npos) << csv;
+}
+
+TEST(Metrics, HistogramPercentilesInterpolateAndClamp) {
+  // Single value: every percentile clamps to the one observation exactly.
+  obs::Histogram one;
+  one.observe(10.0);
+  const auto s1 = one.snapshot();
+  EXPECT_DOUBLE_EQ(s1.percentile(50.0), 10.0);
+  EXPECT_DOUBLE_EQ(s1.percentile(99.0), 10.0);
+
+  // Empty histogram reports 0, not garbage.
+  EXPECT_DOUBLE_EQ(obs::Histogram::Snapshot{}.percentile(50.0), 0.0);
+
+  // A spread: percentiles are monotone in p, stay within [min, max], and
+  // land in the right power-of-two bucket (90 of 100 observations below 2,
+  // so p50 must sit under 2; rank 99 exhausts the [16, 32) bucket of the
+  // 30.0 observations, and only p100 reaches the lone 100.0 tail, where
+  // the clamp to the tracked max makes it exact).
+  obs::Histogram h;
+  for (int i = 0; i < 90; ++i) h.observe(1.5);
+  for (int i = 0; i < 9; ++i) h.observe(30.0);
+  h.observe(100.0);
+  const auto s = h.snapshot();
+  const double p50 = s.percentile(50.0);
+  const double p90 = s.percentile(90.0);
+  const double p99 = s.percentile(99.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, s.min);
+  EXPECT_LE(p99, s.max);
+  EXPECT_LT(p50, 2.0);
+  EXPECT_GE(p99, 16.0);
+  EXPECT_LE(p99, 32.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 100.0);
+
+  // The JSON snapshot carries the percentile fields the checked-in schema
+  // requires of every histogram.
+  MetricsRegistry reg;
+  reg.histogram("x.y").observe(3.0);
+  const char* schema =
+      R"({"required_histogram_fields":
+          ["count","sum","min","max","p50","p90","p99","buckets"]})";
+  const auto errors = obs::validate_metrics_snapshot(reg.to_json(), schema);
+  EXPECT_TRUE(errors.empty())
+      << "first violation: " << (errors.empty() ? "" : errors[0]);
 }
 
 // ------------------------------------------------------------------ trace
@@ -173,6 +222,46 @@ TEST(Trace, ShardTagLandsInPid) {
   ASSERT_NE(events, nullptr);
   ASSERT_EQ(events->items.size(), 1u);
   EXPECT_DOUBLE_EQ(events->items[0].find("pid")->number, 3.0);
+}
+
+TEST(Trace, MergeInterleavesShardsAndRejectsPidCollisions) {
+  // Two shards, overlapping in time: shard 1's events straddle shard 2's.
+  const char* shard1 = R"({"traceEvents":[
+    {"ph":"B","pid":1,"tid":1,"ts":1.0,"name":"a"},
+    {"ph":"E","pid":1,"tid":1,"ts":9.0}]})";
+  const char* shard2 = R"({"traceEvents":[
+    {"ph":"i","pid":2,"tid":1,"ts":5.0,"name":"b","s":"t"}]})";
+  std::vector<std::pair<std::string, std::string>> inputs = {
+      {"shard1.json", shard1}, {"shard2.json", shard2}};
+  std::vector<std::string> errors;
+  const std::string merged = obs::merge_chrome_traces(inputs, errors);
+  ASSERT_TRUE(errors.empty())
+      << "first violation: " << (errors.empty() ? "" : errors[0]);
+  EXPECT_TRUE(obs::validate_chrome_trace(merged).empty());
+  JsonValue doc;
+  ASSERT_TRUE(obs::parse_json(merged, doc, nullptr));
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items.size(), 3u);
+  // Global ts order with track identity intact: B(1) < i(5) < E(9).
+  EXPECT_DOUBLE_EQ(events->items[0].find("ts")->number, 1.0);
+  EXPECT_DOUBLE_EQ(events->items[1].find("pid")->number, 2.0);
+  EXPECT_DOUBLE_EQ(events->items[2].find("ts")->number, 9.0);
+
+  // Two inputs claiming pid 1 cannot merge into one timeline.
+  inputs[1] = {"dup.json", shard1};
+  errors.clear();
+  EXPECT_TRUE(obs::merge_chrome_traces(inputs, errors).empty());
+  EXPECT_FALSE(errors.empty());
+
+  // A broken shard (unclosed span) fails the merge, labeled by file.
+  const char* broken = R"({"traceEvents":[
+    {"ph":"B","pid":3,"tid":1,"ts":1.0,"name":"x"}]})";
+  inputs[1] = {"broken.json", broken};
+  errors.clear();
+  EXPECT_TRUE(obs::merge_chrome_traces(inputs, errors).empty());
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("broken.json"), std::string::npos) << errors[0];
 }
 
 // -------------------------------------------------------------- validators

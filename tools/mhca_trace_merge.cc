@@ -1,0 +1,75 @@
+// Merges per-shard Chrome trace files into one Perfetto timeline:
+//
+//   mhca_trace_merge MERGED.json SHARD0.json SHARD1.json [...]
+//
+// Each shard of a multi-process UDP run writes its own trace with pid = its
+// shard id (obs/trace.h), so the merge is pure interleaving: validate every
+// input, reject pid collisions (two shards claiming one process lane),
+// stable-order all events by timestamp, and re-emit a single file Perfetto
+// opens as one timeline with one lane per shard. The merged output is
+// itself re-validated before it is written — a merge that produces a trace
+// mhca_obs_validate would reject exits nonzero with the violations.
+//
+// CI merges the two shards of the UDP scenario on every push
+// (.github/workflows/ci.yml) and runs mhca_obs_validate on the result.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/validate.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: mhca_trace_merge MERGED.json SHARD.json "
+                 "SHARD.json [...]\n");
+    return 2;
+  }
+  std::vector<std::pair<std::string, std::string>> inputs;
+  for (int i = 2; i < argc; ++i) {
+    std::string text;
+    if (!read_file(argv[i], text)) {
+      std::fprintf(stderr, "cannot read %s\n", argv[i]);
+      return 1;
+    }
+    inputs.emplace_back(argv[i], std::move(text));
+  }
+
+  std::vector<std::string> errors;
+  const std::string merged = mhca::obs::merge_chrome_traces(inputs, errors);
+  if (errors.empty())
+    for (const std::string& e : mhca::obs::validate_chrome_trace(merged))
+      errors.push_back(std::string("merged output: ") + e);
+  if (!errors.empty()) {
+    std::fprintf(stderr, "merge FAILED:\n");
+    for (const std::string& e : errors)
+      std::fprintf(stderr, "  - %s\n", e.c_str());
+    return 1;
+  }
+
+  std::ofstream out(argv[1], std::ios::binary);
+  out << merged;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", argv[1]);
+    return 1;
+  }
+  std::printf("merged %d shard traces into %s\n", argc - 2, argv[1]);
+  return 0;
+}
